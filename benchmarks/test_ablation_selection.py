@@ -1,0 +1,59 @@
+"""Ablation A1: exact vs greedy BIBS BILBO-register selection.
+
+Both must produce valid balanced-BISTable designs; the exact branch &
+bound never converts more registers than greedy removal.
+"""
+
+from repro.core.bibs import make_bibs_testable
+from repro.datapath.filters import all_filters
+from repro.experiments.render import render_table
+from repro.graph.build import build_circuit_graph
+from repro.library.figures import figure4
+from repro.library.ka_example import figure9
+
+
+def _circuits():
+    yield "figure4", build_circuit_graph(figure4())
+    yield "figure9", build_circuit_graph(figure9())
+    for name, compiled in all_filters().items():
+        yield name, build_circuit_graph(compiled.circuit)
+
+
+def _compare():
+    rows = []
+    for name, graph in _circuits():
+        exact = make_bibs_testable(graph, method="exact")
+        greedy = make_bibs_testable(graph, method="greedy")
+        assert exact.is_valid() and greedy.is_valid()
+        assert exact.n_bilbo_registers <= greedy.n_bilbo_registers
+        rows.append(
+            (
+                name,
+                exact.n_bilbo_registers,
+                exact.n_bilbo_flipflops,
+                greedy.n_bilbo_registers,
+                greedy.n_bilbo_flipflops,
+            )
+        )
+    return rows
+
+
+def test_selection_ablation(benchmark, report):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    report(
+        "ablation_selection.txt",
+        render_table(
+            ["circuit", "exact regs", "exact FFs", "greedy regs", "greedy FFs"],
+            rows,
+            title="Ablation: exact vs greedy BIBS selection",
+        ),
+    )
+    # Greedy matches the optimum on the balanced datapaths and on figure9's
+    # cycle, but picks a one-register-larger local optimum on figure4 (it
+    # cuts the two parallel R2/R4 registers instead of the narrow R3): the
+    # ablation's finding is that greedy is near-optimal but not exact.
+    for name, exact_regs, _, greedy_regs, _ in rows:
+        if name == "figure4":
+            assert greedy_regs == exact_regs + 1, name
+        else:
+            assert greedy_regs == exact_regs, name

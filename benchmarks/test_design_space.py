@@ -1,0 +1,56 @@
+"""Ablation A5: BITS-style design-space exploration.
+
+The BITS system of Section 5 "systematically explores the BISTable design
+space to provide a family of solutions".  This bench explores the space
+for the figure circuits and validates the family: every point is a valid
+balanced-BISTable design, the Pareto front is mutually non-dominated, and
+it contains the minimal (BIBS) design.
+"""
+
+from repro.bits.design_space import explore_design_space
+from repro.core.bibs import is_valid_selection, make_bibs_testable
+from repro.experiments.render import render_table
+from repro.graph.build import build_circuit_graph
+from repro.library.figures import figure4
+from repro.library.ka_example import figure9
+
+
+def _explore():
+    results = {}
+    for name, circuit in (("figure4", figure4()), ("figure9", figure9())):
+        graph = build_circuit_graph(circuit)
+        front = explore_design_space(graph, max_extra=4, limit=2500)
+        results[name] = (graph, front)
+    return results
+
+
+def test_design_space(benchmark, report):
+    results = benchmark.pedantic(_explore, rounds=1, iterations=1)
+    rows = []
+    for name, (graph, front) in results.items():
+        minimal = make_bibs_testable(graph)
+        assert any(
+            set(p.bilbo_registers) == set(minimal.bilbo_registers)
+            for p in front
+        ), name
+        for point in front:
+            assert is_valid_selection(graph, set(point.bilbo_registers)), name
+            assert not any(q.dominates(point) for q in front if q is not point)
+            rows.append(
+                (
+                    name,
+                    point.n_registers,
+                    f"{point.added_area:.1f}",
+                    point.maximal_delay,
+                    point.test_time_proxy,
+                    point.n_sessions,
+                )
+            )
+    report(
+        "design_space.txt",
+        render_table(
+            ["circuit", "regs", "added area", "max delay", "time proxy", "sessions"],
+            rows,
+            title="BISTable design-space Pareto fronts",
+        ),
+    )

@@ -1,0 +1,25 @@
+"""Figures 4-6 / Example 1: partial scan vs BIBS on the unbalanced circuit.
+
+Paper claims reproduced exactly: minimal partial scan = {R3, R9}; BIBS
+needs six BILBO registers {R1, R3, R6, R7, R8, R9}, giving two balanced
+BISTable kernels tested in two sessions.
+"""
+
+import json
+
+from repro.experiments.figures import example1_report
+
+
+def test_example1(benchmark, report):
+    data = benchmark.pedantic(example1_report, rounds=1, iterations=1)
+    assert data["scan_registers"] == ["R3", "R9"]
+    assert data["bibs_registers"] == ["R1", "R3", "R6", "R7", "R8", "R9"]
+    assert data["n_bibs_registers"] == 6
+    assert data["n_kernels"] == 2
+    assert data["n_sessions"] == 2
+    kernel1, kernel2 = data["kernels"]
+    assert kernel1["tpg"] == ["R1"]
+    assert kernel1["sa"] == ["R3", "R7", "R8", "R9"]
+    assert kernel2["tpg"] == ["R3", "R7", "R8", "R9"]
+    assert kernel2["sa"] == ["R6"]
+    report("example1.txt", json.dumps(data, indent=2, default=str))

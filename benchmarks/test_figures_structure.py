@@ -1,0 +1,23 @@
+"""Figures 1-3: testability classes and the circuit graph model."""
+
+import json
+
+from repro.experiments.figures import figure3_report, figures_1_2_report
+
+
+def test_figures_1_2(benchmark, report):
+    data = benchmark.pedantic(figures_1_2_report, rounds=3, iterations=1)
+    assert data["figure1"] == {"balanced": False, "k_step": 2}
+    assert data["figure2"] == {"balanced": True, "k_step": 1}
+    report("figures_1_2.txt", json.dumps(data, indent=2, default=str))
+
+
+def test_figure3(benchmark, report):
+    data = benchmark.pedantic(figure3_report, rounds=3, iterations=1)
+    assert len(data["fanout_vertices"]) == 1   # FO1
+    assert len(data["vacuous_vertices"]) == 1  # V1 between R2 and R3
+    assert data["n_register_edges"] == 9       # R1..R9
+    assert [sorted(c) for c in data["cycles"]] == [["F", "H"]]
+    witness = data["fo1_to_h_witness"]
+    assert witness is not None and witness.imbalance == 1
+    report("figure3.txt", json.dumps(data, indent=2, default=str))

@@ -1,0 +1,27 @@
+"""Table 1: the data path circuit summary.
+
+Paper: c5a2m / c3a2m / c4a4m with 2,542 / 2,218 / 4,096 gates (MABAL
+macros).  Ours rebuilds the same structures with its own adder/multiplier
+macros, so absolute gate counts differ; the asserted shape is the block
+inventory (5a+2m, 3a+2m, 4a+4m), the 8-bit width, and c4a4m being the
+largest circuit.
+"""
+
+from repro.experiments.table1 import render_table1, table1_rows
+
+
+def test_table1(benchmark, report):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    by_name = {r.name: r for r in rows}
+
+    assert (by_name["c5a2m"].n_adders, by_name["c5a2m"].n_multipliers) == (5, 2)
+    assert (by_name["c3a2m"].n_adders, by_name["c3a2m"].n_multipliers) == (3, 2)
+    assert (by_name["c4a4m"].n_adders, by_name["c4a4m"].n_multipliers) == (4, 4)
+    assert all(r.width == 8 for r in rows)
+    # Shape: c4a4m is the largest, as in the paper (4,096 gates there).
+    assert by_name["c4a4m"].n_gates == max(r.n_gates for r in rows)
+    # Our macros are leaner than MABAL's but the same order of magnitude.
+    for row in rows:
+        assert 500 <= row.n_gates <= 5000
+
+    report("table1.txt", render_table1(rows))

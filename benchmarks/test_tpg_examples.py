@@ -1,0 +1,86 @@
+"""Figures 10-20 / Examples 2-6: the SC_TPG / MC_TPG designs.
+
+Every number the paper states is asserted exactly:
+
+* Example 2 (Fig 13): 12-stage LFSR (the paper's x^12+x^7+x^4+x^3+1),
+  2 extra D-FFs, ~7.2% area over a 12-bit BILBO, test time 2^12-1+2;
+* Example 3 (Fig 15): R1.4/R2.1 share stage L4, R3 sits at L10-L13;
+* Example 4 (Fig 16): displacement -5 on 4-bit registers -> 3 shared stages;
+* Example 5 (Fig 17): 9-stage LFSR although the widest cone is 8;
+* Example 6 (Figs 19/20): 11-stage LFSR; the reconfigurable TPG tests the
+  two cones in ~2 x 2^8 cycles, >3x faster than 2^11.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.figures import tpg_examples_report
+from repro.library.kernels import (
+    example2_kernel,
+    example3_kernel,
+    example4_kernel,
+    example5_kernel,
+    example6_kernel,
+)
+from repro.tpg.mc_tpg import mc_tpg
+from repro.tpg.polynomials import PAPER_POLY_12
+from repro.tpg.sc_tpg import sc_tpg
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {r["example"]: r for r in tpg_examples_report()}
+
+
+def test_tpg_examples_bench(benchmark, rows, report):
+    benchmark.pedantic(tpg_examples_report, rounds=1, iterations=1)
+    report(
+        "tpg_examples.txt",
+        json.dumps(list(rows.values()), indent=2, default=str),
+    )
+
+
+def test_example2_numbers(benchmark, rows):
+    benchmark.pedantic(lambda: sc_tpg(example2_kernel(), polynomial=PAPER_POLY_12), rounds=3, iterations=1)
+    row = rows[2]
+    assert row["lfsr_stages"] == 12
+    assert row["extra_ffs"] == 2
+    assert row["test_time"] == (1 << 12) - 1 + 2
+    assert row["area_fraction"] == pytest.approx(0.072, abs=1e-6)
+
+
+def test_example3_numbers(benchmark, rows):
+    benchmark.pedantic(lambda: sc_tpg(example3_kernel(), polynomial=PAPER_POLY_12), rounds=3, iterations=1)
+    row = rows[3]
+    assert row["lfsr_stages"] == 12
+    assert row["r1_span"] == (1, 4)
+    assert row["r2_span"] == (4, 7)   # shares L4 with R1
+    assert row["r3_span"] == (10, 13)
+    assert row["max_label"] == 13     # L13 is an SR stage beyond the LFSR
+
+
+def test_example4_numbers(benchmark, rows):
+    benchmark.pedantic(lambda: sc_tpg(example4_kernel()), rounds=3, iterations=1)
+    row = rows[4]
+    assert row["lfsr_stages"] == 8
+    assert row["shared_stages"] == 3
+
+
+def test_example5_numbers(benchmark, rows):
+    benchmark.pedantic(lambda: mc_tpg(example5_kernel()), rounds=3, iterations=1)
+    row = rows[5]
+    assert row["lfsr_stages"] == 9
+    assert row["displacement"] == 2
+    spans = dict((c, (p, l)) for c, p, l in row["spans"])
+    assert spans["O1"] == (10, 8)
+    assert spans["O2"] == (10, 9)
+
+
+def test_example6_numbers(benchmark, rows):
+    benchmark.pedantic(lambda: mc_tpg(example6_kernel()), rounds=3, iterations=1)
+    row = rows[6]
+    assert row["lfsr_stages"] == 11
+    assert row["n_configurations"] == 2
+    assert row["monolithic_time"] == (1 << 11) + 1
+    assert row["reconfigurable_time"] < row["monolithic_time"] / 3

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: make a pipelined datapath self-testable with BIBS.
+
+Walks the full flow on a small multiply-accumulate datapath:
+
+1. describe the circuit at RTL;
+2. build its circuit graph and check balance (Section 3.1 / Definition 1);
+3. select BILBO registers with the BIBS methodology;
+4. design the kernel's TPG with SC_TPG/MC_TPG (Section 4);
+5. fault-simulate the BIST session and report coverage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.bibs import make_bibs_testable
+from repro.core.flow import lower_kernel_to_netlist
+from repro.datapath.compiler import Add, Mul, Var, compile_datapath
+from repro.faultsim.patterns import RandomPatternSource
+from repro.faultsim.simulator import FaultSimulator
+from repro.graph.build import build_circuit_graph
+from repro.analysis.balance import is_balanced
+from repro.analysis.testability import classify
+from repro.tpg.mc_tpg import mc_tpg
+
+
+def main() -> None:
+    # 1. An 8-bit multiply-accumulate: o = (a + b) * c + d
+    a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+    compiled = compile_datapath([("o", Add(Mul(Add(a, b), c), d))], "mac", width=8)
+    circuit = compiled.circuit
+    print(f"circuit {circuit.name}: {len(circuit.blocks)} blocks, "
+          f"{len(circuit.registers)} registers")
+
+    # 2. Circuit graph + balance analysis.
+    graph = build_circuit_graph(circuit)
+    report = classify(graph)
+    print(f"balanced: {is_balanced(graph)}  "
+          f"k-step functional testability: k = {report.k_step}")
+
+    # 3. BIBS selection: only PI/PO registers need conversion here.
+    design = make_bibs_testable(graph)
+    print(f"BIBS converts {design.n_bilbo_registers} registers "
+          f"({design.n_bilbo_flipflops} FFs): {design.bilbo_registers}")
+    print(f"kernels: {design.n_kernels}, maximal delay: "
+          f"{design.maximal_delay()} time units")
+
+    # 4. TPG design for the (single) kernel.
+    kernel = design.kernels[0]
+    spec = kernel.to_kernel_spec()
+    tpg = mc_tpg(spec)
+    print(f"TPG: {tpg.lfsr_stages}-stage LFSR, {tpg.n_flipflops} FFs "
+          f"({tpg.n_extra_flipflops} extra), functionally exhaustive "
+          f"test time {tpg.test_time()} cycles")
+
+    # 5. BIST session: random patterns, fault coverage; PODEM classifies
+    #    any random-pattern-resistant leftovers as redundant or detectable.
+    netlist = lower_kernel_to_netlist(circuit, kernel)
+    simulator = FaultSimulator(netlist)
+    source = RandomPatternSource(len(netlist.primary_inputs), seed=42)
+    result = simulator.run(source, max_patterns=65536)
+    if result.undetected:
+        from repro.atpg.podem import classify_faults
+
+        redundant, _tests, _aborted = classify_faults(netlist, result.undetected)
+        result.merge_undetectable(redundant)
+    print(f"fault simulation: {result.n_faults} collapsed faults, "
+          f"{len(result.first_detection)} detected, "
+          f"{len(result.undetectable)} proven redundant "
+          f"({100 * result.coverage(of_detectable=True):.2f}% of detectable)")
+    full = result.patterns_for_coverage(1.0, of_detectable=True)
+    print(f"patterns to 100% coverage of detectable faults: {full}")
+
+
+if __name__ == "__main__":
+    main()

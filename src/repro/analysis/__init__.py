@@ -1,0 +1,34 @@
+"""Structural analysis: balance, cones, k-step functional testability."""
+
+from repro.analysis.balance import (
+    BalanceConflict,
+    BalanceResult,
+    balance_levels,
+    is_balanced,
+    is_balanced_bistable,
+    path_length_between,
+    require_levels,
+)
+from repro.analysis.cones import cone_dependencies, kernel_spec_from_graph
+from repro.analysis.testability import (
+    TestabilityReport,
+    classify,
+    is_one_step_functionally_testable,
+    k_step,
+)
+
+__all__ = [
+    "BalanceConflict",
+    "BalanceResult",
+    "balance_levels",
+    "is_balanced",
+    "is_balanced_bistable",
+    "require_levels",
+    "path_length_between",
+    "kernel_spec_from_graph",
+    "cone_dependencies",
+    "TestabilityReport",
+    "classify",
+    "k_step",
+    "is_one_step_functionally_testable",
+]

@@ -1,0 +1,159 @@
+"""Balance analysis (Section 2 / Definition 1).
+
+A synchronous sequential circuit is *balanced* iff it is acyclic and all
+directed paths between every vertex pair have the same sequential length.
+Equivalently — and this is how we test it in linear time — each weakly
+connected component admits a *level potential* ℓ with
+
+    ℓ(head(e)) = ℓ(tail(e)) + s(e)
+
+for every edge e (s = 1 for register edges, 0 for wire edges).  Any path
+u→v then has sequential length ℓ(v) - ℓ(u), so all are equal; conversely an
+unbalanced pair or a register-bearing cycle makes the constraints
+inconsistent.  A failed BFS labelling returns the offending edge as a
+witness, which the BIBS selection heuristics consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BalanceError
+from repro.graph.model import CircuitGraph, Edge
+from repro.graph.structures import is_acyclic
+
+
+@dataclass(frozen=True)
+class BalanceConflict:
+    """Witness of imbalance: an edge whose constraint is inconsistent."""
+
+    edge: Edge
+    expected_level: int
+    found_level: int
+
+    @property
+    def imbalance(self) -> int:
+        return abs(self.expected_level - self.found_level)
+
+
+@dataclass
+class BalanceResult:
+    """Outcome of the level-potential labelling."""
+
+    levels: Optional[Dict[str, int]]
+    conflict: Optional[BalanceConflict]
+    acyclic: bool
+
+    @property
+    def balanced(self) -> bool:
+        return self.acyclic and self.conflict is None
+
+
+def balance_levels(graph: CircuitGraph) -> BalanceResult:
+    """Attempt a consistent level assignment per weakly connected component.
+
+    Levels are normalised so every component's minimum level is 0.
+    """
+    acyclic = is_acyclic(graph)
+    levels: Dict[str, int] = {}
+    conflict: Optional[BalanceConflict] = None
+
+    for component in graph.weakly_connected_components():
+        start = component[0]
+        local: Dict[str, int] = {start: 0}
+        queue = [start]
+        while queue and conflict is None:
+            node = queue.pop()
+            for edge in graph.out_edges(node):
+                expected = local[node] + edge.sequential_length
+                if edge.head not in local:
+                    local[edge.head] = expected
+                    queue.append(edge.head)
+                elif local[edge.head] != expected:
+                    conflict = BalanceConflict(edge, expected, local[edge.head])
+                    break
+            if conflict is not None:
+                break
+            for edge in graph.in_edges(node):
+                expected = local[node] - edge.sequential_length
+                if edge.tail not in local:
+                    local[edge.tail] = expected
+                    queue.append(edge.tail)
+                elif local[edge.tail] != expected:
+                    conflict = BalanceConflict(edge, expected, local[edge.tail])
+                    break
+            if conflict is not None:
+                break
+        if conflict is not None:
+            return BalanceResult(None, conflict, acyclic)
+        floor = min(local.values())
+        for name, level in local.items():
+            levels[name] = level - floor
+
+    if not acyclic:
+        return BalanceResult(None, conflict, False)
+    return BalanceResult(levels, None, True)
+
+
+def is_balanced(graph: CircuitGraph) -> bool:
+    """Balanced per the paper: acyclic, and for every ordered vertex pair all
+    directed paths have equal sequential length.
+
+    Note this is the paper's *pairwise* definition.  A consistent level
+    potential (:func:`balance_levels`) is sufficient but slightly stronger:
+    a circuit can be pairwise-balanced without admitting a potential when
+    two vertices are connected to common sources through disjoint paths
+    only.  We test the exact definition.
+    """
+    if not is_acyclic(graph):
+        return False
+    from repro.graph.structures import find_urfs_witnesses
+
+    return not find_urfs_witnesses(graph)
+
+
+def require_levels(graph: CircuitGraph) -> Dict[str, int]:
+    """Levels of a balanced graph; raises :class:`BalanceError` otherwise."""
+    result = balance_levels(graph)
+    if not result.balanced or result.levels is None:
+        raise BalanceError(f"graph {graph.name} is not balanced")
+    return result.levels
+
+
+def is_balanced_bistable(graph: CircuitGraph, bilbo_edges: List[Edge]) -> bool:
+    """Definition 1 check for a kernel given its surrounding BILBO edges.
+
+    ``graph`` is the kernel itself (BILBO edges removed); ``bilbo_edges`` are
+    the cut register edges, used for condition 3: no cut edge may have both
+    endpoints inside this kernel (the register would simultaneously be a TPG
+    and an SA for the kernel).
+    """
+    if not is_balanced(graph):
+        return False
+    members = set(graph.vertices)
+    for edge in bilbo_edges:
+        if edge.tail in members and edge.head in members:
+            return False
+    return True
+
+
+def path_length_between(graph: CircuitGraph, source: str, target: str) -> Optional[int]:
+    """Sequential length from source to target in a balanced graph.
+
+    Returns None when target is unreachable.  Raises :class:`BalanceError`
+    if paths of different lengths exist (the graph is not balanced for this
+    pair).
+    """
+    from repro.graph.structures import sequential_path_lengths
+
+    lengths = sequential_path_lengths(graph).get((source, target))
+    if lengths is None:
+        return None
+    lo, hi = lengths
+    if lo != hi:
+        raise BalanceError(
+            f"paths {source} -> {target} have unequal sequential lengths "
+            f"({lo} vs {hi})"
+        )
+    return lo

@@ -1,0 +1,90 @@
+"""Cone extraction: from a kernel subgraph to a TPG :class:`KernelSpec`.
+
+A *cone* is all the logic associated with one output port of a kernel
+(Section 4).  For a balanced BISTable kernel each (input register, cone)
+pair has a well-defined sequential length, which is exactly the data
+SC_TPG/MC_TPG consume.  This module bridges the structural world
+(``repro.graph``) to the TPG world (``repro.tpg.design``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import BalanceError
+from repro.graph.model import CircuitGraph, Edge
+from repro.graph.structures import sequential_path_lengths
+from repro.tpg.design import Cone, InputRegister, KernelSpec
+
+
+def kernel_spec_from_graph(
+    kernel_graph: CircuitGraph,
+    input_edges: Iterable[Edge],
+    output_edges: Iterable[Edge],
+    name: str = "kernel",
+) -> KernelSpec:
+    """Build a generalized-structure spec for one kernel.
+
+    Parameters
+    ----------
+    kernel_graph:
+        The kernel's subgraph (BILBO edges already cut away).
+    input_edges:
+        BILBO register edges feeding the kernel (their heads are kernel
+        vertices); these registers form the TPG.
+    output_edges:
+        BILBO register edges fed by the kernel (their tails are kernel
+        vertices); each is one output port / cone, captured by an SA.
+
+    Raises
+    ------
+    BalanceError
+        If some (input register, output port) pair sees paths of unequal
+        sequential length — the kernel is not balanced.
+    """
+    inputs = sorted(input_edges, key=lambda e: e.register or "")
+    outputs = sorted(output_edges, key=lambda e: e.register or "")
+    lengths = sequential_path_lengths(kernel_graph)
+
+    registers = tuple(
+        InputRegister(edge.register or f"in{edge.index}", edge.weight)
+        for edge in inputs
+    )
+
+    cones: List[Cone] = []
+    for out_edge in outputs:
+        depths: Dict[str, int] = {}
+        for in_edge in inputs:
+            source = in_edge.head
+            target = out_edge.tail
+            if source == target:
+                depth: Optional[int] = 0
+            else:
+                pair = lengths.get((source, target))
+                if pair is None:
+                    continue  # cone does not depend on this register
+                lo, hi = pair
+                if lo != hi:
+                    raise BalanceError(
+                        f"kernel {name}: paths {source} -> {target} have "
+                        f"unequal sequential lengths ({lo} vs {hi})"
+                    )
+                depth = lo
+            depths[in_edge.register or f"in{in_edge.index}"] = depth
+        cones.append(Cone(out_edge.register or f"out{out_edge.index}", depths))
+
+    used = {r for cone in cones for r in cone.depths}
+    kept = tuple(r for r in registers if r.name in used)
+    return KernelSpec(kept, tuple(cones), name)
+
+
+def cone_dependencies(
+    kernel_graph: CircuitGraph,
+    input_edges: Iterable[Edge],
+    output_edges: Iterable[Edge],
+) -> Dict[str, List[str]]:
+    """Which input registers each output cone depends on (by register name)."""
+    spec = kernel_spec_from_graph(kernel_graph, input_edges, output_edges)
+    return {
+        cone.name: sorted(cone.depths) for cone in spec.cones
+    }

@@ -1,0 +1,56 @@
+"""k-step functional testability classification (Section 2).
+
+The paper: an acyclic circuit is *k-step functionally testable* if every
+detectable fault (not altering the circuit's sequential behaviour) has a
+detecting test sequence of length k.  Balanced circuits are 1-step
+functionally testable (Theorem 1 via BALLAST); an imbalance of j between
+some vertex pair forces test sequences of up to j+1 vectors (Figure 1's
+circuit is 2-step because its two F-to-C paths differ by one register).
+
+Operationally we classify by structure:  k = 1 + the largest
+sequential-length imbalance over all vertex pairs.  Cyclic circuits are not
+k-step functionally testable for any bounded k and classify as ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.graph.model import CircuitGraph
+from repro.graph.structures import find_urfs_witnesses, is_acyclic, URFSWitness
+
+
+@dataclass(frozen=True)
+class TestabilityReport:
+    """Structural testability classification of a circuit graph."""
+
+    acyclic: bool
+    balanced: bool
+    k_step: Optional[int]  # None for cyclic circuits
+    worst_witness: Optional[URFSWitness]
+
+    @property
+    def one_step(self) -> bool:
+        return self.k_step == 1
+
+
+def classify(graph: CircuitGraph) -> TestabilityReport:
+    """Classify a circuit graph's k-step functional testability."""
+    if not is_acyclic(graph):
+        return TestabilityReport(False, False, None, None)
+    witnesses = find_urfs_witnesses(graph)
+    if not witnesses:
+        return TestabilityReport(True, True, 1, None)
+    worst = max(witnesses, key=lambda w: w.imbalance)
+    return TestabilityReport(True, False, 1 + worst.imbalance, worst)
+
+
+def k_step(graph: CircuitGraph) -> Optional[int]:
+    """Just the k of the classification (None for cyclic circuits)."""
+    return classify(graph).k_step
+
+
+def is_one_step_functionally_testable(graph: CircuitGraph) -> bool:
+    """True iff the circuit is balanced, hence 1-step (Theorem 1)."""
+    return classify(graph).one_step

@@ -1,0 +1,5 @@
+"""Combinational ATPG (PODEM) for redundancy classification."""
+
+from repro.atpg.podem import PodemResult, PodemStatus, classify_faults, podem
+
+__all__ = ["podem", "PodemResult", "PodemStatus", "classify_faults"]

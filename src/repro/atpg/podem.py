@@ -1,0 +1,259 @@
+"""PODEM combinational ATPG.
+
+The evaluation in the paper reports "100% fault coverage of detectable
+faults" — which requires telling *undetectable (redundant)* faults apart
+from merely hard-to-hit ones.  After random-pattern fault simulation
+saturates, this PODEM implementation decides each leftover fault:
+
+* ``DETECTED``  — a test pattern exists (returned);
+* ``REDUNDANT`` — the full implicit search space is exhausted, no test;
+* ``ABORTED``   — backtrack limit hit (counted as detectable-unknown).
+
+Classic Goel-style PODEM: objectives, backtrace to a primary input,
+three-valued (0/1/X) dual-machine implication, D-frontier tracking,
+chronological backtracking over PI assignments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faultsim.faults import Fault
+from repro.netlist.gates import GateType
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist
+
+X = None  # unknown value in the 3-valued domain {0, 1, None}
+
+
+class PodemStatus(enum.Enum):
+    DETECTED = "detected"
+    REDUNDANT = "redundant"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PodemResult:
+    status: PodemStatus
+    fault: Fault
+    test: Optional[Dict[int, int]] = None  # PI net -> 0/1
+    backtracks: int = 0
+
+
+def _eval3(gtype: GateType, inputs: Sequence[Optional[int]]) -> Optional[int]:
+    """Three-valued gate evaluation."""
+    base = gtype.base
+    if base is GateType.AND:
+        if any(v == 0 for v in inputs):
+            value: Optional[int] = 0
+        elif any(v is X for v in inputs):
+            value = X
+        else:
+            value = 1
+    elif base is GateType.OR:
+        if any(v == 1 for v in inputs):
+            value = 1
+        elif any(v is X for v in inputs):
+            value = X
+        else:
+            value = 0
+    elif base is GateType.XOR:
+        if any(v is X for v in inputs):
+            value = X
+        else:
+            parity = 0
+            for v in inputs:
+                parity ^= v
+            value = parity
+    elif base is GateType.BUF:
+        value = inputs[0]
+    elif base is GateType.CONST0:
+        value = 0
+    else:  # CONST1
+        value = 1
+    if value is X:
+        return X
+    return value ^ 1 if gtype.is_inverting else value
+
+
+class _Machine:
+    """Dual-machine 3-valued simulator with one injected fault."""
+
+    def __init__(self, netlist: Netlist, fault: Fault):
+        self.netlist = netlist
+        self.fault = fault
+        self.order = levelize(netlist)
+
+    def simulate(self, assignment: Dict[int, int]) -> Tuple[Dict[int, Optional[int]], Dict[int, Optional[int]]]:
+        """(good values, faulty values) for a partial PI assignment."""
+        good: Dict[int, Optional[int]] = {}
+        bad: Dict[int, Optional[int]] = {}
+        fault = self.fault
+        for net in self.netlist.primary_inputs:
+            value = assignment.get(net, X)
+            good[net] = value
+            bad[net] = value
+        if fault.is_stem and fault.net in bad:
+            bad[fault.net] = fault.stuck_at
+        for gate_index in self.order:
+            gate = self.netlist.gates[gate_index]
+            good_inputs = [good.get(n, X) for n in gate.inputs]
+            good[gate.output] = _eval3(gate.gtype, good_inputs)
+            bad_inputs = [bad.get(n, X) for n in gate.inputs]
+            if (not fault.is_stem) and fault.gate_index == gate_index:
+                bad_inputs[fault.pin] = fault.stuck_at
+            bad[gate.output] = _eval3(gate.gtype, bad_inputs)
+            if fault.is_stem and gate.output == fault.net:
+                bad[gate.output] = fault.stuck_at
+        return good, bad
+
+
+def _detected(netlist: Netlist, good, bad) -> bool:
+    for po in netlist.primary_outputs:
+        g, b = good.get(po, X), bad.get(po, X)
+        if g is not X and b is not X and g != b:
+            return True
+    return False
+
+
+def _possibly_detectable(netlist: Netlist, fault: Fault, good, bad) -> bool:
+    """Cheap pruning: can the fault still be activated and propagated?"""
+    # Activation: the good value at the fault site must (be able to) differ
+    # from the stuck value.
+    if fault.is_stem:
+        site_good = good.get(fault.net, X)
+    else:
+        site_good = good.get(fault.net, X)
+    if site_good is not X and site_good == fault.stuck_at:
+        return False
+    # Propagation: some PO must still carry a difference or an X in the
+    # faulty/good pair downstream.  Conservative check: any PO where the
+    # pair is not yet provably equal.
+    for po in netlist.primary_outputs:
+        g, b = good.get(po, X), bad.get(po, X)
+        if g is X or b is X or g != b:
+            return True
+    return False
+
+
+def _objective(netlist: Netlist, fault: Fault, good, bad) -> Optional[Tuple[int, int]]:
+    """Next (net, value) objective: activate the fault, then advance the
+    D-frontier."""
+    site_good = good.get(fault.net, X)
+    if site_good is X:
+        return fault.net, fault.stuck_at ^ 1
+    # Fault is activated; find a D-frontier gate: output not yet resolved in
+    # both machines, some input carrying a definite good/bad difference.
+    for gate_index, gate in enumerate(netlist.gates):
+        if good.get(gate.output, X) is not X and bad.get(gate.output, X) is not X:
+            continue
+        has_difference = False
+        for pin, net in enumerate(gate.inputs):
+            g = good.get(net, X)
+            b = bad.get(net, X)
+            if (not fault.is_stem) and fault.gate_index == gate_index and fault.pin == pin:
+                b = fault.stuck_at
+            if g is not X and b is not X and g != b:
+                has_difference = True
+                break
+        if not has_difference:
+            continue
+        # Set an X input to the non-controlling value.
+        from repro.netlist.gates import CONTROLLING_VALUE
+
+        control = CONTROLLING_VALUE.get(gate.gtype)
+        for net in gate.inputs:
+            if good.get(net, X) is X:
+                want = (control ^ 1) if control is not None else 0
+                return net, want
+    return None
+
+
+def _backtrace(netlist: Netlist, good, net: int, value: int) -> Optional[Tuple[int, int]]:
+    """Walk an objective back to an unassigned primary input."""
+    pis = set(netlist.primary_inputs)
+    current, want = net, value
+    for _ in range(len(netlist.gates) + len(pis) + 1):
+        if current in pis:
+            if good.get(current, X) is X:
+                return current, want
+            return None
+        driver = netlist.driver_of(current)
+        if driver is None:
+            return None
+        gate = netlist.gates[driver]
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            return None
+        if gate.gtype.is_inverting:
+            want ^= 1
+        x_inputs = [n for n in gate.inputs if good.get(n, X) is X]
+        if not x_inputs:
+            return None
+        # Pursue the first X input; for AND/OR the wanted value carries
+        # through unchanged (non-controlling to satisfy 1/0 respectively,
+        # controlling to force the output), for XOR it is a free choice.
+        current = x_inputs[0]
+    return None
+
+
+def podem(netlist: Netlist, fault: Fault, max_backtracks: int = 5000) -> PodemResult:
+    """Run PODEM for one fault."""
+    machine = _Machine(netlist, fault)
+    assignment: Dict[int, int] = {}
+    decisions: List[Tuple[int, bool]] = []  # (pi net, tried_both)
+    backtracks = 0
+
+    while True:
+        good, bad = machine.simulate(assignment)
+        if _detected(netlist, good, bad):
+            test = {
+                net: assignment.get(net, 0) for net in netlist.primary_inputs
+            }
+            return PodemResult(PodemStatus.DETECTED, fault, test, backtracks)
+        feasible = _possibly_detectable(netlist, fault, good, bad)
+        target: Optional[Tuple[int, int]] = None
+        if feasible:
+            objective = _objective(netlist, fault, good, bad)
+            if objective is not None:
+                target = _backtrace(netlist, good, objective[0], objective[1])
+        if feasible and target is not None:
+            pi, value = target
+            assignment[pi] = value
+            decisions.append((pi, False))
+            continue
+        # Dead end: backtrack.
+        while decisions:
+            pi, tried_both = decisions.pop()
+            if tried_both:
+                del assignment[pi]
+                continue
+            assignment[pi] ^= 1
+            decisions.append((pi, True))
+            backtracks += 1
+            break
+        else:
+            return PodemResult(PodemStatus.REDUNDANT, fault, None, backtracks)
+        if backtracks > max_backtracks:
+            return PodemResult(PodemStatus.ABORTED, fault, None, backtracks)
+
+
+def classify_faults(
+    netlist: Netlist,
+    faults: Sequence[Fault],
+    max_backtracks: int = 5000,
+) -> Tuple[List[Fault], Dict[Fault, Dict[int, int]], List[Fault]]:
+    """(redundant, tests for detectable, aborted) over a fault list."""
+    redundant: List[Fault] = []
+    tests: Dict[Fault, Dict[int, int]] = {}
+    aborted: List[Fault] = []
+    for fault in faults:
+        result = podem(netlist, fault, max_backtracks)
+        if result.status is PodemStatus.REDUNDANT:
+            redundant.append(fault)
+        elif result.status is PodemStatus.DETECTED:
+            tests[fault] = result.test or {}
+        else:
+            aborted.append(fault)
+    return redundant, tests, aborted

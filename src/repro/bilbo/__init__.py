@@ -1,0 +1,29 @@
+"""BILBO register models, MISR signature analysis, and cost accounting."""
+
+from repro.bilbo.register import BILBOMode, BILBORegister
+from repro.bilbo.misr import MISR, signature_pair
+from repro.bilbo.cost import (
+    AreaReport,
+    BILBO_CELL_AREA,
+    BILBO_DELAY_UNITS,
+    CBILBO_CELL_AREA,
+    DFF_AREA,
+    bilbo_area,
+    register_conversion_cost,
+    tpg_extra_area_fraction,
+)
+
+__all__ = [
+    "BILBOMode",
+    "BILBORegister",
+    "MISR",
+    "signature_pair",
+    "AreaReport",
+    "DFF_AREA",
+    "BILBO_CELL_AREA",
+    "CBILBO_CELL_AREA",
+    "BILBO_DELAY_UNITS",
+    "bilbo_area",
+    "tpg_extra_area_fraction",
+    "register_conversion_cost",
+]

@@ -1,0 +1,73 @@
+"""Area and delay cost models for BIST hardware.
+
+Units are D flip-flop equivalents (a plain D-FF costs 1.0).  The BILBO cell
+factor is calibrated against the paper's one hard layout datum (Example 2:
+"2 extra D-type F/Fs ... adding 7.2% extra area to a 12-bit BILBO register
+based on the magic layout tool"), giving
+
+    BILBO_CELL_AREA = 2 / (0.072 * 12) ~= 2.3148 D-FF equivalents per bit.
+
+A CBILBO cell needs an extra flip-flop and mux per bit (reference [7]);
+we model it as a BILBO cell plus one D-FF.  Each BILBO register on a
+combinational path adds 1 time unit of delay, exactly the paper's
+"maximal delay" accounting in Table 2 row 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+DFF_AREA = 1.0
+BILBO_CELL_AREA = 2.0 / (0.072 * 12.0)
+CBILBO_CELL_AREA = BILBO_CELL_AREA + DFF_AREA
+BILBO_DELAY_UNITS = 1
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area accounting for one BIST design."""
+
+    n_bilbo_registers: int
+    n_bilbo_flipflops: int
+    n_extra_dffs: int
+
+    @property
+    def bilbo_area(self) -> float:
+        return self.n_bilbo_flipflops * BILBO_CELL_AREA
+
+    @property
+    def extra_dff_area(self) -> float:
+        return self.n_extra_dffs * DFF_AREA
+
+    @property
+    def total_area(self) -> float:
+        return self.bilbo_area + self.extra_dff_area
+
+    def overhead_vs_plain_registers(self) -> float:
+        """Fractional area added relative to the same FFs as plain registers."""
+        plain = self.n_bilbo_flipflops * DFF_AREA
+        if plain == 0:
+            return 0.0
+        return (self.total_area - plain) / plain
+
+
+def bilbo_area(widths: Iterable[int]) -> float:
+    """Area of a set of BILBO registers, in D-FF equivalents."""
+    return sum(widths) * BILBO_CELL_AREA
+
+
+def tpg_extra_area_fraction(n_extra_dffs: int, bilbo_width: int) -> float:
+    """Extra-FF area as a fraction of the underlying BILBO register's area.
+
+    Reproduces the paper's Example 2 figure: 2 extra D-FFs over a 12-bit
+    BILBO register -> ~7.2%.
+    """
+    if bilbo_width <= 0:
+        return 0.0
+    return (n_extra_dffs * DFF_AREA) / (bilbo_width * BILBO_CELL_AREA)
+
+
+def register_conversion_cost(widths: Mapping[str, int], converted: Iterable[str]) -> float:
+    """Added area of converting the named registers from plain to BILBO."""
+    return sum(widths[name] * (BILBO_CELL_AREA - DFF_AREA) for name in converted)

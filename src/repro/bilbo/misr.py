@@ -1,0 +1,51 @@
+"""Multiple-input signature register (MISR) analysis.
+
+The SA half of the BILBO story: output responses are compressed into a
+signature; a fault is observed iff its response stream produces a different
+signature than the fault-free stream.  The textbook aliasing probability for
+an n-bit MISR over long streams is 2^-n.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.tpg.lfsr import Type1LFSR
+from repro.tpg.polynomials import primitive_polynomial
+
+
+class MISR:
+    """An n-bit multiple-input signature register."""
+
+    def __init__(self, width: int, polynomial: Optional[int] = None):
+        self.width = width
+        self.polynomial = polynomial if polynomial is not None else primitive_polynomial(width)
+        self._lfsr = Type1LFSR(width, self.polynomial)
+
+    def signature(self, stream: Iterable[int], seed: int = 0) -> int:
+        """Compress a stream of parallel response words into a signature."""
+        state = seed & self._lfsr.mask
+        for word in stream:
+            state = self._lfsr.step(state) ^ (word & self._lfsr.mask)
+        return state
+
+    def distinguishes(
+        self, good_stream: Iterable[int], bad_stream: Iterable[int], seed: int = 0
+    ) -> bool:
+        """True iff the two streams produce different signatures."""
+        return self.signature(good_stream, seed) != self.signature(bad_stream, seed)
+
+    def aliasing_probability(self) -> float:
+        """Asymptotic aliasing probability, 2^-n."""
+        return 2.0 ** -self.width
+
+
+def signature_pair(
+    width: int,
+    good_stream: Iterable[int],
+    bad_stream: Iterable[int],
+    polynomial: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Convenience: (good signature, faulty signature)."""
+    misr = MISR(width, polynomial)
+    return misr.signature(good_stream), misr.signature(bad_stream)

@@ -1,0 +1,112 @@
+"""BILBO and CBILBO register models.
+
+A BILBO register (Konemann/Mucha/Zwiehoff, the paper's reference [1]) is a
+register whose cells can be reconfigured by two control lines into one of
+four modes: normal parallel load, scan shift, maximal-length LFSR test
+pattern generation (TPG), or multiple-input signature analysis (SA).  The
+defining limitation the BIBS methodology is built around is that a BILBO
+register operates as *either* a TPG *or* an SA during a test session —
+never both.  A CBILBO (concurrent BILBO, reference [7]) can do both at once
+at roughly double the hardware cost, which is why the paper uses them "only
+when necessary".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.tpg.lfsr import Type1LFSR
+from repro.tpg.polynomials import primitive_polynomial
+
+
+class BILBOMode(enum.Enum):
+    """Operating modes selected by the BILBO control inputs B1 B2."""
+
+    NORMAL = "normal"  # B1=1 B2=1: parallel load (system register)
+    SCAN = "scan"      # B1=0 B2=0: serial shift register
+    TPG = "tpg"        # B1=1 B2=0, scan-in held: pattern generator (LFSR)
+    SA = "sa"          # B1=1 B2=0: signature analyzer (MISR)
+    RESET = "reset"    # B1=0 B2=1: synchronous reset
+
+
+@dataclass
+class BILBORegister:
+    """A width-bit BILBO register with cycle-accurate mode behaviour.
+
+    The TPG mode steps a type-1 LFSR; the SA mode folds parallel inputs into
+    the LFSR state (MISR).  ``state`` packs cell i at bit i.
+    """
+
+    name: str
+    width: int
+    polynomial: Optional[int] = None
+    is_cbilbo: bool = False
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise ReproError(f"BILBO register {self.name} needs positive width")
+        if self.polynomial is None:
+            self.polynomial = primitive_polynomial(self.width)
+        self._lfsr = Type1LFSR(self.width, self.polynomial)
+        self.mode = BILBOMode.NORMAL
+        self.state = 0
+        # CBILBO keeps an independent TPG state alongside the SA state.
+        self._tpg_state = 1
+
+    # -------------------------------------------------------------- control
+
+    def set_mode(self, mode: BILBOMode) -> None:
+        self.mode = mode
+
+    def seed(self, value: int) -> None:
+        """Load a test seed (TPG/SA initialisation)."""
+        self.state = value & self._lfsr.mask
+        self._tpg_state = value & self._lfsr.mask or 1
+
+    # -------------------------------------------------------------- clocking
+
+    def clock(self, parallel_in: int = 0, scan_in: int = 0) -> int:
+        """Advance one cycle; returns the new parallel output.
+
+        ``parallel_in`` feeds NORMAL (load) and SA (signature) modes;
+        ``scan_in`` feeds SCAN mode.
+        """
+        mask = self._lfsr.mask
+        if self.mode is BILBOMode.NORMAL:
+            self.state = parallel_in & mask
+        elif self.mode is BILBOMode.RESET:
+            self.state = 0
+        elif self.mode is BILBOMode.SCAN:
+            self.state = ((self.state << 1) | (scan_in & 1)) & mask
+        elif self.mode is BILBOMode.TPG:
+            self.state = self._lfsr.step(self.state)
+        elif self.mode is BILBOMode.SA:
+            # MISR: LFSR step XOR parallel inputs.
+            self.state = self._lfsr.step(self.state) ^ (parallel_in & mask)
+            if self.is_cbilbo:
+                self._tpg_state = self._lfsr.step(self._tpg_state)
+        return self.output()
+
+    def output(self) -> int:
+        """Parallel output this cycle.
+
+        A CBILBO in SA mode simultaneously exposes its TPG state on the
+        output side — the concurrent behaviour that lets one register test a
+        self-loop kernel.
+        """
+        if self.is_cbilbo and self.mode is BILBOMode.SA:
+            return self._tpg_state
+        return self.state
+
+    def tpg_sequence(self, count: int, seed: int = 1) -> List[int]:
+        """Convenience: the first ``count`` TPG states from ``seed``."""
+        self.seed(seed)
+        self.set_mode(BILBOMode.TPG)
+        values: List[int] = []
+        for _ in range(count):
+            values.append(self.state)
+            self.clock()
+        return values

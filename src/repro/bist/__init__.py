@@ -1,0 +1,14 @@
+"""Cycle-accurate BIST execution: gate-level simulation, sessions, signatures."""
+
+from repro.bist.gatesim import MachineFault, SequentialGateSimulator
+from repro.bist.session import BISTSession, SessionResult
+from repro.bist.diagnosis import FaultDictionary, build_fault_dictionary
+
+__all__ = [
+    "SequentialGateSimulator",
+    "MachineFault",
+    "BISTSession",
+    "SessionResult",
+    "FaultDictionary",
+    "build_fault_dictionary",
+]

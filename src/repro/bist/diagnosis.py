@@ -1,0 +1,86 @@
+"""Signature-based fault diagnosis (the BIST follow-up to detection).
+
+After a self-test fails, the observed signatures themselves carry
+diagnostic information: a *fault dictionary* built by simulating each
+modelled fault's session maps every distinct signature combination to its
+candidate fault set.  Resolution is limited by MISR compression — faults
+whose full response streams differ can still share a signature — so the
+dictionary also reports its equivalence-class structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.bist.session import BISTSession
+from repro.faultsim.faults import Fault
+
+Signature = Tuple[Tuple[str, int], ...]
+
+
+def _freeze(signatures: Dict[str, int]) -> Signature:
+    return tuple(sorted(signatures.items()))
+
+
+@dataclass
+class FaultDictionary:
+    """Signature -> candidate-fault lookup for one BIST session setup."""
+
+    cycles: int
+    golden: Signature
+    classes: Dict[Signature, List[Fault]] = field(default_factory=dict)
+
+    @property
+    def n_faults(self) -> int:
+        return sum(len(members) for members in self.classes.values())
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    def candidates(self, observed: Dict[str, int]) -> List[Fault]:
+        """Faults consistent with an observed signature set.
+
+        The golden signature returns an empty list (no modelled fault);
+        an unknown signature also returns [] — the failure is outside the
+        modelled fault universe.
+        """
+        key = _freeze(observed)
+        if key == self.golden:
+            return []
+        return list(self.classes.get(key, []))
+
+    def diagnostic_resolution(self) -> float:
+        """Average candidate-set size over faulty classes (1.0 = perfect)."""
+        sizes = [len(members) for members in self.classes.values()]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    def distinguishable_fraction(self) -> float:
+        """Fraction of faults uniquely identified by their signature."""
+        unique = sum(
+            len(members) for members in self.classes.values()
+            if len(members) == 1
+        )
+        return unique / self.n_faults if self.n_faults else 1.0
+
+
+def build_fault_dictionary(
+    session: BISTSession,
+    cycles: int,
+    faults: Optional[Sequence[Fault]] = None,
+) -> FaultDictionary:
+    """Simulate every fault's session and index the signatures.
+
+    Undetected faults (signature == golden) are excluded from the
+    dictionary: they are indistinguishable from a fault-free device by
+    this session.
+    """
+    if faults is None:
+        faults = session.kernel_fault_universe()
+    result = session.run(cycles, faults=faults)
+    dictionary = FaultDictionary(cycles, _freeze(result.golden_signatures))
+    for fault in result.detected:
+        key = _freeze(result.fault_signatures[fault])
+        dictionary.classes.setdefault(key, []).append(fault)
+    return dictionary

@@ -1,0 +1,15 @@
+"""A small BITS: design-space exploration, controller synthesis, circuit I/O."""
+
+from repro.bits.design_space import DesignPoint, explore_design_space, pareto_front
+from repro.bits.controller import ControllerState, Phase, BISTController
+from repro.bits import io_json
+
+__all__ = [
+    "DesignPoint",
+    "explore_design_space",
+    "pareto_front",
+    "BISTController",
+    "ControllerState",
+    "Phase",
+    "io_json",
+]

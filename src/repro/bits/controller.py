@@ -1,0 +1,154 @@
+"""Test controller synthesis (the BITS system "synthesizes a test
+controller", Section 5).
+
+Given a BIST design and its session schedule, the controller is a small
+FSM that sequences the self-test: per session it holds each register's
+BILBO mode lines (TPG for the session's pattern generators, SA for its
+signature analyzers, NORMAL elsewhere), runs the session for its test
+length, then shifts the signatures out.  The synthesized controller is a
+data structure with a cycle-accurate :meth:`BISTController.trace`, which
+the tests validate against the schedule's resource rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bilbo.register import BILBOMode
+from repro.core.schedule import Schedule
+from repro.errors import ScheduleError
+
+
+class Phase(enum.Enum):
+    RESET = "reset"
+    SEED = "seed"
+    RUN = "run"
+    SHIFT = "shift"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class ControllerState:
+    """One FSM state of the controller."""
+
+    index: int
+    phase: Phase
+    session: Optional[int]   # session number for SEED/RUN/SHIFT phases
+    cycles: int              # dwell time in this state
+    modes: Dict[str, BILBOMode] = field(default_factory=dict, hash=False, compare=False)
+
+
+class BISTController:
+    """The synthesized BIST controller for one scheduled design."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        register_widths: Dict[str, int],
+        shift_out: bool = True,
+    ):
+        self.schedule = schedule
+        self.register_widths = dict(register_widths)
+        self.states: List[ControllerState] = []
+        self._build(shift_out)
+
+    def _build(self, shift_out: bool) -> None:
+        index = 0
+        self.states.append(
+            ControllerState(index, Phase.RESET, None, 1, {
+                name: BILBOMode.RESET for name in self.register_widths
+            })
+        )
+        for session_index, session in enumerate(self.schedule.sessions):
+            tpg: Dict[str, BILBOMode] = {}
+            sa: Dict[str, BILBOMode] = {}
+            for scheduled in session:
+                for name in scheduled.kernel.tpg_registers:
+                    tpg[name] = BILBOMode.TPG
+                for name in scheduled.kernel.sa_registers:
+                    if name in tpg:
+                        raise ScheduleError(
+                            f"register {name} is TPG and SA in session "
+                            f"{session_index}"
+                        )
+                    sa[name] = BILBOMode.SA
+            modes = {name: BILBOMode.NORMAL for name in self.register_widths}
+            modes.update(tpg)
+            modes.update(sa)
+
+            index += 1
+            seed_modes = dict(modes)
+            for name in tpg:
+                seed_modes[name] = BILBOMode.SCAN  # seed the generators
+            self.states.append(
+                ControllerState(index, Phase.SEED, session_index,
+                                max(self.register_widths[n] for n in tpg) if tpg else 1,
+                                seed_modes)
+            )
+
+            index += 1
+            run_cycles = max(s.test_length for s in session)
+            self.states.append(
+                ControllerState(index, Phase.RUN, session_index, run_cycles, modes)
+            )
+
+            if shift_out and sa:
+                index += 1
+                shift_modes = dict(modes)
+                for name in sa:
+                    shift_modes[name] = BILBOMode.SCAN
+                self.states.append(
+                    ControllerState(
+                        index, Phase.SHIFT, session_index,
+                        max(self.register_widths[n] for n in sa), shift_modes,
+                    )
+                )
+        index += 1
+        self.states.append(
+            ControllerState(index, Phase.DONE, None, 1, {
+                name: BILBOMode.NORMAL for name in self.register_widths
+            })
+        )
+
+    # ---------------------------------------------------------------- query
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(state.cycles for state in self.states)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def trace(self) -> Iterator[Tuple[int, ControllerState]]:
+        """(cycle, state) for every clock cycle of the self-test."""
+        cycle = 0
+        for state in self.states:
+            for _ in range(state.cycles):
+                yield cycle, state
+                cycle += 1
+
+    def modes_at(self, cycle: int) -> Dict[str, BILBOMode]:
+        """Register modes active at an absolute cycle."""
+        for t, state in self.trace():
+            if t == cycle:
+                return state.modes
+        raise ScheduleError(f"cycle {cycle} beyond the self-test ({self.total_cycles})")
+
+    def describe(self) -> str:
+        """Human-readable controller program."""
+        lines = []
+        for state in self.states:
+            session = "" if state.session is None else f" session {state.session}"
+            interesting = {
+                name: mode.value
+                for name, mode in sorted(state.modes.items())
+                if mode not in (BILBOMode.NORMAL,)
+            }
+            lines.append(
+                f"S{state.index}: {state.phase.value}{session} "
+                f"x{state.cycles} {interesting}"
+            )
+        return "\n".join(lines)

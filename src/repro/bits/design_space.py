@@ -1,0 +1,138 @@
+"""BISTable design-space exploration (the BITS system, Section 5).
+
+The paper's BITS CAD system "systematically explores the BISTable design
+space to provide a family of solutions".  This module enumerates valid
+BILBO-register selections beyond the minimal one and scores each design on
+the three axes the paper trades off:
+
+* added area (flip-flops converted to BILBO cells);
+* maximal delay (BILBO registers on the worst PI→PO path);
+* a test-time proxy (scheduled sessions, each costed at the smaller of the
+  functionally exhaustive bound 2^M and a pseudo-random budget cap — the
+  paper's own observation that a small slice of the exhaustive set usually
+  suffices).
+
+The result is the family's Pareto front: no returned design is dominated
+on all three axes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bilbo.cost import BILBO_CELL_AREA, DFF_AREA
+from repro.core.bibs import (
+    BIBSDesign,
+    is_valid_selection,
+    mandatory_bilbo_registers,
+)
+from repro.core.kernels import extract_kernels
+from repro.core.schedule import ScheduledKernel, schedule_kernels
+from repro.errors import SelectionError
+from repro.graph.model import CircuitGraph
+from repro.graph.paths import maximal_delay
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One valid BISTable design with its cost vector."""
+
+    bilbo_registers: Tuple[str, ...]
+    n_registers: int
+    added_area: float
+    maximal_delay: int
+    test_time_proxy: int
+    n_kernels: int
+    n_sessions: int
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance over (area, delay, time)."""
+        at_least = (
+            self.added_area <= other.added_area
+            and self.maximal_delay <= other.maximal_delay
+            and self.test_time_proxy <= other.test_time_proxy
+        )
+        strictly = (
+            self.added_area < other.added_area
+            or self.maximal_delay < other.maximal_delay
+            or self.test_time_proxy < other.test_time_proxy
+        )
+        return at_least and strictly
+
+
+def _test_time_proxy(graph: CircuitGraph, selection: Set[str], cap_width: int) -> Tuple[int, int, int]:
+    """(time, n_kernels, n_sessions) for a valid selection."""
+    kernels = extract_kernels(graph, selection)
+    items = [
+        ScheduledKernel(k, 1 << min(k.input_width, cap_width)) for k in kernels
+    ]
+    schedule = schedule_kernels(items)
+    logic = sum(1 for k in kernels if k.logic_blocks)
+    return schedule.total_test_time, logic, schedule.n_sessions
+
+
+def explore_design_space(
+    graph: CircuitGraph,
+    max_extra: Optional[int] = None,
+    cap_width: int = 12,
+    limit: int = 4096,
+) -> List[DesignPoint]:
+    """Enumerate valid designs and return the Pareto-optimal family.
+
+    ``max_extra`` bounds how many optional registers beyond the mandatory
+    PI/PO set are considered per design (None = all); ``limit`` bounds the
+    number of candidate subsets examined.
+    """
+    mandatory = set(mandatory_bilbo_registers(graph))
+    widths = {e.register: e.weight for e in graph.register_edges() if e.register}
+    candidates = sorted(set(widths) - mandatory)
+    if max_extra is None:
+        max_extra = len(candidates)
+
+    points: List[DesignPoint] = []
+    examined = 0
+    for size in range(0, max_extra + 1):
+        for extra in itertools.combinations(candidates, size):
+            examined += 1
+            if examined > limit:
+                break
+            selection = mandatory | set(extra)
+            if not is_valid_selection(graph, selection):
+                continue
+            time, n_kernels, n_sessions = _test_time_proxy(
+                graph, selection, cap_width
+            )
+            area = sum(widths[name] for name in selection) * (
+                BILBO_CELL_AREA - DFF_AREA
+            )
+            points.append(
+                DesignPoint(
+                    bilbo_registers=tuple(sorted(selection)),
+                    n_registers=len(selection),
+                    added_area=area,
+                    maximal_delay=maximal_delay(graph, selection),
+                    test_time_proxy=time,
+                    n_kernels=n_kernels,
+                    n_sessions=n_sessions,
+                )
+            )
+        if examined > limit:
+            break
+
+    if not points:
+        raise SelectionError("no valid design found in the explored space")
+    return pareto_front(points)
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """The non-dominated subset, deterministically ordered."""
+    front = [
+        p for p in points if not any(q.dominates(p) for q in points)
+    ]
+    unique = {p.bilbo_registers: p for p in front}
+    return sorted(
+        unique.values(),
+        key=lambda p: (p.added_area, p.maximal_delay, p.test_time_proxy),
+    )

@@ -1,0 +1,214 @@
+"""Command-line interface: analyze, make BISTable, design TPGs, self-test.
+
+The library's tool face, mirroring the BITS flow on JSON circuit files
+(see ``repro.bits.io_json`` for the schema)::
+
+    python -m repro analyze  circuit.json
+    python -m repro bibs     circuit.json [--method exact|greedy|auto]
+    python -m repro tpg      circuit.json [--kernel N]
+    python -m repro selftest circuit.json [--cycles N] [--max-faults N]
+    python -m repro export   {c5a2m,c3a2m,c4a4m,figure4,figure9,mac4} out.json
+
+``export`` writes the built-in circuits so every other command has
+something to chew on out of the box.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.testability import classify
+from repro.bits import io_json
+from repro.core.bibs import make_bibs_testable
+from repro.core.ka85 import make_ka_testable
+from repro.experiments.render import render_table
+from repro.graph.build import build_circuit_graph
+from repro.graph.model import VertexKind
+
+
+def _load(path: str):
+    circuit = io_json.load(path)
+    return circuit, build_circuit_graph(circuit)
+
+
+def cmd_analyze(args) -> int:
+    circuit, graph = _load(args.circuit)
+    report = classify(graph)
+    rows = [
+        ("blocks", len(circuit.blocks)),
+        ("registers", len(circuit.registers)),
+        ("register bits", circuit.total_register_bits()),
+        ("fanout vertices", len(graph.vertices_of_kind(VertexKind.FANOUT))),
+        ("vacuous vertices", len(graph.vertices_of_kind(VertexKind.VACUOUS))),
+        ("acyclic", report.acyclic),
+        ("balanced", report.balanced),
+        ("k-step functionally testable", report.k_step),
+    ]
+    if report.worst_witness is not None:
+        witness = report.worst_witness
+        rows.append((
+            "worst imbalance",
+            f"{witness.source} -> {witness.target}: "
+            f"{witness.min_length}..{witness.max_length}",
+        ))
+    print(render_table(["property", "value"], rows,
+                       title=f"Analysis: {circuit.name}"))
+    return 0
+
+
+def cmd_bibs(args) -> int:
+    circuit, graph = _load(args.circuit)
+    design = make_bibs_testable(graph, method=args.method)
+    print(f"BILBO registers ({design.n_bilbo_registers}, "
+          f"{design.n_bilbo_flipflops} FFs): {design.bilbo_registers}")
+    print(f"maximal delay: {design.maximal_delay()} time units")
+    rows = []
+    for kernel in design.kernels:
+        rows.append((
+            kernel.name,
+            ",".join(kernel.logic_blocks) or "<transport>",
+            ",".join(sorted(kernel.tpg_registers)),
+            ",".join(sorted(kernel.sa_registers)),
+            kernel.input_width,
+            kernel.sequential_depth,
+        ))
+    print(render_table(
+        ["kernel", "blocks", "TPG", "SA", "M", "depth"], rows,
+        title=f"BIBS design: {circuit.name}",
+    ))
+    if args.compare_ka:
+        ka = make_ka_testable(graph).design
+        print(f"\nKA-85 for contrast: {ka.n_bilbo_registers} registers "
+              f"({ka.n_bilbo_flipflops} FFs), maximal delay "
+              f"{ka.maximal_delay()}")
+    return 0
+
+
+def cmd_tpg(args) -> int:
+    from repro.tpg.mc_tpg import mc_tpg
+    from repro.tpg.verify import verify_design
+
+    circuit, graph = _load(args.circuit)
+    design = make_bibs_testable(graph)
+    kernels = [k for k in design.kernels if k.logic_blocks]
+    if not 0 <= args.kernel < len(kernels):
+        print(f"error: kernel index out of range (0..{len(kernels) - 1})",
+              file=sys.stderr)
+        return 2
+    kernel = kernels[args.kernel]
+    spec = kernel.to_kernel_spec()
+    tpg = mc_tpg(spec)
+    print(f"kernel {kernel.name}: M = {tpg.lfsr_stages}, "
+          f"{tpg.n_flipflops} FFs ({tpg.n_extra_flipflops} extra), "
+          f"test time {tpg.test_time()} cycles")
+    print(tpg.layout())
+    if tpg.lfsr_stages <= args.verify_limit:
+        verdicts = verify_design(tpg)
+        for verdict in verdicts:
+            status = "OK" if verdict.exhaustive else "FAIL"
+            print(f"  cone {verdict.cone}: {verdict.distinct_patterns}/"
+                  f"{verdict.expected_patterns} [{status}]")
+        if not all(v.exhaustive for v in verdicts):
+            return 1
+    else:
+        print(f"  (skipping exhaustive verification: M > {args.verify_limit})")
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    from repro.bist.session import BISTSession
+
+    from repro.errors import SimulationError
+
+    circuit, graph = _load(args.circuit)
+    design = make_bibs_testable(graph)
+    kernel = next(k for k in design.kernels if k.logic_blocks)
+    try:
+        session = BISTSession(circuit, kernel)
+    except SimulationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print("hint: self-test needs gate-level block behaviour; circuits "
+              "exported from the datapath library (add/mul kinds) have it, "
+              "purely structural figures do not.", file=sys.stderr)
+        return 2
+    cycles = args.cycles or min(session.recommended_cycles(), 1 << 14)
+    faults = session.kernel_fault_universe()
+    if args.max_faults and len(faults) > args.max_faults:
+        faults = faults[: args.max_faults]
+    result = session.run(cycles, faults=faults)
+    print(f"session: {cycles} cycles, {len(faults)} kernel faults")
+    for name, signature in result.golden_signatures.items():
+        print(f"  golden signature {name}: {signature:#x}")
+    print(f"  detected {len(result.detected)} "
+          f"({100 * result.coverage:.1f}% of the fault cone)")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.datapath.filters import all_filters
+    from repro.library.figures import figure4
+    from repro.library.ka_example import figure9
+
+    from repro.datapath.compiler import Add, Mul, Var, compile_datapath
+
+    builders = {name: (lambda n=name: all_filters()[n].circuit)
+                for name in ("c5a2m", "c3a2m", "c4a4m")}
+    builders["figure4"] = figure4
+    builders["figure9"] = figure9
+    builders["mac4"] = lambda: compile_datapath(
+        [("o", Add(Mul(Var("a"), Var("b")), Var("c")))], "mac4", width=4
+    ).circuit
+    circuit = builders[args.name]()
+    io_json.dump(circuit, args.output)
+    print(f"wrote {args.name} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="balance / k-step analysis")
+    p.add_argument("circuit")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("bibs", help="BIBS BILBO selection and kernels")
+    p.add_argument("circuit")
+    p.add_argument("--method", default="auto",
+                   choices=("auto", "exact", "greedy"))
+    p.add_argument("--compare-ka", action="store_true")
+    p.set_defaults(func=cmd_bibs)
+
+    p = sub.add_parser("tpg", help="SC_TPG/MC_TPG design for a kernel")
+    p.add_argument("circuit")
+    p.add_argument("--kernel", type=int, default=0)
+    p.add_argument("--verify-limit", type=int, default=14)
+    p.set_defaults(func=cmd_tpg)
+
+    p = sub.add_parser("selftest", help="gate-level BIST session")
+    p.add_argument("circuit")
+    p.add_argument("--cycles", type=int, default=0)
+    p.add_argument("--max-faults", type=int, default=256)
+    p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser("export", help="write a built-in circuit as JSON")
+    p.add_argument("name", choices=("c5a2m", "c3a2m", "c4a4m",
+                                    "figure4", "figure9", "mac4"))
+    p.add_argument("output")
+    p.set_defaults(func=cmd_export)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""The paper's testable design methodologies: BIBS, KA-85, scheduling, flow."""
+
+from repro.core.kernels import Kernel, extract_kernels
+from repro.core.bibs import (
+    BIBSDesign,
+    is_valid_selection,
+    make_bibs_testable,
+    mandatory_bilbo_registers,
+    pi_register_edges,
+    po_register_edges,
+    selection_violations,
+)
+from repro.core.ka85 import KAReport, make_ka_testable
+from repro.core.ballast import PartialScanDesign, make_balanced_by_scan
+from repro.core.schedule import (
+    Schedule,
+    ScheduledKernel,
+    kernels_conflict,
+    schedule_design,
+    schedule_kernels,
+)
+from repro.core.flow import (
+    DesignEvaluation,
+    KernelEvaluation,
+    TDMComparison,
+    compare_tdms,
+    evaluate_design,
+    lower_kernel_to_netlist,
+)
+
+__all__ = [
+    "Kernel",
+    "extract_kernels",
+    "BIBSDesign",
+    "make_bibs_testable",
+    "mandatory_bilbo_registers",
+    "pi_register_edges",
+    "po_register_edges",
+    "is_valid_selection",
+    "selection_violations",
+    "KAReport",
+    "make_ka_testable",
+    "PartialScanDesign",
+    "make_balanced_by_scan",
+    "Schedule",
+    "ScheduledKernel",
+    "kernels_conflict",
+    "schedule_kernels",
+    "schedule_design",
+    "lower_kernel_to_netlist",
+    "KernelEvaluation",
+    "DesignEvaluation",
+    "TDMComparison",
+    "evaluate_design",
+    "compare_tdms",
+]

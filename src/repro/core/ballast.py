@@ -1,0 +1,106 @@
+"""BALLAST-style partial scan balancing (the paper's references [8, 11]).
+
+The partial-scan counterpart of BIBS: convert a minimal set of registers to
+*scan* registers so the remaining circuit is balanced.  A scan register may
+act as pseudo-PI and pseudo-PO simultaneously, so — unlike BILBO selection —
+Definition 1's condition 3 does not apply: the cut graph only needs to be
+acyclic and balanced.  The paper uses this contrast in Example 1 (Figure 5:
+two scan registers suffice where BIBS needs four extra BILBOs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.balance import is_balanced
+from repro.errors import SelectionError
+from repro.graph.model import CircuitGraph
+from repro.graph.structures import is_acyclic
+
+
+@dataclass
+class PartialScanDesign:
+    """A minimal partial-scan balancing."""
+
+    graph: CircuitGraph
+    scan_registers: List[str]
+
+    @property
+    def n_scan_registers(self) -> int:
+        return len(self.scan_registers)
+
+    @property
+    def n_scan_flipflops(self) -> int:
+        widths = {
+            e.register: e.weight for e in self.graph.register_edges() if e.register
+        }
+        return sum(widths[name] for name in self.scan_registers)
+
+
+def _balanced_after_cut(graph: CircuitGraph, scan: Set[str]) -> bool:
+    cut = {
+        e.index for e in graph.register_edges() if e.register in scan
+    }
+    remainder = graph.without_edges(cut)
+    return is_acyclic(remainder) and is_balanced(remainder)
+
+
+def make_balanced_by_scan(
+    graph: CircuitGraph,
+    exact_limit: int = 18,
+    method: str = "auto",
+) -> PartialScanDesign:
+    """Choose a minimal register set whose scan conversion balances the circuit.
+
+    ``method="exact"`` searches subsets by count then total width — feasible
+    up to ``exact_limit`` candidate registers.  ``method="greedy"`` starts
+    from every register scanned (always balanced: no register edges remain)
+    and un-scans the widest registers while balance survives — the
+    polynomial-time spirit of the paper's reference [11].  ``"auto"`` picks
+    exact when the register count permits.
+    """
+    registers = {e.register: e for e in graph.register_edges() if e.register}
+    names = sorted(registers)
+    if method == "auto":
+        method = "exact" if len(names) <= exact_limit else "greedy"
+    if _balanced_after_cut(graph, set()):
+        return PartialScanDesign(graph, [])
+    if method == "greedy":
+        return _greedy_scan(graph, registers)
+    if method != "exact":
+        raise SelectionError(f"unknown partial-scan method {method!r}")
+    if len(names) > exact_limit:
+        raise SelectionError(
+            f"{len(names)} registers exceed the exact search limit {exact_limit}"
+        )
+    for size in range(1, len(names) + 1):
+        best: Optional[Tuple[int, List[str]]] = None
+        for combo in itertools.combinations(names, size):
+            if _balanced_after_cut(graph, set(combo)):
+                width = sum(registers[n].weight for n in combo)
+                if best is None or width < best[0]:
+                    best = (width, list(combo))
+        if best is not None:
+            return PartialScanDesign(graph, best[1])
+    raise SelectionError(f"no scan selection balances {graph.name}")
+
+
+def _greedy_scan(graph: CircuitGraph, registers) -> PartialScanDesign:
+    """Un-scan widest-first from the all-scanned (trivially balanced) state."""
+    scan: Set[str] = set(registers)
+    if not _balanced_after_cut(graph, scan):
+        raise SelectionError(
+            f"{graph.name} is unbalanced even with every register scanned "
+            "(a combinational cycle?)"
+        )
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(scan, key=lambda n: -registers[n].weight):
+            trial = scan - {name}
+            if _balanced_after_cut(graph, trial):
+                scan = trial
+                changed = True
+    return PartialScanDesign(graph, sorted(scan))

@@ -1,0 +1,239 @@
+"""The BIBS testable design methodology (Section 3).
+
+Given a circuit graph, choose a set of registers to convert to BILBO
+registers such that cutting their edges leaves only balanced BISTable
+kernels (Definition 1).  PI and PO registers are always converted (patterns
+enter and signatures leave the circuit there); beyond that the selection is
+minimised — exactly (branch & bound over candidate register edges, smallest
+total width first) for small circuits, greedily otherwise.
+
+Theorem 2 is implicit in the validity predicate: a cycle or URFS with fewer
+than two BILBO edges always leaves some kernel cyclic, unbalanced, or with a
+register on both its TPG and SA side.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.balance import is_balanced
+from repro.bilbo.cost import BILBO_CELL_AREA, DFF_AREA
+from repro.core.kernels import Kernel, extract_kernels
+from repro.errors import SelectionError
+from repro.graph.model import CircuitGraph, Edge, VertexKind
+from repro.graph.paths import maximal_delay
+from repro.graph.structures import find_urfs_witnesses, is_acyclic
+
+
+@dataclass
+class BIBSDesign:
+    """A finished BIBS-testable design."""
+
+    graph: CircuitGraph
+    bilbo_registers: List[str]
+    kernels: List[Kernel]
+    method: str = "exact"
+
+    @property
+    def n_bilbo_registers(self) -> int:
+        return len(self.bilbo_registers)
+
+    @property
+    def n_bilbo_flipflops(self) -> int:
+        widths = {
+            e.register: e.weight for e in self.graph.register_edges() if e.register
+        }
+        return sum(widths[name] for name in self.bilbo_registers)
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+    def maximal_delay(self) -> int:
+        """Max BILBO registers on any PI-to-PO path (Table 2 row 4)."""
+        return maximal_delay(self.graph, self.bilbo_registers)
+
+    def added_area(self) -> float:
+        """Area added by register conversion, in D-FF equivalents."""
+        return self.n_bilbo_flipflops * (BILBO_CELL_AREA - DFF_AREA)
+
+    def is_valid(self) -> bool:
+        return all(k.is_balanced_bistable() for k in self.kernels)
+
+
+# ------------------------------------------------------------- mandatory set
+
+def _wire_reachable(graph: CircuitGraph, start: str, forward: bool) -> Set[str]:
+    """Vertices reachable from ``start`` through wire edges and
+    fanout/vacuous vertices only (the "same signal" region of a net)."""
+    passthrough = {VertexKind.FANOUT, VertexKind.VACUOUS}
+    seen = {start}
+    stack = [start]
+    result = {start}
+    while stack:
+        node = stack.pop()
+        edges = graph.out_edges(node) if forward else graph.in_edges(node)
+        for edge in edges:
+            if edge.is_register:
+                continue
+            neighbor = edge.head if forward else edge.tail
+            result.add(neighbor)
+            if neighbor not in seen and graph.vertex(neighbor).kind in passthrough:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return result
+
+
+def pi_register_edges(graph: CircuitGraph) -> List[Edge]:
+    """Register edges directly fed (through wires/fanout only) by a PI."""
+    edges: List[Edge] = []
+    for vertex in graph.input_vertices():
+        region = _wire_reachable(graph, vertex.name, forward=True)
+        for edge in graph.register_edges():
+            if edge.tail in region:
+                edges.append(edge)
+    return _dedupe(edges)
+
+
+def po_register_edges(graph: CircuitGraph) -> List[Edge]:
+    """Register edges that directly feed (through wires/fanout only) a PO."""
+    edges: List[Edge] = []
+    for vertex in graph.output_vertices():
+        region = _wire_reachable(graph, vertex.name, forward=False)
+        for edge in graph.register_edges():
+            if edge.head in region:
+                edges.append(edge)
+    return _dedupe(edges)
+
+
+def _dedupe(edges: Iterable[Edge]) -> List[Edge]:
+    seen: Set[int] = set()
+    out: List[Edge] = []
+    for edge in edges:
+        if edge.index not in seen:
+            seen.add(edge.index)
+            out.append(edge)
+    return out
+
+
+def mandatory_bilbo_registers(graph: CircuitGraph) -> List[str]:
+    """PI and PO registers — converted by every TDM in the paper."""
+    names = [e.register for e in pi_register_edges(graph) if e.register]
+    names += [e.register for e in po_register_edges(graph) if e.register]
+    return sorted(set(names))
+
+
+# --------------------------------------------------------------- validity
+
+def selection_violations(graph: CircuitGraph, bilbo: Set[str]) -> int:
+    """How far a selection is from valid (0 = balanced BISTable everywhere)."""
+    kernels = extract_kernels(graph, bilbo)
+    score = 0
+    for kernel in kernels:
+        score += len(kernel.internal_bilbo_edges)
+        if not is_acyclic(kernel.graph):
+            score += 10
+            continue
+        score += len(find_urfs_witnesses(kernel.graph))
+        if set(kernel.tpg_registers) & set(kernel.sa_registers):
+            score += 1
+    return score
+
+
+def is_valid_selection(graph: CircuitGraph, bilbo: Set[str]) -> bool:
+    return selection_violations(graph, bilbo) == 0
+
+
+# --------------------------------------------------------------- selection
+
+def make_bibs_testable(
+    graph: CircuitGraph,
+    method: str = "auto",
+    exact_limit: int = 16,
+    extra_mandatory: Sequence[str] = (),
+) -> BIBSDesign:
+    """Select BILBO registers making the circuit BIBS testable.
+
+    ``method``: "exact" (minimal count, then minimal total width), "greedy",
+    or "auto" (exact when at most ``exact_limit`` optional register edges).
+    """
+    mandatory = set(mandatory_bilbo_registers(graph)) | set(extra_mandatory)
+    all_registers = {e.register: e for e in graph.register_edges() if e.register}
+    candidates = sorted(set(all_registers) - mandatory)
+
+    if method == "auto":
+        method = "exact" if len(candidates) <= exact_limit else "greedy"
+
+    if is_valid_selection(graph, mandatory):
+        chosen = mandatory
+    elif method == "exact":
+        chosen = _exact_selection(graph, mandatory, candidates, all_registers)
+    elif method == "greedy":
+        chosen = _greedy_selection(graph, mandatory, candidates)
+    else:
+        raise SelectionError(f"unknown selection method {method!r}")
+
+    kernels = extract_kernels(graph, chosen)
+    design = BIBSDesign(graph, sorted(chosen), kernels, method)
+    if not design.is_valid():
+        raise SelectionError(
+            f"no valid BIBS selection found for {graph.name} (method={method})"
+        )
+    return design
+
+
+def _exact_selection(
+    graph: CircuitGraph,
+    mandatory: Set[str],
+    candidates: List[str],
+    register_edges: Dict[str, Edge],
+) -> Set[str]:
+    """Smallest valid extra-register set; ties broken by total width."""
+    for size in range(1, len(candidates) + 1):
+        best: Optional[Tuple[int, Set[str]]] = None
+        for extra in itertools.combinations(candidates, size):
+            selection = mandatory | set(extra)
+            if is_valid_selection(graph, selection):
+                width = sum(register_edges[name].weight for name in extra)
+                if best is None or width < best[0]:
+                    best = (width, selection)
+        if best is not None:
+            return best[1]
+    raise SelectionError(
+        f"even converting every register fails to make {graph.name} BIBS testable"
+    )
+
+
+def _greedy_selection(
+    graph: CircuitGraph,
+    mandatory: Set[str],
+    candidates: List[str],
+) -> Set[str]:
+    """Greedy removal: start from every register converted, un-convert as
+    many (widest-first) as validity allows.
+
+    The add-one-at-a-time direction is not monotone — fixing a condition-3
+    violation often *raises* the violation count before it drops — whereas
+    removal from the all-converted design preserves validity step by step.
+    """
+    widths = {e.register: e.weight for e in graph.register_edges() if e.register}
+    selection = set(mandatory) | set(candidates)
+    if not is_valid_selection(graph, selection):
+        raise SelectionError(
+            f"even converting every register fails to make {graph.name} "
+            "BIBS testable (a cycle with a single register needs a CBILBO "
+            "or an extra transparent register — Theorem 2's note)"
+        )
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(
+            selection - set(mandatory), key=lambda n: -widths.get(n, 0)
+        ):
+            trial = selection - {name}
+            if is_valid_selection(graph, trial):
+                selection = trial
+                changed = True
+    return selection

@@ -1,0 +1,63 @@
+"""CBILBO handling for single-register cycles (Theorem 2's note).
+
+A cycle containing exactly one register cannot get the two BILBO edges
+Theorem 2 requires.  The paper offers two outs: insert an extra register
+that is transparent in normal mode and acts as an LFSR in test mode, or
+convert the one register to a *CBILBO* (concurrent BILBO, reference [7]),
+which generates patterns and compresses responses simultaneously at
+roughly double the per-bit hardware cost.  This module detects such cycles
+and prices both options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bilbo.cost import BILBO_CELL_AREA, CBILBO_CELL_AREA, DFF_AREA
+from repro.graph.model import CircuitGraph, Edge
+from repro.graph.structures import cycle_register_edges, simple_cycles
+
+
+@dataclass(frozen=True)
+class SingleRegisterCycle:
+    """A cycle whose only register edge is ``register``."""
+
+    vertices: Tuple[str, ...]
+    register: str
+    width: int
+
+    def cbilbo_cost(self) -> float:
+        """Extra area of converting the register to a CBILBO."""
+        return self.width * (CBILBO_CELL_AREA - DFF_AREA)
+
+    def extra_register_cost(self) -> float:
+        """Extra area of adding a transparent register + BILBO conversion.
+
+        A whole new register of the same width is added (BILBO cells), and
+        the existing register still needs its BILBO conversion.
+        """
+        return self.width * BILBO_CELL_AREA + self.width * (
+            BILBO_CELL_AREA - DFF_AREA
+        )
+
+
+def find_single_register_cycles(graph: CircuitGraph) -> List[SingleRegisterCycle]:
+    """Cycles that BIBS cannot fix with plain BILBO conversions."""
+    found: List[SingleRegisterCycle] = []
+    for cycle in simple_cycles(graph):
+        edges = cycle_register_edges(graph, cycle)
+        if len(edges) == 1 and edges[0].register is not None:
+            found.append(
+                SingleRegisterCycle(
+                    tuple(cycle), edges[0].register, edges[0].weight
+                )
+            )
+    return found
+
+
+def recommend(cycle: SingleRegisterCycle) -> str:
+    """The cheaper of the paper's two options for this cycle."""
+    if cycle.cbilbo_cost() <= cycle.extra_register_cost():
+        return "cbilbo"
+    return "extra-register"

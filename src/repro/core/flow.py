@@ -1,0 +1,238 @@
+"""End-to-end BIST evaluation flow (a small BITS, Section 5).
+
+Pipeline: RTL circuit -> circuit graph -> TDM (BIBS or KA-85) -> kernels ->
+gate-level kernel netlists -> random-pattern fault simulation -> pattern
+counts / scheduled test times.  This regenerates the quantities of Table 2.
+
+Kernel lowering flattens internal registers into wires.  For a *balanced*
+kernel this is exact per pattern: every path between two blocks has the
+same sequential length, so the time-shifted values a block combines always
+belong to one common input vector — which is precisely why balanced
+BISTable kernels are 1-step functionally testable (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bibs import BIBSDesign, make_bibs_testable
+from repro.core.ka85 import make_ka_testable
+from repro.core.kernels import Kernel
+from repro.core.schedule import Schedule, ScheduledKernel, schedule_kernels
+from repro.errors import SimulationError
+from repro.faultsim.patterns import RandomPatternSource
+from repro.faultsim.simulator import FaultSimResult, FaultSimulator
+from repro.graph.build import build_circuit_graph
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.rtl.circuit import RTLCircuit
+
+
+def lower_kernel_to_netlist(circuit: RTLCircuit, kernel: Kernel) -> Netlist:
+    """Flatten one kernel into a combinational netlist.
+
+    TPG register outputs become primary inputs; SA register inputs become
+    primary outputs; internal registers become wires (exact for balanced
+    kernels, see module docstring).
+    """
+    netlist = Netlist(f"{circuit.name}:{kernel.name}")
+    drivers = circuit.drivers()
+    values: Dict[int, List[int]] = {}
+
+    for name in sorted(kernel.tpg_registers):
+        register = circuit.registers[name]
+        bits = netlist.new_inputs(register.width, prefix=f"{name}_")
+        values[register.output_net] = bits
+
+    def resolve(net_index: int) -> List[int]:
+        if net_index in values:
+            return values[net_index]
+        driver = drivers[net_index]
+        if driver.kind == "register":
+            register = circuit.registers[driver.name]
+            values[net_index] = resolve(register.input_net)  # flatten to wire
+            return values[net_index]
+        if driver.kind == "block":
+            block = circuit.blocks[driver.name]
+            if block.gate_expander is None:
+                raise SimulationError(f"block {block.name} has no gate expander")
+            inputs = [resolve(n) for n in block.input_nets]
+            outputs = block.gate_expander(netlist, inputs, block.name)
+            for out_net, bits in zip(block.output_nets, outputs):
+                values[out_net] = list(bits)
+            return values[net_index]
+        raise SimulationError(
+            f"kernel {kernel.name}: net {circuit.nets[net_index].name} is fed "
+            "by an unregistered primary input; BIST needs a PI register"
+        )
+
+    for name in sorted(kernel.sa_registers):
+        register = circuit.registers[name]
+        for bit in resolve(register.input_net):
+            netlist.mark_output(bit)
+
+    pruned = netlist.prune_to_outputs()
+    pruned.validate()
+    return pruned
+
+
+@dataclass
+class KernelEvaluation:
+    """Fault-simulation outcome for one kernel."""
+
+    kernel: Kernel
+    netlist: Netlist
+    result: FaultSimResult
+    patterns_at: Dict[float, Optional[int]]
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def final_coverage(self) -> float:
+        return self.result.coverage(of_detectable=True)
+
+
+@dataclass
+class DesignEvaluation:
+    """Fault-simulation outcome for a whole TDM design."""
+
+    design: BIBSDesign
+    kernel_evaluations: List[KernelEvaluation]
+    targets: Tuple[float, ...]
+
+    @property
+    def n_logic_kernels(self) -> int:
+        """Kernels containing combinational blocks (the paper's kernel count)."""
+        return sum(1 for e in self.kernel_evaluations if e.kernel.logic_blocks)
+
+    def total_patterns(self, target: float) -> Optional[int]:
+        """Sum of per-kernel pattern counts at a coverage target (row 5/7)."""
+        total = 0
+        for evaluation in self.kernel_evaluations:
+            count = evaluation.patterns_at.get(target)
+            if count is None:
+                return None
+            total += count
+        return total
+
+    def schedule_at(self, target: float) -> Schedule:
+        """The optimal session schedule using per-kernel lengths at a target."""
+        items = []
+        for evaluation in self.kernel_evaluations:
+            length = evaluation.patterns_at.get(target)
+            if length is None:
+                raise SimulationError(
+                    f"kernel {evaluation.name} never reached target {target}"
+                )
+            items.append(ScheduledKernel(evaluation.kernel, length))
+        return schedule_kernels(items)
+
+    def scheduled_time(self, target: float) -> Optional[int]:
+        """Total test time with optimally scheduled sessions (row 6/8)."""
+        try:
+            return self.schedule_at(target).total_test_time
+        except SimulationError:
+            return None
+
+    @property
+    def n_sessions(self) -> int:
+        return self.schedule_at(self.targets[-1]).n_sessions
+
+
+def _median(values: List[int]) -> int:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def evaluate_design(
+    circuit: RTLCircuit,
+    design: BIBSDesign,
+    targets: Sequence[float] = (0.995, 1.0),
+    max_patterns: int = 1 << 17,
+    seed: int = 1994,
+    batch_width: int = 256,
+    classify_undetected: bool = True,
+    n_seeds: int = 1,
+) -> DesignEvaluation:
+    """Fault-simulate every kernel of a design under random patterns.
+
+    Faults still undetected after ``max_patterns`` are classified by the
+    PODEM ATPG when ``classify_undetected`` is set: proven-redundant faults
+    leave the coverage denominator (the paper reports coverage of
+    *detectable* faults); aborted/detectable leftovers keep the target
+    unreached (``patterns_at[target] = None``).
+
+    ``n_seeds > 1`` repeats each kernel's run with independent pattern
+    streams and reports the per-target *median* pattern count — the
+    patterns-to-100% statistic is a maximum over fault detection times and
+    is noisy under a single stream.
+    """
+    evaluations: List[KernelEvaluation] = []
+    for kernel in design.kernels:
+        netlist = lower_kernel_to_netlist(circuit, kernel)
+        simulator = FaultSimulator(netlist, batch_width=batch_width)
+        per_seed: List[Dict[float, Optional[int]]] = []
+        first_result: Optional[FaultSimResult] = None
+        for round_index in range(max(1, n_seeds)):
+            source = RandomPatternSource(
+                len(netlist.primary_inputs), seed=seed + 7919 * round_index
+            )
+            result = simulator.run(source, max_patterns)
+            if classify_undetected and result.undetected:
+                from repro.atpg.podem import classify_faults
+
+                redundant, _tests, _aborted = classify_faults(
+                    netlist, result.undetected
+                )
+                result.merge_undetectable(redundant)
+            if first_result is None:
+                first_result = result
+            per_seed.append(
+                {
+                    target: result.patterns_for_coverage(target, of_detectable=True)
+                    for target in targets
+                }
+            )
+        patterns_at: Dict[float, Optional[int]] = {}
+        for target in targets:
+            counts = [row[target] for row in per_seed]
+            patterns_at[target] = (
+                None if any(c is None for c in counts) else _median(counts)
+            )
+        assert first_result is not None
+        evaluations.append(
+            KernelEvaluation(kernel, netlist, first_result, patterns_at)
+        )
+    return DesignEvaluation(design, evaluations, tuple(targets))
+
+
+@dataclass
+class TDMComparison:
+    """BIBS vs KA-85 on one circuit: the Table 2 column pair."""
+
+    circuit_name: str
+    bibs: DesignEvaluation
+    ka: DesignEvaluation
+
+
+def compare_tdms(
+    circuit: RTLCircuit,
+    targets: Sequence[float] = (0.995, 1.0),
+    max_patterns: int = 1 << 17,
+    seed: int = 1994,
+    n_seeds: int = 1,
+) -> TDMComparison:
+    """Run both TDMs end to end on one circuit."""
+    graph = build_circuit_graph(circuit)
+    bibs_design = make_bibs_testable(graph)
+    ka_design = make_ka_testable(graph).design
+    bibs_eval = evaluate_design(
+        circuit, bibs_design, targets, max_patterns, seed, n_seeds=n_seeds
+    )
+    ka_eval = evaluate_design(
+        circuit, ka_design, targets, max_patterns, seed, n_seeds=n_seeds
+    )
+    return TDMComparison(circuit.name, bibs_eval, ka_eval)

@@ -1,0 +1,111 @@
+"""The Krasniewski–Albicki 1985 baseline TDM (the paper's reference [3]).
+
+Criteria (Section 3.4):
+
+1. a BILBO register for every input port of a combinational block having
+   more than one input port;
+2. a BILBO register for every PI/PO port;
+3. at least two BILBO registers in any cycle.
+
+Theorem 3 shows every circuit satisfying these criteria decomposes into
+balanced BISTable structures, so KA-85 is a special case of BIBS — but it
+converts more registers (the paper's Figure 9: 10 vs 8) and inserts BILBO
+registers deep in the datapath, inflating the maximal delay (Table 2 row 4).
+
+Kernels are extracted with the same cut machinery as BIBS; for the paper's
+datapaths each adder/multiplier comes out as its own kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bibs import (
+    BIBSDesign,
+    mandatory_bilbo_registers,
+)
+from repro.core.kernels import Kernel, extract_kernels
+from repro.errors import SelectionError
+from repro.graph.model import CircuitGraph, Edge, VertexKind
+from repro.graph.structures import simple_cycles, cycle_register_edges
+
+
+def _feeding_register(graph: CircuitGraph, edge: Edge) -> Optional[Edge]:
+    """The register edge supplying an input port, tracing wire fanout back.
+
+    ``edge`` is an in-edge of a logic vertex.  Register edges supply the
+    port directly; wire edges are traced backwards through fanout/vacuous
+    vertices.  Returns None when the port is fed combinationally (no
+    register on the way) — KA-85 would have to insert one.
+    """
+    if edge.is_register:
+        return edge
+    passthrough = {VertexKind.FANOUT, VertexKind.VACUOUS}
+    current = edge
+    while True:
+        tail = graph.vertex(current.tail)
+        if tail.kind not in passthrough:
+            return None  # fed by a block or PI directly through wires
+        in_edges = graph.in_edges(tail.name)
+        if not in_edges:
+            return None
+        # Fanout/vacuous vertices have exactly one driver.
+        current = in_edges[0]
+        if current.is_register:
+            return current
+
+
+@dataclass
+class KAReport:
+    """Details of a KA-85 conversion."""
+
+    design: BIBSDesign
+    ports_without_registers: List[Tuple[str, int]]  # (block, port index)
+    cycle_additions: List[str]
+
+    @property
+    def needs_register_insertion(self) -> bool:
+        return bool(self.ports_without_registers)
+
+
+def make_ka_testable(graph: CircuitGraph) -> KAReport:
+    """Apply the three KA-85 criteria and extract the resulting kernels."""
+    selected: Set[str] = set(mandatory_bilbo_registers(graph))  # criterion 2
+    missing_ports: List[Tuple[str, int]] = []
+
+    # Criterion 1: every input port of a multi-port block.
+    for vertex in graph.logic_vertices():
+        in_edges = graph.in_edges(vertex.name)
+        if len(in_edges) <= 1:
+            continue
+        for port, edge in enumerate(in_edges):
+            register_edge = _feeding_register(graph, edge)
+            if register_edge is None or register_edge.register is None:
+                missing_ports.append((vertex.name, port))
+            else:
+                selected.add(register_edge.register)
+
+    # Criterion 3: at least two BILBO edges in every cycle.
+    cycle_additions: List[str] = []
+    for cycle in simple_cycles(graph):
+        register_edges = cycle_register_edges(graph, cycle)
+        chosen = [e for e in register_edges if e.register in selected]
+        needed = 2 - len(chosen)
+        if needed <= 0:
+            continue
+        available = sorted(
+            (e for e in register_edges if e.register not in selected),
+            key=lambda e: e.weight,
+        )
+        if len(available) < needed:
+            raise SelectionError(
+                f"cycle through {cycle[:4]}... has too few registers for KA-85"
+            )
+        for edge in available[:needed]:
+            selected.add(edge.register)
+            cycle_additions.append(edge.register)
+
+    kernels = extract_kernels(graph, selected)
+    design = BIBSDesign(graph, sorted(selected), kernels, method="ka85")
+    return KAReport(design, missing_ports, cycle_additions)

@@ -1,0 +1,137 @@
+"""Kernel extraction: cutting a circuit graph at its BILBO edges.
+
+A *kernel* is a test primitive: patterns are applied and responses
+compressed outside of it.  Cutting every BILBO register edge partitions the
+circuit graph into weakly connected components; each component containing
+logic is a kernel, its entering cut edges are TPG registers and its leaving
+cut edges are SA registers.  Definition 1's three conditions are checked per
+kernel by :meth:`Kernel.is_balanced_bistable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.balance import is_balanced
+from repro.analysis.cones import kernel_spec_from_graph
+from repro.errors import SelectionError
+from repro.graph.model import CircuitGraph, Edge, VertexKind
+from repro.graph.structures import is_acyclic, sequential_path_lengths
+from repro.tpg.design import KernelSpec
+
+
+@dataclass
+class Kernel:
+    """One test primitive of a BISTable design."""
+
+    name: str
+    vertices: FrozenSet[str]
+    graph: CircuitGraph                 # induced subgraph, cut edges removed
+    input_edges: List[Edge]             # BILBO edges entering (TPG side)
+    output_edges: List[Edge]            # BILBO edges leaving (SA side)
+    internal_bilbo_edges: List[Edge]    # cut edges with both endpoints inside
+
+    @property
+    def tpg_registers(self) -> Dict[str, int]:
+        """TPG register name -> width."""
+        return {e.register: e.weight for e in self.input_edges if e.register}
+
+    @property
+    def sa_registers(self) -> Dict[str, int]:
+        """SA register name -> width."""
+        return {e.register: e.weight for e in self.output_edges if e.register}
+
+    @property
+    def input_width(self) -> int:
+        """M: total TPG width."""
+        return sum(self.tpg_registers.values())
+
+    @property
+    def logic_blocks(self) -> List[str]:
+        return sorted(
+            v.name for v in self.graph.vertices.values() if v.kind is VertexKind.LOGIC
+        )
+
+    @property
+    def sequential_depth(self) -> int:
+        """Largest internal sequential length from a TPG edge to an SA edge."""
+        lengths = sequential_path_lengths(self.graph)
+        best = 0
+        for in_edge in self.input_edges:
+            for out_edge in self.output_edges:
+                if in_edge.head == out_edge.tail:
+                    continue
+                pair = lengths.get((in_edge.head, out_edge.tail))
+                if pair is not None:
+                    best = max(best, pair[1])
+        return best
+
+    def is_balanced_bistable(self) -> bool:
+        """Definition 1: acyclic + balanced + no register is both TPG and SA."""
+        if self.internal_bilbo_edges:
+            return False
+        if not is_acyclic(self.graph):
+            return False
+        if not is_balanced(self.graph):
+            return False
+        # A register feeding and fed by the same kernel also shows up as the
+        # same register appearing on both sides.
+        return not (set(self.tpg_registers) & set(self.sa_registers))
+
+    def to_kernel_spec(self) -> KernelSpec:
+        """Generalized structure for TPG construction (Section 4)."""
+        return kernel_spec_from_graph(
+            self.graph, self.input_edges, self.output_edges, self.name
+        )
+
+    def functionally_exhaustive_test_time(self) -> int:
+        """Corollary 1: 2^M - 1 + d clock cycles."""
+        return (1 << self.input_width) - 1 + self.sequential_depth
+
+
+def extract_kernels(graph: CircuitGraph, bilbo_registers: Iterable[str]) -> List[Kernel]:
+    """Cut the graph at the named registers' edges and collect kernels.
+
+    Components containing no logic and no vacuous vertex (bare PI/PO/fanout
+    leftovers) are not kernels and are dropped.
+    """
+    bilbo = set(bilbo_registers)
+    cut_edges = [e for e in graph.register_edges() if e.register in bilbo]
+    missing = bilbo - {e.register for e in cut_edges}
+    if missing:
+        raise SelectionError(f"no register edges found for: {sorted(missing)}")
+    cut_indices = {e.index for e in cut_edges}
+    remainder = graph.without_edges(cut_indices)
+
+    kernels: List[Kernel] = []
+    for i, component in enumerate(remainder.weakly_connected_components()):
+        kinds = {graph.vertex(name).kind for name in component}
+        if not (VertexKind.LOGIC in kinds or VertexKind.VACUOUS in kinds):
+            continue
+        members = frozenset(component)
+        sub = remainder.subgraph(component)
+        input_edges = [
+            e for e in cut_edges if e.head in members and e.tail not in members
+        ]
+        output_edges = [
+            e for e in cut_edges if e.tail in members and e.head not in members
+        ]
+        internal = [
+            e for e in cut_edges if e.tail in members and e.head in members
+        ]
+        kernels.append(
+            Kernel(
+                name=f"kernel{len(kernels) + 1}",
+                vertices=members,
+                graph=sub,
+                input_edges=sorted(input_edges, key=lambda e: e.register or ""),
+                output_edges=sorted(output_edges, key=lambda e: e.register or ""),
+                internal_bilbo_edges=internal,
+            )
+        )
+    # Deterministic order: by smallest vertex name.
+    kernels.sort(key=lambda k: min(k.vertices))
+    for i, kernel in enumerate(kernels, start=1):
+        kernel.name = f"kernel{i}"
+    return kernels

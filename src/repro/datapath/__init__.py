@@ -1,0 +1,33 @@
+"""MABAL-style datapath construction: blocks, compiler, Table-1 filters."""
+
+from repro.datapath.modules import adder_spec, multiplier_spec, passthrough_spec
+from repro.datapath.compiler import (
+    Add,
+    CompiledDatapath,
+    Expr,
+    Mul,
+    Var,
+    compile_datapath,
+    evaluate_expr,
+    expr_stage,
+)
+from repro.datapath.filters import FUNCTION_STRINGS, all_filters, c3a2m, c4a4m, c5a2m
+
+__all__ = [
+    "adder_spec",
+    "multiplier_spec",
+    "passthrough_spec",
+    "Var",
+    "Add",
+    "Mul",
+    "Expr",
+    "expr_stage",
+    "evaluate_expr",
+    "compile_datapath",
+    "CompiledDatapath",
+    "c5a2m",
+    "c3a2m",
+    "c4a4m",
+    "all_filters",
+    "FUNCTION_STRINGS",
+]

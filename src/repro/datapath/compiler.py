@@ -1,0 +1,189 @@
+"""Expression-to-datapath compiler.
+
+Turns an arithmetic expression DAG into a *pipelined, balanced* RTL
+datapath the way the paper's MABAL-synthesised filters are structured:
+
+* every primary input gets an input register;
+* every operator runs in the pipeline stage after its deepest operand and
+  writes an output register;
+* operands consumed later than they are produced pass through delay
+  registers (this is what balances the datapath — Section 7 of DESIGN.md);
+* every primary output gets an output register.
+
+Sharing is structural: a node used by several operators fans out after its
+register, like (b+c) and (f+g) in c4a4m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.datapath.modules import adder_spec, multiplier_spec
+from repro.errors import RTLError
+from repro.rtl.circuit import RTLCircuit
+
+
+@dataclass(frozen=True)
+class Var:
+    """A primary input."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Add:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Mul:
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Var, Add, Mul]
+
+
+def expr_stage(expr: Expr, memo: Optional[Dict[int, int]] = None) -> int:
+    """Pipeline stage of a node: vars are 0, operators 1 + deepest operand."""
+    if memo is None:
+        memo = {}
+    key = id(expr)
+    if key in memo:
+        return memo[key]
+    if isinstance(expr, Var):
+        stage = 0
+    else:
+        stage = 1 + max(expr_stage(expr.left, memo), expr_stage(expr.right, memo))
+    memo[key] = stage
+    return stage
+
+
+def evaluate_expr(expr: Expr, values: Dict[str, int], width: int, mul_out_width: int) -> int:
+    """Word-level reference evaluation (for functional tests)."""
+    in_mask = (1 << width) - 1
+    if isinstance(expr, Var):
+        return values[expr.name] & in_mask
+    left = evaluate_expr(expr.left, values, width, mul_out_width)
+    right = evaluate_expr(expr.right, values, width, mul_out_width)
+    if isinstance(expr, Add):
+        return ((left & in_mask) + (right & in_mask)) & in_mask
+    return ((left & in_mask) * (right & in_mask)) & ((1 << mul_out_width) - 1)
+
+
+@dataclass
+class CompiledDatapath:
+    """The compiler's output: circuit plus naming metadata."""
+
+    circuit: RTLCircuit
+    output_names: List[str]
+    n_adders: int
+    n_multipliers: int
+    n_delay_registers: int
+    n_stages: int
+
+
+def compile_datapath(
+    outputs: Sequence[Tuple[str, Expr]],
+    name: str,
+    width: int = 8,
+    mul_out_width: Optional[int] = None,
+) -> CompiledDatapath:
+    """Compile named output expressions into a pipelined RTL datapath.
+
+    ``mul_out_width`` defaults to the full double-width product (the paper's
+    multipliers register all 16 bits; downstream blocks slice the 8 LSBs).
+    """
+    if mul_out_width is None:
+        mul_out_width = 2 * width
+    circuit = RTLCircuit(name)
+    memo_stage: Dict[int, int] = {}
+    produced: Dict[int, Tuple[str, int]] = {}  # expr id -> (reg-output net, stage)
+    delay_cache: Dict[Tuple[str, int], str] = {}
+    counters = {"add": 0, "mul": 0, "delay": 0}
+    max_stage = max(expr_stage(e, memo_stage) for _, e in outputs)
+
+    def ensure_var(var: Var) -> Tuple[str, int]:
+        key = id(var)
+        # Vars may be distinct objects with the same name; key by name.
+        cache_key = ("var", var.name)
+        if cache_key in delay_cache:
+            return delay_cache[cache_key], 0
+        pi_net = f"{var.name}"
+        circuit.new_input(pi_net, width)
+        reg_out = f"{var.name}_r"
+        circuit.add_net(reg_out, width)
+        circuit.add_register(f"R_{var.name}", pi_net, reg_out)
+        delay_cache[cache_key] = reg_out
+        return reg_out, 0
+
+    def delayed(net: str, produced_stage: int, needed_stage: int) -> str:
+        """Insert delay registers so the value arrives at ``needed_stage``."""
+        current = net
+        for hop in range(produced_stage + 1, needed_stage):
+            key = (net, hop)
+            if key in delay_cache:
+                current = delay_cache[key]
+                continue
+            counters["delay"] += 1
+            delayed_net = f"{net}_d{hop}"
+            circuit.add_net(delayed_net, circuit.net(net).width)
+            circuit.add_register(f"D_{net}_s{hop}", current, delayed_net)
+            delay_cache[key] = delayed_net
+            current = delayed_net
+        return current
+
+    def build(expr: Expr) -> Tuple[str, int]:
+        """Returns (register-output net, producer stage)."""
+        if isinstance(expr, Var):
+            return ensure_var(expr)
+        key = id(expr)
+        if key in produced:
+            return produced[key]
+        left_net, left_stage = build(expr.left)
+        right_net, right_stage = build(expr.right)
+        stage = expr_stage(expr, memo_stage)
+        left_ready = delayed(left_net, left_stage, stage)
+        right_ready = delayed(right_net, right_stage, stage)
+        if isinstance(expr, Add):
+            counters["add"] += 1
+            base = f"A{counters['add']}"
+            kind, word_func, expander = adder_spec(width)
+            out_width = width
+        else:
+            counters["mul"] += 1
+            base = f"M{counters['mul']}"
+            kind, word_func, expander = multiplier_spec(width, mul_out_width)
+            out_width = mul_out_width
+        block_out = f"{base}_out"
+        circuit.add_net(block_out, out_width)
+        circuit.add_block(
+            base, [left_ready, right_ready], [block_out], kind, word_func, expander
+        )
+        reg_out = f"{base}_q"
+        circuit.add_net(reg_out, out_width)
+        circuit.add_register(f"R_{base}", block_out, reg_out)
+        produced[key] = (reg_out, stage)
+        return produced[key]
+
+    output_names: List[str] = []
+    for po_name, expr in outputs:
+        net, stage = build(expr)
+        if isinstance(expr, Var):
+            raise RTLError("an output must be an operator, not a bare input")
+        # Deepen shallower outputs so every PO sits at the same stage.
+        ready = delayed(net, stage, max_stage + 1)
+        circuit.mark_output(ready)
+        output_names.append(ready)
+
+    circuit.validate()
+    return CompiledDatapath(
+        circuit=circuit,
+        output_names=output_names,
+        n_adders=counters["add"],
+        n_multipliers=counters["mul"],
+        n_delay_registers=counters["delay"],
+        n_stages=max_stage,
+    )

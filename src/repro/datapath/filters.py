@@ -1,0 +1,67 @@
+"""The paper's three digital-filter data paths (Table 1).
+
+All three are 8-bit MABAL-synthesised filter portions; multipliers feed only
+their 8 least-significant outputs forward.  The pipelined register placement
+(input registers, per-stage output registers, balancing delay registers,
+output registers) reproduces the paper's BILBO-register counts and maximal
+delays exactly — see DESIGN.md Section 7.
+
+* ``c5a2m``: o = (a+b)*(c+d) + (e+f)*(g+h)   — 5 adders, 2 multipliers
+* ``c3a2m``: o = ((a+b)*c + d)*e + f          — 3 adders, 2 multipliers
+* ``c4a4m``: o = a*(f+g) + e*(b+c)            — 4 adders, 4 multipliers
+             p = d*(b+c) + h*(f+g)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.datapath.compiler import Add, CompiledDatapath, Mul, Var, compile_datapath
+
+
+def c5a2m(width: int = 8) -> CompiledDatapath:
+    """o = (a+b)*(c+d) + (e+f)*(g+h)."""
+    a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+    e, f, g, h = Var("e"), Var("f"), Var("g"), Var("h")
+    o = Add(Mul(Add(a, b), Add(c, d)), Mul(Add(e, f), Add(g, h)))
+    return compile_datapath([("o", o)], "c5a2m", width=width)
+
+
+def c3a2m(width: int = 8) -> CompiledDatapath:
+    """o = ((a+b)*c + d)*e + f."""
+    a, b, c = Var("a"), Var("b"), Var("c")
+    d, e, f = Var("d"), Var("e"), Var("f")
+    o = Add(Mul(Add(Mul(Add(a, b), c), d), e), f)
+    return compile_datapath([("o", o)], "c3a2m", width=width)
+
+
+def c4a4m(width: int = 8) -> CompiledDatapath:
+    """o = a*(f+g) + e*(b+c);  p = d*(b+c) + h*(f+g).
+
+    The two shared sums (f+g) and (b+c) are single blocks fanning out to two
+    multipliers each, as in the paper's implementation sketch.
+    """
+    a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+    e, f, g, h = Var("e"), Var("f"), Var("g"), Var("h")
+    fg = Add(f, g)
+    bc = Add(b, c)
+    o = Add(Mul(a, fg), Mul(e, bc))
+    p = Add(Mul(d, bc), Mul(h, fg))
+    return compile_datapath([("o", o), ("p", p)], "c4a4m", width=width)
+
+
+def all_filters(width: int = 8) -> Dict[str, CompiledDatapath]:
+    """The three Table-1 circuits, keyed by name."""
+    return {
+        "c5a2m": c5a2m(width),
+        "c3a2m": c3a2m(width),
+        "c4a4m": c4a4m(width),
+    }
+
+
+#: Functional expressions as the paper prints them (Table 1 "Function" row).
+FUNCTION_STRINGS = {
+    "c5a2m": "o=(a+b)*(c+d)+(e+f)*(g+h)",
+    "c3a2m": "o=((a+b)*c+d)*e+f",
+    "c4a4m": "o=a*(f+g)+e*(b+c); p=d*(b+c)+h*(f+g)",
+}

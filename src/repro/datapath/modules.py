@@ -1,0 +1,83 @@
+"""Arithmetic block library for MABAL-style datapaths.
+
+Factories produce the ``kind``/``word_func``/``gate_expander`` triple an
+RTL :class:`~repro.rtl.components.CombBlock` needs: word-level behaviour for
+functional checks plus a gate expander for fault simulation.  Blocks follow
+the paper's data paths: fixed-width modulo adders, and multipliers whose
+outputs are truncated ("only the 8 least significant output lines of each
+multiplier feed the next stage").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.netlist.builders import array_multiplier, ripple_adder
+from repro.netlist.netlist import Netlist
+
+
+def adder_spec(width: int) -> Tuple[str, Callable, Callable]:
+    """(kind, word_func, gate_expander) for a width-bit modulo adder.
+
+    Operands wider than ``width`` are sliced to their ``width`` least
+    significant bits — this is how the paper's datapaths consume multiplier
+    outputs ("only the 8 least significant output lines of each multiplier
+    feed the next stage").
+    """
+    mask = (1 << width) - 1
+
+    def word_func(values: Sequence[int]) -> List[int]:
+        a, b = values
+        return [((a & mask) + (b & mask)) & mask]
+
+    def gate_expander(netlist: Netlist, inputs, prefix: str):
+        a, b = inputs
+        return [ripple_adder(netlist, a[:width], b[:width], name=prefix)]
+
+    return f"add{width}", word_func, gate_expander
+
+
+def multiplier_spec(width: int, out_width: int) -> Tuple[str, Callable, Callable]:
+    """(kind, word_func, gate_expander) for a width-bit array multiplier.
+
+    ``out_width`` is the width of the produced word (up to ``2*width``): the
+    paper's multipliers compute and register the full 16-bit product even
+    though only the low 8 bits continue down the path, which is why a KA-85
+    multiplier kernel (16-bit SA) observes more than the BIBS through-path
+    does.  Operands are sliced to ``width`` LSBs like the adder's.
+    """
+    in_mask = (1 << width) - 1
+    out_mask = (1 << out_width) - 1
+
+    def word_func(values: Sequence[int]) -> List[int]:
+        a, b = values
+        return [((a & in_mask) * (b & in_mask)) & out_mask]
+
+    def gate_expander(netlist: Netlist, inputs, prefix: str):
+        a, b = inputs
+        return [
+            array_multiplier(
+                netlist, a[:width], b[:width], name=prefix, out_width=out_width
+            )
+        ]
+
+    return f"mul{width}x{width}_{out_width}", word_func, gate_expander
+
+
+def passthrough_spec(width: int) -> Tuple[str, Callable, Callable]:
+    """A vacuous (wire) block, for transport-path kernels."""
+
+    def word_func(values: Sequence[int]) -> List[int]:
+        return [values[0]]
+
+    def gate_expander(netlist: Netlist, inputs, prefix: str):
+        from repro.netlist.gates import GateType
+
+        return [
+            [
+                netlist.add_gate(GateType.BUF, [bit], name=f"{prefix}_b{i}")
+                for i, bit in enumerate(inputs[0])
+            ]
+        ]
+
+    return f"wire{width}", word_func, gate_expander

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a gate-level netlist (bad fan-in, unknown net...)."""
+
+
+class RTLError(ReproError):
+    """Structural problem in an RTL circuit description."""
+
+
+class GraphError(ReproError):
+    """Problem constructing or querying a circuit graph."""
+
+
+class BalanceError(ReproError):
+    """A balance requirement was violated (e.g. a kernel is not balanced)."""
+
+
+class TPGError(ReproError):
+    """A test pattern generator could not be constructed or is invalid."""
+
+
+class SelectionError(ReproError):
+    """No valid BILBO-register selection could be found."""
+
+
+class ScheduleError(ReproError):
+    """Test-session scheduling failed."""
+
+
+class SimulationError(ReproError):
+    """Fault simulation was asked to do something impossible."""

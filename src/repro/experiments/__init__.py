@@ -1,0 +1,38 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.experiments.render import fmt, render_table
+from repro.experiments.table1 import Table1Row, render_table1, table1_rows
+from repro.experiments.table2 import (
+    PAPER_TABLE2,
+    Table2Column,
+    measure_circuit,
+    render_table2,
+    table2_columns,
+)
+from repro.experiments.figures import (
+    example1_report,
+    figure3_report,
+    figure9_report,
+    figures_1_2_report,
+    pseudo_exhaustive_report,
+    tpg_examples_report,
+)
+
+__all__ = [
+    "render_table",
+    "fmt",
+    "Table1Row",
+    "table1_rows",
+    "render_table1",
+    "PAPER_TABLE2",
+    "Table2Column",
+    "measure_circuit",
+    "table2_columns",
+    "render_table2",
+    "figures_1_2_report",
+    "figure3_report",
+    "example1_report",
+    "figure9_report",
+    "tpg_examples_report",
+    "pseudo_exhaustive_report",
+]

@@ -1,0 +1,62 @@
+"""Regenerate every table and figure in one go.
+
+``python -m repro.experiments [outdir] [--quick]`` writes the same
+artifacts the benchmark suite produces (Table 1, Table 2, the per-figure
+reports) without pytest.  ``--quick`` shrinks the fault-simulation budget
+for a fast smoke pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments.figures import (
+    example1_report,
+    figure3_report,
+    figure9_report,
+    figures_1_2_report,
+    pseudo_exhaustive_report,
+    tpg_examples_report,
+)
+from repro.experiments.table1 import render_table1
+from repro.experiments.table2 import render_table2, table2_columns
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("outdir", nargs="?", default="results")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller fault-sim budget (smoke pass)")
+    args = parser.parse_args(argv)
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (outdir / name).write_text(text + "\n")
+        print(f"wrote {outdir / name}")
+
+    start = time.time()
+    write("table1.txt", render_table1())
+
+    max_patterns = 1 << (13 if args.quick else 16)
+    n_seeds = 1 if args.quick else 3
+    columns = table2_columns(max_patterns=max_patterns, n_seeds=n_seeds)
+    write("table2_full.txt", render_table2(columns))
+
+    write("figures_1_2.txt", json.dumps(figures_1_2_report(), indent=2, default=str))
+    write("figure3.txt", json.dumps(figure3_report(), indent=2, default=str))
+    write("example1.txt", json.dumps(example1_report(), indent=2, default=str))
+    write("figure9.txt", json.dumps(figure9_report(), indent=2))
+    write("tpg_examples.txt", json.dumps(tpg_examples_report(), indent=2, default=str))
+    write("pseudo_exhaustive.txt", json.dumps(pseudo_exhaustive_report(), indent=2))
+    print(f"done in {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([str(v) for v in row])
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(value.ljust(width) for value, width in zip(row, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(cells[0]))
+    out.append(separator)
+    for row in cells[1:]:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def fmt(value: object) -> str:
+    """Format an optional number for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

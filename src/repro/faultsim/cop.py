@@ -1,0 +1,179 @@
+"""COP testability measures and random-pattern test-length prediction.
+
+The classic Controllability/Observability Program (Brglez): under uniform
+random inputs, compute each net's 1-probability and each fault site's
+observability assuming signal independence (reconvergent fanout makes the
+estimates approximate — that inaccuracy is itself measured by the ablation
+bench).  A stuck-at-v fault's single-pattern detection probability is then
+
+    P(detect) = P(site = not v) * O(site)
+
+and the expected random test length to a coverage target follows from the
+geometric detection model.  This is the analytic counterpart of Table 2's
+rows 5-7: the bench compares predicted and fault-simulated pattern counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faultsim.faults import Fault
+from repro.netlist.gates import GateType
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist
+
+
+def signal_probabilities(netlist: Netlist, pi_probability: float = 0.5) -> Dict[int, float]:
+    """P(net = 1) per net under independent random inputs (COP C-measure)."""
+    prob: Dict[int, float] = {
+        net: pi_probability for net in netlist.primary_inputs
+    }
+    for gate_index in levelize(netlist):
+        gate = netlist.gates[gate_index]
+        inputs = [prob[n] for n in gate.inputs]
+        base = gate.gtype.base
+        if base is GateType.AND:
+            value = math.prod(inputs)
+        elif base is GateType.OR:
+            value = 1.0 - math.prod(1.0 - p for p in inputs)
+        elif base is GateType.XOR:
+            value = 0.0
+            for p in inputs:
+                value = value * (1.0 - p) + (1.0 - value) * p
+        elif base is GateType.BUF:
+            value = inputs[0]
+        elif gate.gtype is GateType.CONST0:
+            value = 0.0
+        else:  # CONST1
+            value = 1.0
+        if gate.gtype.is_inverting:
+            value = 1.0 - value
+        prob[gate.output] = value
+    return prob
+
+
+def observabilities(
+    netlist: Netlist, probabilities: Optional[Dict[int, float]] = None
+) -> Dict[int, float]:
+    """P(a change at the net reaches some PO) per net (COP O-measure).
+
+    Computed in reverse topological order; a stem's observability is the
+    independence-model union of its branches'.
+    """
+    if probabilities is None:
+        probabilities = signal_probabilities(netlist)
+    # Start from POs, walk gates backwards.
+    obs: Dict[int, float] = {}
+    for net in netlist.primary_outputs:
+        obs[net] = 1.0
+
+    order = list(reversed(levelize(netlist)))
+    fanout = netlist.fanout_map()
+
+    def stem_observability(net: int) -> float:
+        """Union over PO-sink and branch observabilities."""
+        value = obs.get(net, 0.0) if net in netlist.primary_outputs else 0.0
+        miss = 1.0 - value
+        for gate_index in fanout.get(net, ()):
+            miss *= 1.0 - _pin_obs.get((gate_index, net), 0.0)
+        return 1.0 - miss
+
+    _pin_obs: Dict[Tuple[int, int], float] = {}
+    for gate_index in order:
+        gate = netlist.gates[gate_index]
+        out_obs = obs.get(gate.output)
+        if out_obs is None:
+            out_obs = stem_observability(gate.output)
+            obs[gate.output] = out_obs
+        base = gate.gtype.base
+        for pin, net in enumerate(gate.inputs):
+            if base is GateType.AND:
+                through = math.prod(
+                    probabilities[other]
+                    for k, other in enumerate(gate.inputs) if k != pin
+                )
+            elif base is GateType.OR:
+                through = math.prod(
+                    1.0 - probabilities[other]
+                    for k, other in enumerate(gate.inputs) if k != pin
+                )
+            elif base is GateType.XOR:
+                through = 1.0  # an XOR input flip always flips the output
+            else:  # BUF/NOT
+                through = 1.0
+            value = out_obs * through
+            previous = _pin_obs.get((gate_index, net), 0.0)
+            _pin_obs[(gate_index, net)] = max(previous, value)
+
+    # Finalise stems that were never pulled (PIs and multi-fanout nets).
+    result: Dict[int, float] = {}
+    for net in range(netlist.n_nets):
+        po_part = 1.0 if net in netlist.primary_outputs else 0.0
+        miss = 1.0 - po_part
+        for gate_index in fanout.get(net, ()):
+            miss *= 1.0 - _pin_obs.get((gate_index, net), 0.0)
+        result[net] = 1.0 - miss
+    return result
+
+
+@dataclass(frozen=True)
+class FaultEstimate:
+    """COP prediction for one fault."""
+
+    fault: Fault
+    detection_probability: float
+
+    def expected_patterns(self) -> float:
+        if self.detection_probability <= 0.0:
+            return math.inf
+        return 1.0 / self.detection_probability
+
+
+def estimate_detection_probabilities(
+    netlist: Netlist, faults: Sequence[Fault]
+) -> List[FaultEstimate]:
+    """COP detection-probability estimates for a fault list."""
+    probabilities = signal_probabilities(netlist)
+    obs = observabilities(netlist, probabilities)
+    estimates: List[FaultEstimate] = []
+    for fault in faults:
+        p1 = probabilities[fault.net]
+        excite = p1 if fault.stuck_at == 0 else 1.0 - p1
+        observe = obs[fault.net]
+        estimates.append(FaultEstimate(fault, excite * observe))
+    return estimates
+
+
+def predicted_patterns_for_coverage(
+    estimates: Sequence[FaultEstimate], target: float
+) -> Optional[int]:
+    """Patterns N such that the expected detected fraction reaches target.
+
+    Expected coverage after N patterns: mean over faults of 1-(1-p)^N.
+    Solved by doubling + bisection; None when some faults have p = 0 and
+    the target is unreachable.
+    """
+    probabilities = [e.detection_probability for e in estimates]
+    if not probabilities:
+        return 0
+
+    def coverage(n: int) -> float:
+        return sum(1.0 - (1.0 - p) ** n for p in probabilities) / len(probabilities)
+
+    reachable = sum(1 for p in probabilities if p > 0) / len(probabilities)
+    if reachable < target:
+        return None
+    low, high = 1, 1
+    while coverage(high) < target:
+        high *= 2
+        if high > 1 << 40:
+            return None
+    while low < high:
+        mid = (low + high) // 2
+        if coverage(mid) >= target:
+            high = mid
+        else:
+            low = mid + 1
+    return low

@@ -1,0 +1,78 @@
+"""Single stuck-at fault model.
+
+A fault site is either a *stem* (a net: PI or gate output, including its
+fanout stem) or a *branch* (one specific gate input pin).  The universe of
+faults for a netlist is every site stuck-at-0 and stuck-at-1; equivalence
+collapsing (``repro.faultsim.collapse``) shrinks it before simulation, as the
+paper's fault-coverage experiments assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One single stuck-at fault.
+
+    Attributes
+    ----------
+    net:
+        The net the fault lives on.
+    stuck_at:
+        0 or 1.
+    gate_index:
+        ``None`` for a stem fault; otherwise the index of the gate whose
+        *input pin* is faulty.
+    pin:
+        Input-pin position within that gate (``None`` for stem faults).
+    """
+
+    net: int
+    stuck_at: int
+    gate_index: Optional[int] = None
+    pin: Optional[int] = None
+
+    @property
+    def is_stem(self) -> bool:
+        """True when the fault affects the whole net (stem fault)."""
+        return self.gate_index is None
+
+    def describe(self, netlist: Netlist) -> str:
+        """Readable name, e.g. ``s_a_0(net add_fa3_s)``."""
+        where = netlist.net_name(self.net)
+        if not self.is_stem:
+            gate = netlist.gates[self.gate_index]
+            where = f"{where}->{gate.name or 'g%d' % self.gate_index}.{self.pin}"
+        return f"s_a_{self.stuck_at}({where})"
+
+
+def full_fault_universe(netlist: Netlist) -> List[Fault]:
+    """All stuck-at faults of a netlist, before collapsing.
+
+    Stem faults are placed on every PI and every gate output.  Branch faults
+    are placed on every gate input pin whose driving net fans out to more
+    than one pin (single-fanout branches are equivalent to their stem).
+    """
+    faults: List[Fault] = []
+    for net in netlist.primary_inputs:
+        faults.append(Fault(net, 0))
+        faults.append(Fault(net, 1))
+    for gate in netlist.gates:
+        faults.append(Fault(gate.output, 0))
+        faults.append(Fault(gate.output, 1))
+
+    fanout = netlist.fanout_map()
+    # A net also "fans out" to a primary output; count PO sinks too.
+    po_sinks = {net: 1 for net in netlist.primary_outputs}
+    for gate_index, gate in enumerate(netlist.gates):
+        for pin, net in enumerate(gate.inputs):
+            sinks = len(fanout.get(net, ())) + po_sinks.get(net, 0)
+            if sinks > 1:
+                faults.append(Fault(net, 0, gate_index, pin))
+                faults.append(Fault(net, 1, gate_index, pin))
+    return faults

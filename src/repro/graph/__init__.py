@@ -1,0 +1,53 @@
+"""Circuit graph model G=(V,E,w) and structural queries (Section 3.1)."""
+
+from repro.graph.model import (
+    CircuitGraph,
+    Edge,
+    EdgeKind,
+    Vertex,
+    VertexKind,
+    WIRE_WEIGHT,
+)
+from repro.graph.build import build_circuit_graph
+from repro.graph.structures import (
+    URFSWitness,
+    cycle_register_edges,
+    cyclic_vertices,
+    find_urfs_witnesses,
+    is_acyclic,
+    sequential_path_lengths,
+    simple_cycles,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.graph.paths import (
+    all_paths,
+    maximal_delay,
+    path_sequential_length,
+    reachable_from,
+    sequential_depth,
+)
+
+__all__ = [
+    "CircuitGraph",
+    "Vertex",
+    "VertexKind",
+    "Edge",
+    "EdgeKind",
+    "WIRE_WEIGHT",
+    "build_circuit_graph",
+    "strongly_connected_components",
+    "is_acyclic",
+    "cyclic_vertices",
+    "simple_cycles",
+    "cycle_register_edges",
+    "URFSWitness",
+    "find_urfs_witnesses",
+    "sequential_path_lengths",
+    "topological_order",
+    "sequential_depth",
+    "all_paths",
+    "path_sequential_length",
+    "maximal_delay",
+    "reachable_from",
+]

@@ -1,0 +1,122 @@
+"""Build a circuit graph from an RTL circuit (Section 3.1's modelling rules).
+
+Derivation rules, matching the paper's Figure 3 example:
+
+* every combinational block, PI and PO becomes a vertex;
+* a net read by more than one sink gets a **fanout vertex**, with a wire
+  edge from the net's source and wire edges to each sink;
+* a register becomes a **register edge** from the vertex supplying its input
+  net to the vertex consuming its output net;
+* when a register directly feeds another register with no fanout, a
+  **vacuous vertex** is inserted between the two register edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import GraphError
+from repro.graph.model import CircuitGraph, EdgeKind, VertexKind
+from repro.rtl.circuit import RTLCircuit
+
+
+def _fanout_name(net_name: str) -> str:
+    return f"FO({net_name})"
+
+
+def _vacuous_name(net_name: str) -> str:
+    return f"V({net_name})"
+
+
+def build_circuit_graph(circuit: RTLCircuit) -> CircuitGraph:
+    """Construct the circuit graph of an RTL circuit."""
+    circuit.validate()
+    graph = CircuitGraph(circuit.name)
+    drivers = circuit.drivers()
+    sinks = circuit.sinks()
+
+    for block in circuit.blocks.values():
+        graph.add_vertex(block.name, VertexKind.LOGIC)
+    for net in circuit.primary_inputs:
+        graph.add_vertex(f"PI({circuit.nets[net].name})", VertexKind.INPUT)
+    for net in circuit.primary_outputs:
+        graph.add_vertex(f"PO({circuit.nets[net].name})", VertexKind.OUTPUT)
+
+    # Pass 1: create fanout vertices and the vacuous vertices needed for
+    # register-to-register connections.
+    for net in circuit.nets:
+        net_sinks = sinks[net.index]
+        if len(net_sinks) > 1:
+            graph.add_vertex(_fanout_name(net.name), VertexKind.FANOUT)
+        elif len(net_sinks) == 1:
+            driver = drivers[net.index]
+            sink = net_sinks[0]
+            if driver.kind == "register" and sink.kind == "register":
+                graph.add_vertex(_vacuous_name(net.name), VertexKind.VACUOUS)
+
+    def source_vertex(net_index: int) -> str:
+        """Vertex from which this net's value is taken for downstream edges."""
+        net = circuit.nets[net_index]
+        if len(sinks[net_index]) > 1:
+            return _fanout_name(net.name)
+        driver = drivers[net_index]
+        if driver.kind == "pi":
+            return f"PI({net.name})"
+        if driver.kind == "block":
+            return driver.name
+        # register driver with a single sink
+        sink = sinks[net_index][0]
+        if sink.kind == "register":
+            return _vacuous_name(net.name)
+        raise GraphError(
+            f"net {net.name}: register-driven single-sink net resolves at the sink"
+        )
+
+    def sink_vertex(sink) -> str:
+        if sink.kind == "block":
+            return sink.name
+        if sink.kind == "po":
+            return f"PO({sink.name})"
+        raise GraphError("register sinks are handled through register edges")
+
+    # Pass 2: wire edges.
+    for net in circuit.nets:
+        net_sinks = sinks[net.index]
+        driver = drivers[net.index]
+        if len(net_sinks) > 1:
+            fanout = _fanout_name(net.name)
+            # Edge from the driver into the fanout vertex (unless driven by a
+            # register, in which case the register edge lands on the fanout
+            # vertex directly in pass 3).
+            if driver.kind == "pi":
+                graph.add_edge(f"PI({net.name})", fanout, EdgeKind.WIRE)
+            elif driver.kind == "block":
+                graph.add_edge(driver.name, fanout, EdgeKind.WIRE)
+            for sink in net_sinks:
+                if sink.kind != "register":
+                    graph.add_edge(fanout, sink_vertex(sink), EdgeKind.WIRE)
+        else:
+            sink = net_sinks[0]
+            if driver.kind == "register" or sink.kind == "register":
+                continue  # handled by register edges / vacuous vertices
+            tail = f"PI({net.name})" if driver.kind == "pi" else driver.name
+            graph.add_edge(tail, sink_vertex(sink), EdgeKind.WIRE)
+
+    # Pass 3: register edges.
+    for register in circuit.registers.values():
+        in_net = register.input_net
+        out_net = register.output_net
+        tail = source_vertex(in_net)
+
+        out_sinks = sinks[out_net]
+        if len(out_sinks) > 1:
+            head = _fanout_name(circuit.nets[out_net].name)
+        else:
+            sink = out_sinks[0]
+            if sink.kind == "register":
+                head = _vacuous_name(circuit.nets[out_net].name)
+            else:
+                head = sink_vertex(sink)
+        graph.add_edge(tail, head, EdgeKind.REGISTER, register.width, register.name)
+
+    return graph

@@ -1,0 +1,219 @@
+"""The circuit graph model G = (V, E, w) of Section 3.1.
+
+Vertices represent combinational blocks (logic vertices), PIs/POs (I/O
+vertices), fanout blocks and vacuous blocks.  Edges represent connections
+through a register (register edges, weighted by register width) or through
+wires (wire edges, weight "infinity" — a large number in practice, exactly
+as the paper says).  Input/output *ports* of a block are the in-coming /
+out-going edges of its vertex.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError
+
+#: Wire-edge weight ("a large number in practice", Section 3.1).
+WIRE_WEIGHT = 10 ** 9
+
+
+class VertexKind(enum.Enum):
+    LOGIC = "logic"
+    INPUT = "input"
+    OUTPUT = "output"
+    FANOUT = "fanout"
+    VACUOUS = "vacuous"
+
+
+class EdgeKind(enum.Enum):
+    REGISTER = "register"
+    WIRE = "wire"
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A circuit-graph vertex."""
+
+    name: str
+    kind: VertexKind
+
+    @property
+    def is_logic(self) -> bool:
+        return self.kind is VertexKind.LOGIC
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A circuit-graph edge.
+
+    ``register`` names the register an edge passes through (None for wire
+    edges); ``weight`` is the register width for register edges and
+    :data:`WIRE_WEIGHT` for wire edges.
+    """
+
+    index: int
+    tail: str
+    head: str
+    kind: EdgeKind
+    weight: int
+    register: Optional[str] = None
+
+    @property
+    def is_register(self) -> bool:
+        return self.kind is EdgeKind.REGISTER
+
+    @property
+    def sequential_length(self) -> int:
+        """Contribution to a path's sequential length (1 per register edge)."""
+        return 1 if self.is_register else 0
+
+
+class CircuitGraph:
+    """A directed multigraph over :class:`Vertex` and :class:`Edge`."""
+
+    def __init__(self, name: str = "G"):
+        self.name = name
+        self.vertices: Dict[str, Vertex] = {}
+        self.edges: List[Edge] = []
+        self._out: Dict[str, List[int]] = {}
+        self._in: Dict[str, List[int]] = {}
+
+    # -------------------------------------------------------------- building
+
+    def add_vertex(self, name: str, kind: VertexKind) -> Vertex:
+        if name in self.vertices:
+            raise GraphError(f"duplicate vertex {name!r}")
+        vertex = Vertex(name, kind)
+        self.vertices[name] = vertex
+        self._out[name] = []
+        self._in[name] = []
+        return vertex
+
+    def add_edge(
+        self,
+        tail: str,
+        head: str,
+        kind: EdgeKind,
+        weight: Optional[int] = None,
+        register: Optional[str] = None,
+    ) -> Edge:
+        if tail not in self.vertices:
+            raise GraphError(f"unknown tail vertex {tail!r}")
+        if head not in self.vertices:
+            raise GraphError(f"unknown head vertex {head!r}")
+        if kind is EdgeKind.REGISTER and register is None:
+            raise GraphError("register edges must name their register")
+        if kind is EdgeKind.WIRE:
+            weight = WIRE_WEIGHT
+        elif weight is None:
+            raise GraphError("register edges need a weight (register width)")
+        edge = Edge(len(self.edges), tail, head, kind, weight, register)
+        self.edges.append(edge)
+        self._out[tail].append(edge.index)
+        self._in[head].append(edge.index)
+        return edge
+
+    # --------------------------------------------------------------- queries
+
+    def vertex(self, name: str) -> Vertex:
+        try:
+            return self.vertices[name]
+        except KeyError:
+            raise GraphError(f"no vertex named {name!r}") from None
+
+    def out_edges(self, name: str) -> List[Edge]:
+        return [self.edges[i] for i in self._out[name]]
+
+    def in_edges(self, name: str) -> List[Edge]:
+        return [self.edges[i] for i in self._in[name]]
+
+    def successors(self, name: str) -> List[str]:
+        return [e.head for e in self.out_edges(name)]
+
+    def predecessors(self, name: str) -> List[str]:
+        return [e.tail for e in self.in_edges(name)]
+
+    def register_edges(self) -> List[Edge]:
+        return [e for e in self.edges if e.is_register]
+
+    def wire_edges(self) -> List[Edge]:
+        return [e for e in self.edges if not e.is_register]
+
+    def edge_for_register(self, register: str) -> Edge:
+        for edge in self.edges:
+            if edge.register == register:
+                return edge
+        raise GraphError(f"no edge for register {register!r}")
+
+    def vertices_of_kind(self, kind: VertexKind) -> List[Vertex]:
+        return [v for v in self.vertices.values() if v.kind is kind]
+
+    def input_vertices(self) -> List[Vertex]:
+        return self.vertices_of_kind(VertexKind.INPUT)
+
+    def output_vertices(self) -> List[Vertex]:
+        return self.vertices_of_kind(VertexKind.OUTPUT)
+
+    def logic_vertices(self) -> List[Vertex]:
+        return self.vertices_of_kind(VertexKind.LOGIC)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self.vertices.values())
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    # ------------------------------------------------------------- subgraphs
+
+    def subgraph(self, vertex_names, edge_filter=None) -> "CircuitGraph":
+        """Induced subgraph on ``vertex_names`` (optionally filtering edges)."""
+        keep = set(vertex_names)
+        sub = CircuitGraph(f"{self.name}[sub]")
+        for name in keep:
+            vertex = self.vertex(name)
+            sub.add_vertex(vertex.name, vertex.kind)
+        for edge in self.edges:
+            if edge.tail in keep and edge.head in keep:
+                if edge_filter is not None and not edge_filter(edge):
+                    continue
+                sub.add_edge(edge.tail, edge.head, edge.kind,
+                             None if edge.kind is EdgeKind.WIRE else edge.weight,
+                             edge.register)
+        return sub
+
+    def without_edges(self, edge_indices) -> "CircuitGraph":
+        """A copy with the given edges removed (used to cut BILBO edges)."""
+        drop = set(edge_indices)
+        out = CircuitGraph(f"{self.name}[cut]")
+        for vertex in self.vertices.values():
+            out.add_vertex(vertex.name, vertex.kind)
+        for edge in self.edges:
+            if edge.index in drop:
+                continue
+            out.add_edge(edge.tail, edge.head, edge.kind,
+                         None if edge.kind is EdgeKind.WIRE else edge.weight,
+                         edge.register)
+        return out
+
+    def weakly_connected_components(self) -> List[List[str]]:
+        """Components of the underlying undirected graph."""
+        seen = set()
+        components: List[List[str]] = []
+        for start in self.vertices:
+            if start in seen:
+                continue
+            stack = [start]
+            component: List[str] = []
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor in self.successors(node) + self.predecessors(node):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            components.append(sorted(component))
+        return components

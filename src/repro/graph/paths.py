@@ -1,0 +1,134 @@
+"""Path queries on circuit graphs: sequential lengths, depth, delay.
+
+*Sequential length* of a path is its number of register edges; the
+*sequential depth* of an acyclic circuit is the largest sequential length of
+any PI-to-PO path (the ``d`` flush cycles in Corollary 1).  The *maximal
+delay* of a BISTable design counts BILBO registers along PI-to-PO paths
+(Table 2 row 4's metric: each BILBO register adds one time unit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.model import CircuitGraph, VertexKind
+from repro.graph.structures import topological_order
+
+
+def sequential_depth(graph: CircuitGraph) -> int:
+    """Largest sequential length over all paths (acyclic graphs only)."""
+    order = topological_order(graph)
+    longest: Dict[str, int] = {name: 0 for name in order}
+    best = 0
+    for node in order:
+        for edge in graph.out_edges(node):
+            candidate = longest[node] + edge.sequential_length
+            if candidate > longest[edge.head]:
+                longest[edge.head] = candidate
+                best = max(best, candidate)
+    return best
+
+
+def all_paths(
+    graph: CircuitGraph,
+    source: str,
+    target: str,
+    limit: int = 100000,
+) -> List[List[str]]:
+    """Enumerate simple paths from source to target (small graphs only)."""
+    paths: List[List[str]] = []
+    stack: List[Tuple[str, List[str]]] = [(source, [source])]
+    while stack:
+        node, path = stack.pop()
+        for successor in graph.successors(node):
+            if successor == target:
+                paths.append(path + [successor])
+                if len(paths) >= limit:
+                    raise GraphError("too many paths to enumerate")
+            elif successor not in path:
+                stack.append((successor, path + [successor]))
+    return paths
+
+
+def path_sequential_length(graph: CircuitGraph, path: List[str]) -> int:
+    """Number of register edges along a vertex path (min over parallel edges).
+
+    When two vertices are joined by both a wire and a register edge the wire
+    edge is the shorter continuation; the paper's path notion follows edges,
+    so we take each hop's minimum available sequential step — callers that
+    care about specific edges should enumerate edges directly.
+    """
+    total = 0
+    for tail, head in zip(path, path[1:]):
+        steps = [
+            e.sequential_length for e in graph.out_edges(tail) if e.head == head
+        ]
+        if not steps:
+            raise GraphError(f"no edge {tail} -> {head}")
+        total += min(steps)
+    return total
+
+
+def maximal_delay(graph: CircuitGraph, bilbo_registers: Iterable[str]) -> int:
+    """Maximal number of BILBO registers on any PI-to-PO path.
+
+    The paper's Table 2 row 4: each BILBO register adds one unit of delay.
+    Acyclic graphs use longest-path DP; cyclic graphs (feedback loops in
+    normal operation) fall back to simple-path enumeration, which is fine
+    at the paper's circuit sizes.
+    """
+    from repro.graph.structures import is_acyclic
+
+    bilbo = set(bilbo_registers)
+    if not is_acyclic(graph):
+        return _maximal_delay_simple_paths(graph, bilbo)
+    order = topological_order(graph)
+    cost: Dict[str, int] = {}
+    for vertex in graph.input_vertices():
+        cost[vertex.name] = 0
+    for node in order:
+        if node not in cost:
+            continue
+        for edge in graph.out_edges(node):
+            step = 1 if (edge.register in bilbo) else 0
+            candidate = cost[node] + step
+            if candidate > cost.get(edge.head, -1):
+                cost[edge.head] = candidate
+    return max(
+        (cost.get(v.name, 0) for v in graph.output_vertices()),
+        default=0,
+    )
+
+
+def _maximal_delay_simple_paths(graph: CircuitGraph, bilbo: Set[str]) -> int:
+    """Max BILBO count over simple PI-to-PO paths (cyclic graphs)."""
+    targets = {v.name for v in graph.output_vertices()}
+    best = 0
+    for source in graph.input_vertices():
+        stack: List[Tuple[str, int, frozenset]] = [
+            (source.name, 0, frozenset([source.name]))
+        ]
+        while stack:
+            node, cost, visited = stack.pop()
+            if node in targets:
+                best = max(best, cost)
+            for edge in graph.out_edges(node):
+                if edge.head in visited:
+                    continue
+                step = 1 if edge.register in bilbo else 0
+                stack.append((edge.head, cost + step, visited | {edge.head}))
+    return best
+
+
+def reachable_from(graph: CircuitGraph, sources: Iterable[str]) -> Set[str]:
+    """Vertices reachable from any of the sources (inclusive)."""
+    seen: Set[str] = set()
+    stack = list(sources)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(graph.successors(node))
+    return seen

@@ -1,0 +1,204 @@
+"""Structural queries on circuit graphs: cycles, SCCs, URFS detection.
+
+Theorem 2 of the paper needs two kinds of witnesses: *cycles* and
+*unbalanced reconvergent-fanout structures* (URFS) — vertex pairs joined by
+paths with differing numbers of register edges.  Both are produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.model import CircuitGraph, Edge
+
+
+def strongly_connected_components(graph: CircuitGraph) -> List[List[str]]:
+    """Tarjan's SCC algorithm (iterative)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    for root in graph.vertices:
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_pos = work[-1]
+            if child_pos == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            successors = graph.successors(node)
+            advanced = False
+            while child_pos < len(successors):
+                child = successors[child_pos]
+                child_pos += 1
+                if child not in index:
+                    work[-1] = (node, child_pos)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work[-1] = (node, child_pos)
+            if child_pos >= len(successors):
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(sorted(component))
+    return components
+
+
+def is_acyclic(graph: CircuitGraph) -> bool:
+    """True iff the graph has no directed cycle (self-loops included)."""
+    if any(edge.tail == edge.head for edge in graph.edges):
+        return False
+    return all(len(c) == 1 for c in strongly_connected_components(graph))
+
+
+def cyclic_vertices(graph: CircuitGraph) -> Set[str]:
+    """Vertices that lie on at least one directed cycle."""
+    bad: Set[str] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            bad.update(component)
+    for edge in graph.edges:
+        if edge.tail == edge.head:
+            bad.add(edge.tail)
+    return bad
+
+
+def simple_cycles(graph: CircuitGraph, limit: int = 10000) -> List[List[str]]:
+    """Enumerate simple directed cycles (vertex lists, smallest-first start).
+
+    Intended for the paper-scale example circuits; bails out at ``limit``.
+    """
+    cycles: List[List[str]] = []
+    order = sorted(graph.vertices)
+    position = {name: i for i, name in enumerate(order)}
+
+    for start in order:
+        # DFS only through vertices >= start to enumerate each cycle once.
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for successor in graph.successors(node):
+                if successor == start:
+                    cycles.append(list(path))
+                    if len(cycles) >= limit:
+                        raise GraphError("too many simple cycles to enumerate")
+                elif position[successor] > position[start] and successor not in path:
+                    stack.append((successor, path + [successor]))
+    return cycles
+
+
+def cycle_register_edges(graph: CircuitGraph, cycle: List[str]) -> List[Edge]:
+    """Register edges along one simple cycle (candidates for BILBO insertion)."""
+    members = set(cycle)
+    result = []
+    for edge in graph.edges:
+        if edge.is_register and edge.tail in members and edge.head in members:
+            # keep only edges actually on the cycle's ring
+            n = len(cycle)
+            for i, name in enumerate(cycle):
+                if edge.tail == name and edge.head == cycle[(i + 1) % n]:
+                    result.append(edge)
+                    break
+    return result
+
+
+@dataclass(frozen=True)
+class URFSWitness:
+    """Two vertices joined by paths of unequal sequential length."""
+
+    source: str
+    target: str
+    min_length: int
+    max_length: int
+
+    @property
+    def imbalance(self) -> int:
+        return self.max_length - self.min_length
+
+
+def sequential_path_lengths(graph: CircuitGraph) -> Dict[Tuple[str, str], Tuple[int, int]]:
+    """(min, max) sequential length per ordered reachable vertex pair.
+
+    Requires an acyclic graph; raises :class:`GraphError` otherwise.
+    """
+    if not is_acyclic(graph):
+        raise GraphError("sequential path lengths need an acyclic graph")
+    order = _topological_order(graph)
+    result: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    # DP from each source, in reverse topological order of sources for reuse
+    # simplicity we just run a forward DP per source (graphs here are small).
+    for source in order:
+        dist: Dict[str, Tuple[int, int]] = {source: (0, 0)}
+        for node in order:
+            if node not in dist:
+                continue
+            lo, hi = dist[node]
+            for edge in graph.out_edges(node):
+                step = edge.sequential_length
+                entry = dist.get(edge.head)
+                candidate = (lo + step, hi + step)
+                if entry is None:
+                    dist[edge.head] = candidate
+                else:
+                    dist[edge.head] = (
+                        min(entry[0], candidate[0]),
+                        max(entry[1], candidate[1]),
+                    )
+        for target, (lo, hi) in dist.items():
+            if target != source:
+                result[(source, target)] = (lo, hi)
+    return result
+
+
+def find_urfs_witnesses(graph: CircuitGraph) -> List[URFSWitness]:
+    """All vertex pairs with unequal-sequential-length paths (URFS evidence)."""
+    witnesses = []
+    for (source, target), (lo, hi) in sequential_path_lengths(graph).items():
+        if lo != hi:
+            witnesses.append(URFSWitness(source, target, lo, hi))
+    return witnesses
+
+
+def _topological_order(graph: CircuitGraph) -> List[str]:
+    indegree = {name: 0 for name in graph.vertices}
+    for edge in graph.edges:
+        indegree[edge.head] += 1
+    ready = sorted(name for name, d in indegree.items() if d == 0)
+    order: List[str] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for edge in graph.out_edges(node):
+            indegree[edge.head] -= 1
+            if indegree[edge.head] == 0:
+                ready.append(edge.head)
+    if len(order) != len(graph.vertices):
+        raise GraphError("graph is cyclic; no topological order")
+    return order
+
+
+def topological_order(graph: CircuitGraph) -> List[str]:
+    """Public topological order (raises on cyclic graphs)."""
+    return _topological_order(graph)

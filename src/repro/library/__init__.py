@@ -1,0 +1,37 @@
+"""Reusable paper-figure circuits and example kernels."""
+
+from repro.library.figures import figure1, figure2, figure3, figure4
+from repro.library.ka_example import figure9
+from repro.library.iscas import c17
+from repro.library.synth import random_datapath, random_structural_circuit
+from repro.library.kernels import (
+    example2_kernel,
+    example3_kernel,
+    example4_kernel,
+    example5_kernel,
+    example6_kernel,
+    example7_kernel,
+    figure12a,
+    figure17a,
+    figure21a,
+)
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure9",
+    "example2_kernel",
+    "example3_kernel",
+    "example4_kernel",
+    "example5_kernel",
+    "example6_kernel",
+    "example7_kernel",
+    "figure12a",
+    "figure17a",
+    "figure21a",
+    "c17",
+    "random_datapath",
+    "random_structural_circuit",
+]

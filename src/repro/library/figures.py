@@ -1,0 +1,174 @@
+"""The paper's illustrative circuits (Figures 1-4), rebuilt from the text.
+
+Where a figure's exact internal wiring is not recoverable from the prose,
+the reconstruction preserves every property the paper states about it (the
+reconstructions are documented in DESIGN.md Section 3).  Blocks carry no
+word functions — these circuits exist for structural analysis.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.circuit import RTLCircuit
+
+
+def figure1() -> RTLCircuit:
+    """Figure 1: the unbalanced circuit.
+
+    A PI fans out to a combinational block C both directly and through a
+    register R; the two F-to-C paths have sequential lengths 0 and 1, so
+    faults in C may need two-vector sequences (2-pattern detectable; the
+    circuit is 2-step functionally testable).
+    """
+    circuit = RTLCircuit("figure1")
+    pi = circuit.new_input("pi", 8)
+    r_out = circuit.add_net("r_out", 8)
+    circuit.add_register("R", pi, r_out)
+    c_out = circuit.add_net("c_out", 8)
+    circuit.add_block("C", [pi, r_out], [c_out])
+    circuit.mark_output(c_out)
+    return circuit
+
+
+def figure2() -> RTLCircuit:
+    """Figure 2: the 1-step functionally testable pipeline.
+
+    PI -> R1 -> C1 -> R2 -> C2 -> PO.  Balanced, so 1-step functionally
+    testable: applying all patterns at R1 tests C2 functionally
+    exhaustively even though C1's image may not cover all 2^n patterns.
+    """
+    circuit = RTLCircuit("figure2")
+    pi = circuit.new_input("pi", 8)
+    r1_out = circuit.add_net("r1_out", 8)
+    circuit.add_register("R1", pi, r1_out)
+    c1_out = circuit.add_net("c1_out", 8)
+    circuit.add_block("C1", [r1_out], [c1_out])
+    r2_out = circuit.add_net("r2_out", 8)
+    circuit.add_register("R2", c1_out, r2_out)
+    c2_out = circuit.add_net("c2_out", 8)
+    circuit.add_block("C2", [r2_out], [c2_out])
+    circuit.mark_output(c2_out)
+    return circuit
+
+
+def figure3() -> RTLCircuit:
+    """Figure 3: the circuit-graph modelling example.
+
+    Reconstructed to exhibit every feature the text calls out: a fanout
+    vertex FO1 after R1 feeding blocks A, B and C; a vacuous vertex between
+    the directly-chained registers R2 and R3; the cycle through F and H
+    (two register edges); and the URFS through FO1, A, C, D, E, G, H where
+    the FO1-to-H paths have sequential lengths 2 (via A, D) and 1 (via C,
+    E, G).  All registers are 8 bits wide, as in the paper's example.
+    """
+    circuit = RTLCircuit("figure3")
+    w = 8
+    pi = circuit.new_input("pi", w)
+    r1_out = circuit.add_net("r1_out", w)
+    circuit.add_register("R1", pi, r1_out)
+
+    # r1_out fans out to A, B and C -> fanout vertex FO1 in the graph.
+    a_out = circuit.add_net("a_out", w)
+    circuit.add_block("A", [r1_out], [a_out])
+    b_out = circuit.add_net("b_out", w)
+    circuit.add_block("B", [r1_out], [b_out])
+    c_out = circuit.add_net("c_out", w)
+    circuit.add_block("C", [r1_out], [c_out])
+
+    # URFS branch 1: A -> R4 -> D -> R5 -> H (two register edges).
+    r4_out = circuit.add_net("r4_out", w)
+    circuit.add_register("R4", a_out, r4_out)
+    d_out = circuit.add_net("d_out", w)
+    circuit.add_block("D", [r4_out], [d_out])
+    r5_out = circuit.add_net("r5_out", w)
+    circuit.add_register("R5", d_out, r5_out)
+
+    # URFS branch 2: C -> R6 -> E -> G -> H (one register edge).
+    r6_out = circuit.add_net("r6_out", w)
+    circuit.add_register("R6", c_out, r6_out)
+    e_out = circuit.add_net("e_out", w)
+    circuit.add_block("E", [r6_out], [e_out])
+    g_out = circuit.add_net("g_out", w)
+    circuit.add_block("G", [e_out], [g_out])
+
+    # B -> R2 -> (vacuous) -> R3 -> H: register-to-register chain.
+    r2_out = circuit.add_net("r2_out", w)
+    circuit.add_register("R2", b_out, r2_out)
+    r3_out = circuit.add_net("r3_out", w)
+    circuit.add_register("R3", r2_out, r3_out)
+
+    # The F <-> H cycle, one register edge each way.
+    r8_out = circuit.add_net("r8_out", w)   # F -> R8 -> H
+    r7_out = circuit.add_net("r7_out", w)   # H -> R7 -> F
+    f_out = circuit.add_net("f_out", w)
+    circuit.add_block("F", [r7_out], [f_out])
+    circuit.add_register("R8", f_out, r8_out)
+
+    h_to_f = circuit.add_net("h_to_f", w)
+    h_to_po = circuit.add_net("h_to_po", w)
+    circuit.add_block(
+        "H", [r5_out, g_out, r3_out, r8_out], [h_to_f, h_to_po]
+    )
+    circuit.add_register("R7", h_to_f, r7_out)
+    po = circuit.add_net("po", w)
+    circuit.add_register("R9", h_to_po, po)
+    circuit.mark_output(po)
+    return circuit
+
+
+def figure4() -> RTLCircuit:
+    """Figure 4 / Example 1: the partial-scan vs BIBS comparison circuit.
+
+    Reconstructed so that the paper's reported solutions hold exactly:
+
+    * minimal partial scan converts R3 and R9 (the two narrow 4-bit
+      registers on the short C1->C3 and C2->C3 paths);
+    * BIBS must convert R1, R3, R6, R7, R8, R9 (six registers), yielding
+      two balanced BISTable kernels tested in two sessions — kernel 1
+      (C1, C2, C4) with R1 as TPG, kernel 2 (C3) with R6 as SA.
+
+    Paths from C1 to C3 have sequential lengths 1 (via R3), 2 (via R7/R8)
+    and 3 (via R5, C4, R9), so the circuit is unbalanced as stated.
+    """
+    circuit = RTLCircuit("figure4")
+    wide, narrow = 8, 4
+    pi = circuit.new_input("pi", wide)
+    r1_out = circuit.add_net("r1_out", wide)
+    circuit.add_register("R1", pi, r1_out)
+
+    c1_out = circuit.add_net("c1_out", wide)
+    c1_narrow = circuit.add_net("c1_narrow", narrow)
+    circuit.add_block("C1", [r1_out], [c1_out, c1_narrow])
+    # The wide output reaches C2 over two parallel registers (so no single
+    # register cut can disconnect the long paths); the narrow output is the
+    # short C1 -> R3 -> C3 path.
+    r2_out = circuit.add_net("r2_out", wide)
+    circuit.add_register("R2", c1_out, r2_out)
+    r4_out = circuit.add_net("r4_out", wide)
+    circuit.add_register("R4", c1_out, r4_out)
+    r3_out = circuit.add_net("r3_out", narrow)
+    circuit.add_register("R3", c1_narrow, r3_out)
+
+    mid = 5
+    c2_mid = circuit.add_net("c2_mid", mid)
+    c2_out = circuit.add_net("c2_out", wide)
+    circuit.add_block("C2", [r2_out, r4_out], [c2_mid, c2_out])
+    # C2 reaches C3 directly through R7 and R8 (length 2 from C1) and
+    # through R5 -> C4 -> R9 (length 3 from C1).
+    r7_out = circuit.add_net("r7_out", mid)
+    circuit.add_register("R7", c2_mid, r7_out)
+    r8_out = circuit.add_net("r8_out", mid)
+    circuit.add_register("R8", c2_mid, r8_out)
+    r5_out = circuit.add_net("r5_out", wide)
+    circuit.add_register("R5", c2_out, r5_out)
+
+    c4_narrow = circuit.add_net("c4_narrow", narrow)
+    circuit.add_block("C4", [r5_out], [c4_narrow])
+    r9_out = circuit.add_net("r9_out", narrow)
+    circuit.add_register("R9", c4_narrow, r9_out)
+
+    c3_out = circuit.add_net("c3_out", wide)
+    circuit.add_block("C3", [r3_out, r9_out, r7_out, r8_out], [c3_out])
+    po = circuit.add_net("po", wide)
+    circuit.add_register("R6", c3_out, po)
+    circuit.mark_output(po)
+    return circuit

@@ -1,0 +1,34 @@
+"""ISCAS-85 reference circuits (the test community's standard fixtures).
+
+Only c17 — the canonical six-NAND teaching circuit — ships inline; it
+exercises the ``.bench`` reader, the fault universe, the simulator and
+PODEM against a netlist whose properties are documented in forty years of
+literature (22 collapsed faults, all detectable).
+"""
+
+from __future__ import annotations
+
+from repro.netlist import bench_io
+from repro.netlist.netlist import Netlist
+
+C17_BENCH = """
+# c17 — ISCAS-85
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17() -> Netlist:
+    """The ISCAS-85 c17 benchmark (5 inputs, 2 outputs, 6 NAND gates)."""
+    return bench_io.loads(C17_BENCH, name="c17")

@@ -1,0 +1,224 @@
+"""The paper's TPG-design example kernels (Sections 4.1-4.3).
+
+Two forms are provided:
+
+* :class:`~repro.tpg.design.KernelSpec` objects — the generalized
+  structures the SC_TPG/MC_TPG procedures consume directly, exactly as the
+  examples state them (register widths and sequential lengths);
+* full RTL circuits for Figures 12(a), 17(a) and 21(a), from which
+  ``repro.analysis.cones`` re-derives those same specs — exercising the
+  whole structural pipeline.
+
+``*_small`` variants shrink register widths so the exhaustive Theorem-4
+verification stays fast in tests.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.circuit import RTLCircuit
+from repro.tpg.design import Cone, InputRegister, KernelSpec
+
+
+# ----------------------------------------------------------- kernel specs
+
+def example2_kernel(width: int = 4) -> KernelSpec:
+    """Example 2 (Figures 12a/13): depths 2, 1, 0 — descending order."""
+    return KernelSpec.single_cone(
+        [("R1", width, 2), ("R2", width, 1), ("R3", width, 0)], name="example2"
+    )
+
+
+def example3_kernel(width: int = 4) -> KernelSpec:
+    """Example 3 (Figure 15): depths 1, 2, 0 — the sharing + separation case."""
+    return KernelSpec.single_cone(
+        [("R1", width, 1), ("R2", width, 2), ("R3", width, 0)], name="example3"
+    )
+
+
+def example4_kernel(width: int = 4) -> KernelSpec:
+    """Example 4 (Figure 16): displacement -5 exceeds the register width."""
+    return KernelSpec.single_cone(
+        [("R1", width, 0), ("R2", width, 5)], name="example4"
+    )
+
+
+def example5_kernel(width: int = 4) -> KernelSpec:
+    """Example 5 (Figure 17): two cones, displacements +2 and +1."""
+    return KernelSpec(
+        (InputRegister("R1", width), InputRegister("R2", width)),
+        (
+            Cone("O1", {"R1": 2, "R2": 0}),
+            Cone("O2", {"R1": 1, "R2": 0}),
+        ),
+        name="example5",
+    )
+
+
+def example6_kernel(width: int = 4) -> KernelSpec:
+    """Example 6 (Figures 19/20): the reconfigurable-TPG candidate."""
+    return KernelSpec(
+        (InputRegister("R1", width), InputRegister("R2", width)),
+        (
+            Cone("O1", {"R1": 2, "R2": 0}),
+            Cone("O2", {"R1": 0, "R2": 1}),
+        ),
+        name="example6",
+    )
+
+
+def example7_kernel(width: int = 4) -> KernelSpec:
+    """Examples 7/8 (Figure 21): three cones, permutation-sensitive."""
+    return KernelSpec(
+        (
+            InputRegister("R1", width),
+            InputRegister("R2", width),
+            InputRegister("R3", width),
+        ),
+        (
+            Cone("O1", {"R1": 2, "R2": 0}),
+            Cone("O2", {"R1": 0, "R3": 1}),
+            Cone("O3", {"R2": 1, "R3": 0}),
+        ),
+        name="example7",
+    )
+
+
+# ------------------------------------------------------------ RTL circuits
+
+def figure12a(width: int = 4) -> RTLCircuit:
+    """Figure 12(a): the balanced BISTable kernel behind Example 2.
+
+    R1 feeds C1, whose output reaches C3 through C2 and C4 (both via one
+    internal register, sequential length 2 from R1); R2 reaches C3 through
+    one internal register (length 1); R3 reaches C3 through the
+    single-input block C5 by wire (length 0).
+    """
+    circuit = RTLCircuit("figure12a")
+    x1 = circuit.new_input("x1", width)
+    x2 = circuit.new_input("x2", width)
+    x3 = circuit.new_input("x3", width)
+    r1 = circuit.add_net("r1", width)
+    circuit.add_register("R1", x1, r1)
+    r2 = circuit.add_net("r2", width)
+    circuit.add_register("R2", x2, r2)
+    r3 = circuit.add_net("r3", width)
+    circuit.add_register("R3", x3, r3)
+
+    c1_out = circuit.add_net("c1_out", width)
+    circuit.add_block("C1", [r1], [c1_out])
+    ra_out = circuit.add_net("ra_out", width)
+    circuit.add_register("Ra", c1_out, ra_out)
+    rb_out = circuit.add_net("rb_out", width)
+    circuit.add_register("Rb", c1_out, rb_out)
+
+    c2_out = circuit.add_net("c2_out", width)
+    circuit.add_block("C2", [ra_out, r2], [c2_out])
+    rc_out = circuit.add_net("rc_out", width)
+    circuit.add_register("Rc", c2_out, rc_out)
+
+    c4_out = circuit.add_net("c4_out", width)
+    circuit.add_block("C4", [rb_out], [c4_out])
+    rd_out = circuit.add_net("rd_out", width)
+    circuit.add_register("Rd", c4_out, rd_out)
+
+    c5_out = circuit.add_net("c5_out", width)
+    circuit.add_block("C5", [r3], [c5_out])
+
+    c3_out = circuit.add_net("c3_out", width)
+    circuit.add_block("C3", [rc_out, rd_out, c5_out], [c3_out])
+    po = circuit.add_net("po", width)
+    circuit.add_register("Rout", c3_out, po)
+    circuit.mark_output(po)
+    return circuit
+
+
+def figure17a(width: int = 4) -> RTLCircuit:
+    """Figure 17(a): the two-cone kernel of Example 5.
+
+    Cone O1 sees R1 through two internal registers and R2 directly; cone O2
+    sees R1 through one internal register and R2 directly.
+    """
+    circuit = RTLCircuit("figure17a")
+    x1 = circuit.new_input("x1", width)
+    x2 = circuit.new_input("x2", width)
+    r1 = circuit.add_net("r1", width)
+    circuit.add_register("R1", x1, r1)
+    r2 = circuit.add_net("r2", width)
+    circuit.add_register("R2", x2, r2)
+
+    c1_out = circuit.add_net("c1_out", width)
+    circuit.add_block("C1", [r1], [c1_out])
+    ra = circuit.add_net("ra", width)
+    circuit.add_register("Ra", c1_out, ra)
+
+    # Branch to cone O2 after one internal register.
+    c4_out = circuit.add_net("c4_out", width)
+    circuit.add_block("C4", [ra, r2], [c4_out])
+    po2 = circuit.add_net("po2", width)
+    circuit.add_register("Rout2", c4_out, po2)
+    circuit.mark_output(po2)
+
+    # Cone O1 after a second internal register.
+    c2_out = circuit.add_net("c2_out", width)
+    circuit.add_block("C2", [ra], [c2_out])
+    rb = circuit.add_net("rb", width)
+    circuit.add_register("Rb", c2_out, rb)
+    c3_out = circuit.add_net("c3_out", width)
+    circuit.add_block("C3", [rb, r2], [c3_out])
+    po1 = circuit.add_net("po1", width)
+    circuit.add_register("Rout1", c3_out, po1)
+    circuit.mark_output(po1)
+    return circuit
+
+
+def figure21a(width: int = 4) -> RTLCircuit:
+    """Figure 21(a): the three-cone kernel of Examples 7/8.
+
+    Dependencies (register -> cone sequential lengths): O1 {R1:2, R2:0},
+    O2 {R1:0, R3:1}, O3 {R2:1, R3:0}.
+    """
+    circuit = RTLCircuit("figure21a")
+    inputs = {}
+    for index, name in enumerate(("R1", "R2", "R3"), start=1):
+        pi = circuit.new_input(f"x{index}", width)
+        out = circuit.add_net(f"{name.lower()}_out", width)
+        circuit.add_register(name, pi, out)
+        inputs[name] = out
+
+    # Cone O1: R1 through two internal registers, R2 direct.
+    a1 = circuit.add_net("a1", width)
+    circuit.add_block("P1", [inputs["R1"]], [a1])
+    d1 = circuit.add_net("d1", width)
+    circuit.add_register("Ia", a1, d1)
+    a2 = circuit.add_net("a2", width)
+    circuit.add_block("P2", [d1], [a2])
+    d2 = circuit.add_net("d2", width)
+    circuit.add_register("Ib", a2, d2)
+    o1_out = circuit.add_net("o1_out", width)
+    circuit.add_block("C_O1", [d2, inputs["R2"]], [o1_out])
+    po1 = circuit.add_net("po1", width)
+    circuit.add_register("S1", o1_out, po1)
+    circuit.mark_output(po1)
+
+    # Cone O2: R1 direct, R3 through one internal register.
+    b1 = circuit.add_net("b1", width)
+    circuit.add_block("P3", [inputs["R3"]], [b1])
+    d3 = circuit.add_net("d3", width)
+    circuit.add_register("Ic", b1, d3)
+    o2_out = circuit.add_net("o2_out", width)
+    circuit.add_block("C_O2", [inputs["R1"], d3], [o2_out])
+    po2 = circuit.add_net("po2", width)
+    circuit.add_register("S2", o2_out, po2)
+    circuit.mark_output(po2)
+
+    # Cone O3: R2 through one internal register, R3 direct.
+    e1 = circuit.add_net("e1", width)
+    circuit.add_block("P4", [inputs["R2"]], [e1])
+    d4 = circuit.add_net("d4", width)
+    circuit.add_register("Id", e1, d4)
+    o3_out = circuit.add_net("o3_out", width)
+    circuit.add_block("C_O3", [d4, inputs["R3"]], [o3_out])
+    po3 = circuit.add_net("po3", width)
+    circuit.add_register("S3", o3_out, po3)
+    circuit.mark_output(po3)
+    return circuit

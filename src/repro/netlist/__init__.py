@@ -1,0 +1,43 @@
+"""Gate-level netlist substrate: gates, netlists, evaluation, builders, I/O."""
+
+from repro.netlist.gates import GateType, evaluate_gate
+from repro.netlist.netlist import Gate, Netlist, NetlistStats
+from repro.netlist.levelize import levelize, levels
+from repro.netlist.evaluate import (
+    Evaluator,
+    evaluate_single,
+    pack_patterns,
+    unpack_patterns,
+)
+from repro.netlist.builders import (
+    array_multiplier,
+    equality_comparator,
+    full_adder,
+    half_adder,
+    mux2,
+    ripple_adder,
+    word_mux2,
+)
+from repro.netlist import bench_io
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "Netlist",
+    "NetlistStats",
+    "Evaluator",
+    "evaluate_gate",
+    "evaluate_single",
+    "levelize",
+    "levels",
+    "pack_patterns",
+    "unpack_patterns",
+    "half_adder",
+    "full_adder",
+    "ripple_adder",
+    "array_multiplier",
+    "equality_comparator",
+    "mux2",
+    "word_mux2",
+    "bench_io",
+]

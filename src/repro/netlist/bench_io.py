@@ -1,0 +1,111 @@
+"""ISCAS-style ``.bench`` reader/writer.
+
+The paper's BITS system exchanges circuits as EDIF; we use the far simpler
+textual ``.bench`` dialect that the test community standardised on (ISCAS-85
+distribution format), which captures exactly the combinational netlists our
+fault simulator consumes::
+
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(s)
+    t = AND(a, b)
+    s = XOR(a, t)
+
+Supported functions: AND OR NAND NOR XOR XNOR NOT BUF(F) CONST0 CONST1.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+_LINE_RE = re.compile(r"^\s*(\S+)\s*=\s*([A-Za-z01]+)\s*\((.*)\)\s*$")
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*(\S+)\s*\)\s*$")
+
+_NAME_TO_TYPE = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def loads(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into a :class:`Netlist`."""
+    netlist = Netlist(name)
+    nets: Dict[str, int] = {}
+    outputs: List[str] = []
+
+    def net_of(token: str) -> int:
+        if token not in nets:
+            nets[token] = netlist.add_net(token)
+        return nets[token]
+
+    gate_lines: List[tuple] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, token = io_match.groups()
+            if kind == "INPUT":
+                netlist.mark_input(net_of(token))
+            else:
+                outputs.append(token)
+            continue
+        gate_match = _LINE_RE.match(line)
+        if not gate_match:
+            raise NetlistError(f"unparseable .bench line: {raw_line!r}")
+        target, func, arg_text = gate_match.groups()
+        func = func.upper()
+        if func not in _NAME_TO_TYPE:
+            raise NetlistError(f"unknown .bench function {func!r}")
+        args = [token.strip() for token in arg_text.split(",") if token.strip()]
+        gate_lines.append((target, _NAME_TO_TYPE[func], args))
+
+    for target, gtype, args in gate_lines:
+        netlist.add_gate(gtype, [net_of(a) for a in args], net_of(target), name=target)
+    for token in outputs:
+        if token not in nets:
+            raise NetlistError(f"OUTPUT({token}) never defined")
+        netlist.mark_output(nets[token])
+    netlist.validate()
+    return netlist
+
+
+def dumps(netlist: Netlist) -> str:
+    """Serialise a :class:`Netlist` to ``.bench`` text."""
+    lines: List[str] = [f"# {netlist.name}"]
+    for net in netlist.primary_inputs:
+        lines.append(f"INPUT({netlist.net_name(net)})")
+    for net in netlist.primary_outputs:
+        lines.append(f"OUTPUT({netlist.net_name(net)})")
+    for gate in netlist.gates:
+        args = ", ".join(netlist.net_name(n) for n in gate.inputs)
+        lines.append(f"{netlist.net_name(gate.output)} = {gate.gtype.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def load(path, name: str = "") -> Netlist:
+    """Read a ``.bench`` file from disk."""
+    with open(path) as handle:
+        return loads(handle.read(), name or str(path))
+
+
+def dump(netlist: Netlist, path) -> None:
+    """Write a ``.bench`` file to disk."""
+    with open(path, "w") as handle:
+        handle.write(dumps(netlist))

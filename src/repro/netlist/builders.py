@@ -1,0 +1,188 @@
+"""Word-level gate builders.
+
+These construct the arithmetic macros the paper's data-path circuits are made
+of: ripple-carry adders and array multipliers (Table 1's circuits are 8-bit
+adder/multiplier networks; only the 8 least-significant multiplier outputs
+feed forward, which :func:`array_multiplier` supports via ``out_width``).
+All builders append gates to an existing :class:`~repro.netlist.Netlist` and
+return the output net ids, LSB first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+def half_adder(netlist: Netlist, a: int, b: int, name: str = "") -> Tuple[int, int]:
+    """Append a half adder; returns ``(sum, carry)`` net ids."""
+    s = netlist.add_gate(GateType.XOR, [a, b], name=f"{name}_s")
+    c = netlist.add_gate(GateType.AND, [a, b], name=f"{name}_c")
+    return s, c
+
+
+def full_adder(netlist: Netlist, a: int, b: int, cin: int, name: str = "") -> Tuple[int, int]:
+    """Append a full adder (2 XOR, 2 AND, 1 OR); returns ``(sum, carry)``."""
+    axb = netlist.add_gate(GateType.XOR, [a, b], name=f"{name}_x1")
+    s = netlist.add_gate(GateType.XOR, [axb, cin], name=f"{name}_s")
+    t1 = netlist.add_gate(GateType.AND, [a, b], name=f"{name}_a1")
+    t2 = netlist.add_gate(GateType.AND, [axb, cin], name=f"{name}_a2")
+    c = netlist.add_gate(GateType.OR, [t1, t2], name=f"{name}_c")
+    return s, c
+
+
+def ripple_adder(
+    netlist: Netlist,
+    a: Sequence[int],
+    b: Sequence[int],
+    cin: Optional[int] = None,
+    name: str = "add",
+    keep_carry: bool = False,
+) -> List[int]:
+    """Append an n-bit ripple-carry adder.
+
+    ``a`` and ``b`` are LSB-first net lists of equal width.  Returns the sum
+    nets (width n, or n+1 with ``keep_carry``).  The paper's data paths are
+    8 bits wide throughout, so by default the carry-out is dropped
+    (modulo-2^n addition), matching a fixed-width datapath.
+    """
+    if len(a) != len(b):
+        raise NetlistError(f"adder operand widths differ: {len(a)} vs {len(b)}")
+    sums: List[int] = []
+    carry = cin
+    last = len(a) - 1
+    for bit, (ai, bi) in enumerate(zip(a, b)):
+        stage = f"{name}_fa{bit}"
+        # The final stage's carry is dead logic unless kept; skip building it
+        # so the netlist carries no structurally undetectable faults.
+        need_carry = keep_carry or bit < last
+        if carry is None:
+            if need_carry:
+                s, carry = half_adder(netlist, ai, bi, name=stage)
+            else:
+                s = netlist.add_gate(GateType.XOR, [ai, bi], name=f"{stage}_s")
+        else:
+            if need_carry:
+                s, carry = full_adder(netlist, ai, bi, carry, name=stage)
+            else:
+                axb = netlist.add_gate(GateType.XOR, [ai, bi], name=f"{stage}_x1")
+                s = netlist.add_gate(GateType.XOR, [axb, carry], name=f"{stage}_s")
+        sums.append(s)
+    if keep_carry:
+        sums.append(carry)
+    return sums
+
+
+def array_multiplier(
+    netlist: Netlist,
+    a: Sequence[int],
+    b: Sequence[int],
+    name: str = "mul",
+    out_width: Optional[int] = None,
+) -> List[int]:
+    """Append an unsigned array multiplier.
+
+    Builds the classic carry-save partial-product array.  ``out_width``
+    truncates the result; the paper's multipliers keep only the 8 LSBs
+    ("only the 8 least significant output lines of each multiplier feed the
+    next stage").  Truncation here still *builds* the full array; callers
+    that want dead upper logic removed should run
+    :meth:`Netlist.prune_to_outputs` after marking POs — that mirrors what a
+    synthesis tool would sweep away.
+
+    Returns LSB-first output nets.
+    """
+    n = len(a)
+    m = len(b)
+    if n == 0 or m == 0:
+        raise NetlistError("multiplier operands must be non-empty")
+    full_width = n + m
+    width = full_width if out_width is None else min(out_width, full_width)
+
+    # Partial products: pp[i][j] = a[j] AND b[i]
+    partials: List[List[int]] = []
+    for i in range(m):
+        row = [
+            netlist.add_gate(GateType.AND, [a[j], b[i]], name=f"{name}_pp{i}_{j}")
+            for j in range(n)
+        ]
+        partials.append(row)
+
+    outputs: List[int] = [partials[0][0]]
+    # Running sum, LSB-first, currently bits 1..n-1 of row 0.
+    acc: List[int] = partials[0][1:]
+    for i in range(1, m):
+        row = partials[i]
+        next_acc: List[int] = []
+        carry: Optional[int] = None
+        for j in range(n):
+            stage = f"{name}_r{i}c{j}"
+            addend = acc[j] if j < len(acc) else None
+            if addend is None and carry is None:
+                s, c = row[j], None
+            elif addend is None:
+                s, c = half_adder(netlist, row[j], carry, name=stage)
+            elif carry is None:
+                s, c = half_adder(netlist, row[j], addend, name=stage)
+            else:
+                s, c = full_adder(netlist, row[j], addend, carry, name=stage)
+            if j == 0:
+                outputs.append(s)
+            else:
+                next_acc.append(s)
+            carry = c
+        if carry is not None:
+            next_acc.append(carry)
+        acc = next_acc
+        if len(outputs) >= width and i < m - 1:
+            # The bits still to be produced all lie above the truncation
+            # width; keep folding so acc stays consistent, cheap enough.
+            continue
+    outputs.extend(acc)
+    while len(outputs) < width:
+        # Degenerate operand widths (e.g. 1x1) produce fewer bits than the
+        # requested output width; the missing high bits are constant zero.
+        outputs.append(
+            netlist.add_gate(GateType.CONST0, [], name=f"{name}_z{len(outputs)}")
+        )
+    return outputs[:width]
+
+
+def equality_comparator(netlist: Netlist, a: Sequence[int], b: Sequence[int], name: str = "eq") -> int:
+    """Append an n-bit equality comparator; returns a single net (1 iff a==b)."""
+    if len(a) != len(b):
+        raise NetlistError("comparator operand widths differ")
+    bits = [
+        netlist.add_gate(GateType.XNOR, [ai, bi], name=f"{name}_x{i}")
+        for i, (ai, bi) in enumerate(zip(a, b))
+    ]
+    if len(bits) == 1:
+        return bits[0]
+    return netlist.add_gate(GateType.AND, bits, name=f"{name}_and")
+
+
+def mux2(netlist: Netlist, select: int, when0: int, when1: int, name: str = "mux") -> int:
+    """Append a 2:1 mux; returns the output net."""
+    not_sel = netlist.add_gate(GateType.NOT, [select], name=f"{name}_n")
+    t0 = netlist.add_gate(GateType.AND, [not_sel, when0], name=f"{name}_a0")
+    t1 = netlist.add_gate(GateType.AND, [select, when1], name=f"{name}_a1")
+    return netlist.add_gate(GateType.OR, [t0, t1], name=f"{name}_o")
+
+
+def word_mux2(
+    netlist: Netlist,
+    select: int,
+    when0: Sequence[int],
+    when1: Sequence[int],
+    name: str = "wmux",
+) -> List[int]:
+    """Append a word-wide 2:1 mux."""
+    if len(when0) != len(when1):
+        raise NetlistError("mux operand widths differ")
+    return [
+        mux2(netlist, select, w0, w1, name=f"{name}_b{i}")
+        for i, (w0, w1) in enumerate(zip(when0, when1))
+    ]

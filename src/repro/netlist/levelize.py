@@ -1,0 +1,68 @@
+"""Topological levelization of a netlist.
+
+Produces a gate evaluation order such that every gate appears after all gates
+driving its inputs.  Detects combinational cycles, which the paper's circuit
+model forbids (Section 3.1: "combinational cycles ... are not allowed").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import NetlistError
+
+
+def levelize(netlist) -> List[int]:
+    """Return gate indices in topological (level) order.
+
+    Raises
+    ------
+    NetlistError
+        If the netlist contains a combinational cycle.
+    """
+    # Kahn's algorithm over the gate dependency graph.
+    n_gates = len(netlist.gates)
+    driver: Dict[int, int] = {}
+    for index, gate in enumerate(netlist.gates):
+        driver[gate.output] = index
+
+    pending: List[int] = [0] * n_gates  # unresolved input count per gate
+    dependents: Dict[int, List[int]] = {}
+    ready: List[int] = []
+    for index, gate in enumerate(netlist.gates):
+        unresolved = 0
+        for net in gate.inputs:
+            source = driver.get(net)
+            if source is not None:
+                unresolved += 1
+                dependents.setdefault(source, []).append(index)
+        pending[index] = unresolved
+        if unresolved == 0:
+            ready.append(index)
+
+    order: List[int] = []
+    while ready:
+        gate_index = ready.pop()
+        order.append(gate_index)
+        for dependent in dependents.get(gate_index, ()):
+            pending[dependent] -= 1
+            if pending[dependent] == 0:
+                ready.append(dependent)
+
+    if len(order) != n_gates:
+        stuck = [netlist.gates[i].name or f"g{i}" for i in range(n_gates) if pending[i] > 0]
+        raise NetlistError(f"combinational cycle involving gates: {stuck[:8]}")
+    return order
+
+
+def levels(netlist) -> Dict[int, int]:
+    """Map each gate index to its logic level (PIs are level 0)."""
+    order = levelize(netlist)
+    net_level: Dict[int, int] = {net: 0 for net in netlist.primary_inputs}
+    gate_level: Dict[int, int] = {}
+    for gate_index in order:
+        gate = netlist.gates[gate_index]
+        lvl = 1 + max((net_level.get(n, 0) for n in gate.inputs), default=0)
+        gate_level[gate_index] = lvl
+        net_level[gate.output] = lvl
+    return gate_level

@@ -1,0 +1,17 @@
+"""RTL circuit model: nets, combinational blocks, registers, PIs/POs."""
+
+from repro.rtl.components import CombBlock, Net, RTLRegister
+from repro.rtl.circuit import DriverRef, RTLCircuit, RTLStats, SinkRef
+from repro.rtl.simulate import RTLSimulator, flatten_latency
+
+__all__ = [
+    "Net",
+    "CombBlock",
+    "RTLRegister",
+    "RTLCircuit",
+    "RTLStats",
+    "DriverRef",
+    "SinkRef",
+    "RTLSimulator",
+    "flatten_latency",
+]

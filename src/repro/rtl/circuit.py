@@ -1,0 +1,211 @@
+"""The RTL circuit container (the paper's CUC).
+
+Holds nets, combinational blocks, registers and PI/PO markings, enforcing
+the structural rules of Section 3.1: every net has exactly one driver, and
+a block's input/output ports are its ordered net connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RTLError
+from repro.rtl.components import CombBlock, GateExpander, Net, RTLRegister, WordFunction
+
+
+@dataclass(frozen=True)
+class SinkRef:
+    """One consumer of a net."""
+
+    kind: str          # "block" | "register" | "po"
+    name: str          # block/register name, or PO net name
+    port: int = 0      # input-port index for blocks
+
+
+@dataclass(frozen=True)
+class DriverRef:
+    """The producer of a net."""
+
+    kind: str          # "pi" | "block" | "register"
+    name: str
+    port: int = 0      # output-port index for blocks
+
+
+class RTLCircuit:
+    """A register-transfer level circuit under consideration."""
+
+    def __init__(self, name: str = "cuc"):
+        self.name = name
+        self.nets: List[Net] = []
+        self._net_by_name: Dict[str, int] = {}
+        self.blocks: Dict[str, CombBlock] = {}
+        self.registers: Dict[str, RTLRegister] = {}
+        self.primary_inputs: List[int] = []
+        self.primary_outputs: List[int] = []
+
+    # ------------------------------------------------------------------ nets
+
+    def add_net(self, name: str, width: int = 8) -> int:
+        """Create a named net; returns its index."""
+        if name in self._net_by_name:
+            raise RTLError(f"duplicate net name {name!r}")
+        net = Net(len(self.nets), name, width)
+        self.nets.append(net)
+        self._net_by_name[name] = net.index
+        return net.index
+
+    def net(self, ref) -> Net:
+        """Resolve a net by index or name."""
+        if isinstance(ref, str):
+            try:
+                return self.nets[self._net_by_name[ref]]
+            except KeyError:
+                raise RTLError(f"no net named {ref!r}") from None
+        return self.nets[ref]
+
+    def net_index(self, ref) -> int:
+        return self.net(ref).index
+
+    # ----------------------------------------------------------- components
+
+    def add_block(
+        self,
+        name: str,
+        inputs: Sequence,
+        outputs: Sequence,
+        kind: str = "comb",
+        word_func: Optional[WordFunction] = None,
+        gate_expander: Optional[GateExpander] = None,
+    ) -> CombBlock:
+        """Add a combinational block connected to existing nets."""
+        if name in self.blocks or name in self.registers:
+            raise RTLError(f"duplicate component name {name!r}")
+        if not inputs or not outputs:
+            raise RTLError(f"block {name} needs at least one input and output")
+        block = CombBlock(
+            name,
+            [self.net_index(n) for n in inputs],
+            [self.net_index(n) for n in outputs],
+            kind,
+            word_func,
+            gate_expander,
+        )
+        self.blocks[name] = block
+        return block
+
+    def add_register(self, name: str, input_net, output_net, width: Optional[int] = None) -> RTLRegister:
+        """Add a register between two nets (widths must agree)."""
+        if name in self.blocks or name in self.registers:
+            raise RTLError(f"duplicate component name {name!r}")
+        in_net = self.net(input_net)
+        out_net = self.net(output_net)
+        if in_net.width != out_net.width:
+            raise RTLError(
+                f"register {name}: width mismatch {in_net.width} vs {out_net.width}"
+            )
+        if width is not None and width != in_net.width:
+            raise RTLError(f"register {name}: declared width {width} != net width")
+        register = RTLRegister(name, in_net.width, in_net.index, out_net.index)
+        self.registers[name] = register
+        return register
+
+    def mark_input(self, net) -> None:
+        index = self.net_index(net)
+        if index not in self.primary_inputs:
+            self.primary_inputs.append(index)
+
+    def mark_output(self, net) -> None:
+        index = self.net_index(net)
+        if index not in self.primary_outputs:
+            self.primary_outputs.append(index)
+
+    def new_input(self, name: str, width: int = 8) -> int:
+        index = self.add_net(name, width)
+        self.mark_input(index)
+        return index
+
+    def new_output(self, name: str, width: int = 8) -> int:
+        index = self.add_net(name, width)
+        self.mark_output(index)
+        return index
+
+    # ------------------------------------------------------------- structure
+
+    def drivers(self) -> Dict[int, DriverRef]:
+        """Map net index -> its driver."""
+        driver: Dict[int, DriverRef] = {}
+
+        def put(net: int, ref: DriverRef) -> None:
+            if net in driver:
+                raise RTLError(
+                    f"net {self.nets[net].name} driven by both "
+                    f"{driver[net].name} and {ref.name}"
+                )
+            driver[net] = ref
+
+        for net in self.primary_inputs:
+            put(net, DriverRef("pi", self.nets[net].name))
+        for block in self.blocks.values():
+            for port, net in enumerate(block.output_nets):
+                put(net, DriverRef("block", block.name, port))
+        for register in self.registers.values():
+            put(register.output_net, DriverRef("register", register.name))
+        return driver
+
+    def sinks(self) -> Dict[int, List[SinkRef]]:
+        """Map net index -> its consumers (in deterministic order)."""
+        sinks: Dict[int, List[SinkRef]] = {net.index: [] for net in self.nets}
+        for block in self.blocks.values():
+            for port, net in enumerate(block.input_nets):
+                sinks[net].append(SinkRef("block", block.name, port))
+        for register in self.registers.values():
+            sinks[register.input_net].append(SinkRef("register", register.name))
+        for net in self.primary_outputs:
+            sinks[net].append(SinkRef("po", self.nets[net].name))
+        return sinks
+
+    def validate(self) -> None:
+        """Check every net has exactly one driver and at least one sink."""
+        driver = self.drivers()
+        sinks = self.sinks()
+        for net in self.nets:
+            if net.index not in driver:
+                raise RTLError(f"net {net.name} has no driver")
+            if not sinks[net.index]:
+                raise RTLError(f"net {net.name} has no sink")
+        # Width discipline at block ports is the builder's duty; registers
+        # are checked at add time.
+
+    # --------------------------------------------------------------- queries
+
+    def register_widths(self) -> Dict[str, int]:
+        return {name: reg.width for name, reg in self.registers.items()}
+
+    def total_register_bits(self) -> int:
+        return sum(reg.width for reg in self.registers.values())
+
+    def block_names(self) -> List[str]:
+        return sorted(self.blocks)
+
+    def stats(self) -> "RTLStats":
+        return RTLStats(
+            name=self.name,
+            n_blocks=len(self.blocks),
+            n_registers=len(self.registers),
+            n_register_bits=self.total_register_bits(),
+            n_primary_inputs=len(self.primary_inputs),
+            n_primary_outputs=len(self.primary_outputs),
+        )
+
+
+@dataclass(frozen=True)
+class RTLStats:
+    """Headline numbers for an RTL circuit."""
+
+    name: str
+    n_blocks: int
+    n_registers: int
+    n_register_bits: int
+    n_primary_inputs: int
+    n_primary_outputs: int

@@ -1,0 +1,73 @@
+"""RTL component definitions (Section 3.1's circuit vocabulary).
+
+A circuit under consideration (CUC) is made of combinational logic blocks,
+registers, fanout points, primary inputs/outputs and the nets connecting
+them.  Fanout and vacuous blocks are *not* declared here — they are derived
+during circuit-graph construction, exactly as the paper introduces them as
+modelling artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import RTLError
+
+# A word-level behaviour: input words -> output words.
+WordFunction = Callable[[Sequence[int]], Sequence[int]]
+# A gate expander: (netlist, input net lists) -> output net lists.
+GateExpander = Callable[[object, Sequence[Sequence[int]], str], Sequence[Sequence[int]]]
+
+
+@dataclass
+class Net:
+    """A bundle of wires with a single driver and any number of sinks."""
+
+    index: int
+    name: str
+    width: int
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise RTLError(f"net {self.name} must have positive width")
+
+
+@dataclass
+class CombBlock:
+    """A combinational logic block with ordered input and output ports.
+
+    ``kind`` is a free-form tag ("add8", "mul8", ...); ``word_func`` gives
+    word-level behaviour for functional simulation and ``gate_expander``
+    lowers the block to gates for fault simulation.  Both are optional —
+    purely structural analyses never need them.
+    """
+
+    name: str
+    input_nets: List[int]
+    output_nets: List[int]
+    kind: str = "comb"
+    word_func: Optional[WordFunction] = None
+    gate_expander: Optional[GateExpander] = None
+
+    @property
+    def n_input_ports(self) -> int:
+        return len(self.input_nets)
+
+    @property
+    def n_output_ports(self) -> int:
+        return len(self.output_nets)
+
+
+@dataclass
+class RTLRegister:
+    """An edge-triggered D register between two nets of equal width."""
+
+    name: str
+    width: int
+    input_net: int
+    output_net: int
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise RTLError(f"register {self.name} must have positive width")

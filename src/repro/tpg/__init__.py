@@ -1,0 +1,90 @@
+"""Test pattern generator design: LFSRs, SC_TPG, MC_TPG, verification."""
+
+from repro.tpg.gf2 import (
+    exponents_of,
+    find_primitive_polynomial,
+    is_irreducible,
+    is_primitive,
+    poly_from_exponents,
+)
+from repro.tpg.polynomials import PAPER_POLY_12, primitive_polynomial, tabulated_degrees
+from repro.tpg.lfsr import CompleteLFSR, Type1LFSR, Type2LFSR
+from repro.tpg.design import Cone, InputRegister, KernelSpec, Slot, TPGDesign
+from repro.tpg.sc_tpg import extra_flipflops_needed, sc_tpg
+from repro.tpg.mc_tpg import ConeSpan, cone_spans, mc_tpg
+from repro.tpg.reconfigurable import (
+    ReconfigurableTPG,
+    TPGSession,
+    build_reconfigurable,
+    compare_with_monolithic,
+)
+from repro.tpg.verify import (
+    ConeVerdict,
+    cone_pattern_set,
+    expected_pattern_count,
+    is_functionally_exhaustive,
+    verify_cone,
+    verify_design,
+)
+# NOTE: repro.tpg.cstp depends on the higher-level repro.bist package and
+# is intentionally not re-exported here (import repro.tpg.cstp directly).
+from repro.tpg.minimal import (
+    OffsetAssignment,
+    design_from_offsets,
+    minimal_tpg,
+    optimality_gap,
+)
+from repro.tpg.pseudo_exhaustive import (
+    PermutationSearchResult,
+    TestSignalPlan,
+    best_register_order,
+    conflict_pairs,
+    dependency_matrix,
+    mcclauskey_extension_stages,
+    minimal_test_signals,
+)
+
+__all__ = [
+    "poly_from_exponents",
+    "exponents_of",
+    "is_irreducible",
+    "is_primitive",
+    "find_primitive_polynomial",
+    "primitive_polynomial",
+    "tabulated_degrees",
+    "PAPER_POLY_12",
+    "Type1LFSR",
+    "Type2LFSR",
+    "CompleteLFSR",
+    "InputRegister",
+    "Cone",
+    "KernelSpec",
+    "Slot",
+    "TPGDesign",
+    "sc_tpg",
+    "extra_flipflops_needed",
+    "mc_tpg",
+    "cone_spans",
+    "ConeSpan",
+    "ReconfigurableTPG",
+    "TPGSession",
+    "build_reconfigurable",
+    "compare_with_monolithic",
+    "ConeVerdict",
+    "verify_cone",
+    "verify_design",
+    "is_functionally_exhaustive",
+    "cone_pattern_set",
+    "expected_pattern_count",
+    "dependency_matrix",
+    "conflict_pairs",
+    "minimal_test_signals",
+    "TestSignalPlan",
+    "best_register_order",
+    "PermutationSearchResult",
+    "mcclauskey_extension_stages",
+    "minimal_tpg",
+    "design_from_offsets",
+    "optimality_gap",
+    "OffsetAssignment",
+]

@@ -1,0 +1,225 @@
+"""Circular self-test path (CSTP) — the paper's contrast technique [4].
+
+Krasniewski & Pilarski's CSTP chains *all* register cells into one circular
+path; in test mode each cell captures its functional input XORed with its
+predecessor cell, so the register ring is simultaneously pattern generator
+and compactor.  The paper contrasts it with the BIBS TPG: CSTP kernels
+"can also be sequential and need not be balanced", but applying an
+(effectively) exhaustive test set "requires about T * 2^M test patterns,
+where T varies from 4 to 8", versus the BIBS TPG's guaranteed 2^M - 1 + d
+— and CSTP's patterns are not functionally exhaustive.
+
+:class:`CSTPSession` runs the scheme cycle-accurately on the same
+gate-level engine as :class:`~repro.bist.session.BISTSession`, so the two
+styles can be compared fault for fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bist.gatesim import MachineFault, SequentialGateSimulator
+from repro.errors import SimulationError
+from repro.faultsim.faults import Fault
+from repro.rtl.circuit import RTLCircuit
+
+
+@dataclass
+class CSTPResult:
+    """Outcome of a CSTP run over a fault list."""
+
+    cycles: int
+    golden_state: Tuple[int, ...]
+    detected: List[Fault] = field(default_factory=list)
+    undetected: List[Fault] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 1.0
+
+
+class CSTPSession:
+    """Circular self-test path over every register cell of a circuit.
+
+    The ring order concatenates registers in name order, LSB first; the
+    final state (the ring's contents) is the test signature.
+    """
+
+    def __init__(self, circuit: RTLCircuit, seed: int = 1):
+        self.circuit = circuit
+        self.simulator = SequentialGateSimulator(circuit)
+        self.ring: List[Tuple[str, int]] = []
+        for name in sorted(circuit.registers):
+            for bit in range(circuit.registers[name].width):
+                self.ring.append((name, bit))
+        if not self.ring:
+            raise SimulationError("CSTP needs at least one register cell")
+        self.seed = seed
+
+    def _initial_state(self, machines: int) -> List[int]:
+        mask = (1 << machines) - 1
+        return [
+            mask if (self.seed >> (i % 30)) & 1 else 0
+            for i in range(len(self.ring))
+        ]
+
+    def fault_universe(self) -> List[Fault]:
+        from repro.faultsim.collapse import collapse_faults
+
+        representatives, _ = collapse_faults(self.simulator.netlist)
+        return representatives
+
+    def input_pattern_coverage(
+        self,
+        registers: Sequence[str],
+        max_cycles: int,
+        checkpoints: Sequence[int] = (),
+    ) -> Dict[int, float]:
+        """Fraction of the registers' joint input space applied over time.
+
+        The paper's CSTP contrast: the ring's states are not a maximal-
+        length sequence, so covering all 2^M patterns at a kernel's input
+        registers takes "about T * 2^M" cycles, T in [4, 8] — versus the
+        BIBS TPG's guaranteed single period.  Returns {cycles: fraction}
+        at each checkpoint (and at ``max_cycles``); iteration stops early
+        once coverage reaches 1.0.
+        """
+        total_width = sum(self.circuit.registers[name].width for name in registers)
+        space = 1 << total_width
+        marks = sorted(set(list(checkpoints) + [max_cycles]))
+        cell_positions = [
+            self.ring.index((name, bit))
+            for name in registers
+            for bit in range(self.circuit.registers[name].width)
+        ]
+        state = self._initial_state(1)
+        pi_defaults = {
+            self.circuit.nets[n].name: 0 for n in self.circuit.primary_inputs
+        }
+        cell_index = {
+            (name, bit): i for i, (name, bit) in enumerate(self.ring)
+        }
+        seen: Set[int] = set()
+        result: Dict[int, float] = {}
+        n_cells = len(self.ring)
+        for t in range(max_cycles):
+            pattern = 0
+            for position, cell in enumerate(cell_positions):
+                if state[cell] & 1:
+                    pattern |= 1 << position
+            seen.add(pattern)
+            captured: Dict[int, int] = {}
+
+            def observe(_t, values, captured=captured):
+                for name, bits in self.simulator.register_in_bits.items():
+                    for bit, net in enumerate(bits):
+                        captured[cell_index[(name, bit)]] = values[net]
+
+            self.simulator.run(
+                1,
+                lambda _t: pi_defaults,
+                observe=observe,
+                packed_register_state={
+                    name: [
+                        state[cell_index[(name, bit)]]
+                        for bit in range(self.circuit.registers[name].width)
+                    ]
+                    for name in self.circuit.registers
+                },
+            )
+            state = [
+                (captured.get(i, 0) ^ state[(i - 1) % n_cells]) & 1
+                for i in range(n_cells)
+            ]
+            if t + 1 in marks or len(seen) == space:
+                result[t + 1] = len(seen) / space
+                if len(seen) == space:
+                    break
+        if max_cycles not in result and (not result or max(result) < max_cycles):
+            result[max_cycles] = len(seen) / space
+        return result
+
+    def run(
+        self,
+        cycles: int,
+        faults: Sequence[Fault] = (),
+        machines_per_pass: int = 64,
+    ) -> CSTPResult:
+        """Run the circular path for ``cycles`` clocks against a fault list."""
+        pi_defaults = {
+            self.circuit.nets[n].name: 0 for n in self.circuit.primary_inputs
+        }
+        golden: Optional[Tuple[int, ...]] = None
+        detected: List[Fault] = []
+        undetected: List[Fault] = []
+
+        pending = list(faults)
+        first = True
+        while pending or first:
+            chunk = pending[: machines_per_pass - 1]
+            pending = pending[machines_per_pass - 1:]
+            machine_faults = [
+                MachineFault(i + 1, fault.net, fault.stuck_at)
+                for i, fault in enumerate(chunk)
+            ]
+            machines = len(chunk) + 1
+            state = self._initial_state(machines)
+
+            # The CSTP update is per-machine, so the simulator runs one
+            # cycle at a time with explicit packed register state.
+            mask = (1 << machines) - 1
+            cell_index = {
+                (name, bit): i for i, (name, bit) in enumerate(self.ring)
+            }
+
+            for t in range(cycles):
+                captured: Dict[int, int] = {}
+
+                def observe(_t, values, captured=captured):
+                    for name, bits in self.simulator.register_in_bits.items():
+                        for bit, net in enumerate(bits):
+                            index = cell_index.get((name, bit))
+                            if index is not None:
+                                captured[index] = values[net]
+
+                self.simulator.run(
+                    1,
+                    lambda _t: pi_defaults,
+                    machines=machines,
+                    faults=machine_faults,
+                    observe=observe,
+                    packed_register_state={
+                        name: [
+                            state[cell_index[(name, bit)]]
+                            for bit in range(self.circuit.registers[name].width)
+                        ]
+                        for name in self.circuit.registers
+                    },
+                )
+                # Ring update: cell_i' = functional_input_i XOR cell_{i-1}.
+                n_cells = len(self.ring)
+                state = [
+                    (captured.get(i, 0) ^ state[(i - 1) % n_cells]) & mask
+                    for i in range(n_cells)
+                ]
+
+            for machine in range(machines):
+                signature = tuple(
+                    (word >> machine) & 1 for word in state
+                )
+                if machine == 0:
+                    if golden is None:
+                        golden = signature
+                    chunk_golden = signature
+                else:
+                    fault = chunk[machine - 1]
+                    if signature != chunk_golden:
+                        detected.append(fault)
+                    else:
+                        undetected.append(fault)
+            first = False
+
+        assert golden is not None
+        return CSTPResult(cycles, golden, detected, undetected)

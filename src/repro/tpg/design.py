@@ -1,0 +1,357 @@
+"""TPG design model: kernels, FF strings with labels, simulation.
+
+Section 4 of the paper abstracts a balanced BISTable kernel into a
+*generalized structure* (Figure 11a): input registers R_1..R_n and, per
+output cone, the sequential length d_{i,x} from each register to that cone's
+output port.  :class:`KernelSpec` captures exactly that.
+
+A TPG built by SC_TPG/MC_TPG is a string of D flip-flops.  Each FF carries a
+*label* L_k; FFs labelled L_1..L_M form a type-1 (external-XOR) LFSR and FFs
+with labels beyond M continue the chain as a plain shift register.  Two FFs
+may share a label, meaning they are fed by the same fanout stem and always
+hold identical values.  Thanks to the type-1 shift property, the value of
+any FF labelled L_k at time t equals b(t - k + 1), where b(.) is the
+feedback bit stream — so the whole TPG is a sliding window over one
+m-sequence, which is how :meth:`TPGDesign.register_streams` simulates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import TPGError
+from repro.tpg.gf2 import exponents_of
+from repro.tpg.polynomials import primitive_polynomial
+
+
+@dataclass(frozen=True)
+class InputRegister:
+    """One kernel input register (name + bit width)."""
+
+    name: str
+    width: int
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise TPGError(f"register {self.name} must have positive width")
+
+
+@dataclass(frozen=True)
+class Cone:
+    """An output cone: the registers it depends on and their sequential lengths.
+
+    ``depths[r]`` is d_{r,x}: the number of (non-BILBO) register stages on
+    every path from input register ``r`` to this cone's output port.  In a
+    balanced kernel that number is path-independent, which is what makes the
+    construction work (Theorem 4).
+    """
+
+    name: str
+    depths: Mapping[str, int]
+
+    def __post_init__(self):
+        for register, depth in self.depths.items():
+            if depth < 0:
+                raise TPGError(f"cone {self.name}: negative depth for {register}")
+
+    def depends_on(self, register: str) -> bool:
+        return register in self.depths
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Generalized structure of a balanced BISTable kernel.
+
+    ``registers`` are in the order the TPG construction will process them
+    (the paper permutes this order for functionally pseudo-exhaustive
+    testing).
+    """
+
+    registers: Tuple[InputRegister, ...]
+    cones: Tuple[Cone, ...]
+    name: str = "kernel"
+
+    @staticmethod
+    def single_cone(
+        widths_and_depths: Sequence[Tuple[str, int, int]],
+        name: str = "kernel",
+        cone_name: str = "cone",
+    ) -> "KernelSpec":
+        """Build a single-cone spec from (register, width, depth) triples."""
+        registers = tuple(InputRegister(r, w) for r, w, _ in widths_and_depths)
+        depths = {r: d for r, _, d in widths_and_depths}
+        return KernelSpec(registers, (Cone(cone_name, depths),), name)
+
+    def __post_init__(self):
+        names = [r.name for r in self.registers]
+        if len(set(names)) != len(names):
+            raise TPGError("duplicate register names in kernel spec")
+        known = set(names)
+        for cone in self.cones:
+            for register in cone.depths:
+                if register not in known:
+                    raise TPGError(
+                        f"cone {cone.name} depends on unknown register {register}"
+                    )
+
+    @property
+    def total_width(self) -> int:
+        """M: the sum of all input register widths."""
+        return sum(r.width for r in self.registers)
+
+    @property
+    def sequential_depth(self) -> int:
+        """d: the largest sequential length in the kernel."""
+        return max((d for cone in self.cones for d in cone.depths.values()), default=0)
+
+    def width_of(self, register: str) -> int:
+        for r in self.registers:
+            if r.name == register:
+                return r.width
+        raise TPGError(f"unknown register {register}")
+
+    def cone_width(self, cone: Cone) -> int:
+        """Input width the cone depends on (w in the paper's 2^w bound)."""
+        return sum(self.width_of(r) for r in cone.depths)
+
+    @property
+    def max_cone_width(self) -> int:
+        """The maximal cone size of the kernel."""
+        return max((self.cone_width(c) for c in self.cones), default=0)
+
+    def permuted(self, order: Sequence[str]) -> "KernelSpec":
+        """The same kernel with registers reordered (for MC_TPG search)."""
+        by_name = {r.name: r for r in self.registers}
+        if sorted(order) != sorted(by_name):
+            raise TPGError("permutation must mention every register exactly once")
+        return KernelSpec(tuple(by_name[n] for n in order), self.cones, self.name)
+
+
+@dataclass
+class Slot:
+    """One physical D flip-flop in the TPG string."""
+
+    label: int
+    owner: Optional[Tuple[str, int]] = None  # (register name, 1-based cell index)
+
+    @property
+    def is_extra(self) -> bool:
+        """True when this FF is not a register cell (pure delay/LFSR stage)."""
+        return self.owner is None
+
+
+class TPGDesign:
+    """A concrete TPG: the FF string, the LFSR size, the feedback polynomial.
+
+    Attributes
+    ----------
+    slots:
+        Physical FFs in TPG order.  Labels are normalised to start at 1.
+    lfsr_stages:
+        M — labels 1..M form the type-1 LFSR; higher labels are SR stages.
+    polynomial:
+        Feedback polynomial (bitmask form).
+    cell_labels:
+        ``(register, cell_index)`` -> label, 1-based cells.
+    """
+
+    def __init__(
+        self,
+        kernel: KernelSpec,
+        slots: List[Slot],
+        lfsr_stages: int,
+        polynomial: Optional[int] = None,
+    ):
+        if lfsr_stages < 1:
+            raise TPGError("LFSR must have at least one stage")
+        self.kernel = kernel
+        self.slots = slots
+        self.lfsr_stages = lfsr_stages
+        self.polynomial = (
+            polynomial if polynomial is not None else primitive_polynomial(lfsr_stages)
+        )
+        self.cell_labels: Dict[Tuple[str, int], int] = {}
+        for slot in slots:
+            if slot.owner is not None:
+                if slot.owner in self.cell_labels:
+                    raise TPGError(f"register cell {slot.owner} assigned twice")
+                self.cell_labels[slot.owner] = slot.label
+        for register in kernel.registers:
+            for cell in range(1, register.width + 1):
+                if (register.name, cell) not in self.cell_labels:
+                    raise TPGError(
+                        f"cell {cell} of register {register.name} unassigned"
+                    )
+
+    # ------------------------------------------------------------ accounting
+
+    @property
+    def n_flipflops(self) -> int:
+        """Total physical FFs in the TPG."""
+        return len(self.slots)
+
+    @property
+    def n_extra_flipflops(self) -> int:
+        """FFs beyond the kernel's own register cells."""
+        return sum(1 for slot in self.slots if slot.is_extra)
+
+    @property
+    def max_label(self) -> int:
+        return max(slot.label for slot in self.slots)
+
+    def register_label_span(self, register: str) -> Tuple[int, int]:
+        """(first, last) labels of a register's cells."""
+        width = self.kernel.width_of(register)
+        labels = [self.cell_labels[(register, c)] for c in range(1, width + 1)]
+        return min(labels), max(labels)
+
+    def displacement(self, register_a: str, register_b: str) -> int:
+        """Displacement of ``register_b`` with respect to ``register_a``.
+
+        Measured between last cells, as in the paper's Theorem 6 argument.
+        """
+        _, ua = self.register_label_span(register_a)
+        _, ub = self.register_label_span(register_b)
+        return ub - ua
+
+    def test_time(self) -> int:
+        """Clock cycles to functionally exhaustively test the kernel.
+
+        Corollary 1: 2^M - 1 pattern cycles plus d flush cycles.
+        """
+        return (1 << self.lfsr_stages) - 1 + self.kernel.sequential_depth
+
+    # ------------------------------------------------------------ simulation
+
+    def _tap_lags(self) -> List[int]:
+        """Feedback taps expressed as lags into the bit-stream history."""
+        return [e for e in exponents_of(self.polynomial) if e != 0]
+
+    def bit_stream(self, seed: int = 1) -> Iterator[int]:
+        """The feedback bit stream b(t), t = 0, 1, 2, ...
+
+        ``seed`` initialises LFSR stages 1..M: bit i-1 of ``seed`` is the
+        initial content of stage i, i.e. b(1-i) at t=0.  b(0) is stage 1's
+        initial value.
+        """
+        m = self.lfsr_stages
+        if seed & ((1 << m) - 1) == 0:
+            raise TPGError("LFSR seed must be non-zero")
+        # history[k] = b(t - k) for k = 0..window-1
+        window = max(self.max_label, m)
+        history = [(seed >> k) & 1 if k < m else 0 for k in range(window)]
+        lags = self._tap_lags()
+        while True:
+            yield history[0]
+            new_bit = 0
+            for lag in lags:
+                new_bit ^= history[lag - 1]
+            history.insert(0, new_bit)
+            history.pop()
+
+    def register_streams(self, steps: int, seed: int = 1) -> Dict[str, List[int]]:
+        """Register contents over ``steps`` clock cycles.
+
+        Returns ``{register: [value at t=0, t=1, ...]}``.  Cell 1 of a
+        register is its least-significant bit in the returned integers.
+        The value of a cell labelled L_k at time t is b(t - k + 1).
+        """
+        max_label = self.max_label
+        total = steps + max_label
+        stream: List[int] = []
+        bits = self.bit_stream(seed)
+        for _ in range(total):
+            stream.append(next(bits))
+        # stream[t] = b(t).  Negative times are the *backward extension* of
+        # the m-sequence: stages 1..M start from the seed and any shift-
+        # register stages beyond M are scan-seeded consistently with it
+        # (the recurrence is invertible because the polynomial's constant
+        # term is 1), so b(-k) is well defined for every k.
+        m = self.lfsr_stages
+        history: List[int] = [(seed >> k) & 1 for k in range(m)]  # b(0..-(M-1))
+        taps = self._tap_lags()
+        for k in range(m, max_label + 1):
+            # b(-k+M) = XOR_e b(-k+M-e); isolate the e = M term b(-k).
+            value = history[k - m]
+            for lag in taps:
+                if lag != m:
+                    value ^= history[k - m + lag]
+            history.append(value)
+
+        def value_of(t: int) -> int:
+            if t >= 0:
+                return stream[t]
+            return history[-t]
+
+        result: Dict[str, List[int]] = {}
+        for register in self.kernel.registers:
+            values: List[int] = []
+            labels = [
+                self.cell_labels[(register.name, c)]
+                for c in range(1, register.width + 1)
+            ]
+            for t in range(steps):
+                word = 0
+                for bit_pos, label in enumerate(labels):
+                    if value_of(t - label + 1):
+                        word |= 1 << bit_pos
+                values.append(word)
+            result[register.name] = values
+        return result
+
+    def feedback_taps(self) -> List[int]:
+        """LFSR stages feeding the external XOR (polynomial exponents != 0)."""
+        return sorted(e for e in exponents_of(self.polynomial) if e != 0)
+
+    def layout(self) -> str:
+        """ASCII rendering: labels, cell assignment, feedback taps.
+
+        A ``*`` row marks the LFSR stages whose outputs are XORed back into
+        stage L1 (the type-1 feedback network); stages beyond M carry ``sr``
+        to show they are plain shift-register continuations.
+        """
+        taps = set(self.feedback_taps())
+        top, middle, bottom = [], [], []
+        for slot in self.slots:
+            tag = f"L{slot.label}"
+            owner = "--" if slot.owner is None else f"{slot.owner[0]}.{slot.owner[1]}"
+            if slot.label > self.lfsr_stages:
+                mark = "sr"
+            elif slot.label in taps:
+                mark = "*"
+            else:
+                mark = ""
+            width = max(len(tag), len(owner), len(mark))
+            top.append(tag.ljust(width))
+            middle.append(owner.ljust(width))
+            bottom.append(mark.ljust(width))
+        poly = " + ".join(
+            ("1" if e == 0 else "x" if e == 1 else f"x^{e}")
+            for e in exponents_of(self.polynomial)
+        )
+        return (
+            " | ".join(top) + "\n" + " | ".join(middle) + "\n"
+            + " | ".join(bottom) + f"\nfeedback: {poly}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TPGDesign(kernel={self.kernel.name!r}, M={self.lfsr_stages}, "
+            f"ffs={self.n_flipflops}, extra={self.n_extra_flipflops})"
+        )
+
+
+def normalize_labels(raw_slots: List[Slot]) -> Tuple[List[Slot], int]:
+    """Shift labels so the smallest is 1 (Example 4 produces an L_0).
+
+    Returns the adjusted slots and the applied offset.
+    """
+    if not raw_slots:
+        raise TPGError("empty TPG")
+    low = min(slot.label for slot in raw_slots)
+    offset = 1 - low
+    if offset:
+        for slot in raw_slots:
+            slot.label += offset
+    return raw_slots, offset

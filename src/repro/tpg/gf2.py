@@ -1,0 +1,153 @@
+"""Polynomial arithmetic over GF(2) and primitivity testing.
+
+Polynomials are Python integers: bit ``i`` is the coefficient of ``x^i``
+(so ``x^12 + x^7 + x^4 + x^3 + 1`` is ``0b1000010011001``).  The paper's TPG
+constructions require *primitive* feedback polynomials (maximal-length
+LFSRs); :func:`is_primitive` certifies candidates and
+:func:`find_primitive_polynomial` searches for one at any degree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from repro.errors import TPGError
+from repro.tpg.numbertheory import prime_factors
+
+
+def poly_from_exponents(exponents: Iterable[int]) -> int:
+    """Build a polynomial from its non-zero exponents, e.g. [12,7,4,3,0]."""
+    value = 0
+    for e in exponents:
+        value |= 1 << e
+    return value
+
+
+def exponents_of(poly: int) -> List[int]:
+    """Non-zero exponents of a polynomial, descending."""
+    return [i for i in range(poly.bit_length() - 1, -1, -1) if (poly >> i) & 1]
+
+
+def degree(poly: int) -> int:
+    """Degree of the polynomial (-1 for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def poly_mul_mod(a: int, b: int, mod: int) -> int:
+    """(a * b) mod ``mod`` over GF(2)."""
+    deg = degree(mod)
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if degree(a) >= deg:
+            a ^= mod
+    return result
+
+
+def poly_pow_mod(base: int, exponent: int, mod: int) -> int:
+    """base^exponent mod ``mod`` over GF(2), by square and multiply."""
+    result = 1
+    base = poly_mod(base, mod)
+    while exponent:
+        if exponent & 1:
+            result = poly_mul_mod(result, base, mod)
+        base = poly_mul_mod(base, base, mod)
+        exponent >>= 1
+    return result
+
+
+def poly_mod(a: int, mod: int) -> int:
+    """a mod ``mod`` over GF(2)."""
+    deg = degree(mod)
+    while degree(a) >= deg:
+        a ^= mod << (degree(a) - deg)
+    return a
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """GCD of two GF(2) polynomials."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin irreducibility test over GF(2)."""
+    n = degree(poly)
+    if n <= 0:
+        return False
+    if not poly & 1:  # divisible by x
+        return n == 1 and poly == 0b10
+    x = 0b10
+    # x^(2^n) == x (mod poly)
+    t = x
+    for _ in range(n):
+        t = poly_mul_mod(t, t, poly)
+    if t != poly_mod(x, poly):
+        return False
+    for q in prime_factors(n):
+        t = x
+        for _ in range(n // q):
+            t = poly_mul_mod(t, t, poly)
+        if poly_gcd(t ^ x, poly) != 1:
+            return False
+    return True
+
+
+def is_primitive(poly: int) -> bool:
+    """True iff ``poly`` is primitive over GF(2).
+
+    A degree-n primitive polynomial is irreducible and the order of x modulo
+    the polynomial is exactly 2^n - 1, which is what makes an LFSR with this
+    feedback polynomial maximal-length.
+    """
+    n = degree(poly)
+    if n <= 0:
+        return False
+    if n == 1:
+        return poly == 0b11  # x + 1
+    if not is_irreducible(poly):
+        return False
+    order = (1 << n) - 1
+    x = 0b10
+    if poly_pow_mod(x, order, poly) != 1:
+        return False
+    for q in prime_factors(order):
+        if poly_pow_mod(x, order // q, poly) == 1:
+            return False
+    return True
+
+
+def find_primitive_polynomial(n: int, seed: int = 0, max_tries: int = 200000) -> int:
+    """Search for a degree-n primitive polynomial.
+
+    Tries sparse candidates first (fewer taps means cheaper LFSR feedback
+    hardware, which the paper's area arguments care about), then random ones.
+    """
+    if n < 1:
+        raise TPGError("polynomial degree must be >= 1")
+    if n == 1:
+        return 0b11
+    base = (1 << n) | 1
+    # Trinomials x^n + x^k + 1.
+    for k in range(1, n):
+        candidate = base | (1 << k)
+        if is_primitive(candidate):
+            return candidate
+    # Pentanomials x^n + x^a + x^b + x^c + 1.
+    for a in range(3, n):
+        for b in range(2, a):
+            for c in range(1, b):
+                candidate = base | (1 << a) | (1 << b) | (1 << c)
+                if is_primitive(candidate):
+                    return candidate
+    rng = random.Random(seed)
+    for _ in range(max_tries):
+        candidate = base | (rng.getrandbits(n - 1) << 1)
+        if is_primitive(candidate):
+            return candidate
+    raise TPGError(f"no primitive polynomial of degree {n} found")

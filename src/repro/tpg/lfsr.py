@@ -1,0 +1,157 @@
+"""Linear feedback shift registers.
+
+The paper's TPG construction leans on the *type 1* (external-XOR, Fibonacci)
+LFSR property it states explicitly: "the data present in the i-th stage of L
+at time t is the same as the data present in the (i-1)-st stage of L at time
+t-1 for i > 1, where the most significant bit of the LFSR is the first
+stage".  Stage 1 receives the feedback; every other stage just shifts.  That
+pure-shift property is what lets extra D flip-flops appended to the LFSR act
+as time-delayed copies of the sequence — the heart of SC_TPG/MC_TPG.
+
+State encoding: bit ``i-1`` of the state integer is stage ``i``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.errors import TPGError
+from repro.tpg.gf2 import degree, exponents_of
+from repro.tpg.polynomials import primitive_polynomial
+
+
+class Type1LFSR:
+    """External-XOR (Fibonacci) LFSR.
+
+    ``polynomial`` is the feedback polynomial in bitmask form; the resulting
+    bit recurrence is ``b(t) = XOR of b(t - e)`` over the polynomial's
+    non-zero exponents, so a primitive polynomial yields a maximal-length
+    (2^n - 1) sequence.
+    """
+
+    def __init__(self, n: int, polynomial: Optional[int] = None):
+        if n < 1:
+            raise TPGError("LFSR needs at least one stage")
+        self.n = n
+        self.polynomial = polynomial if polynomial is not None else primitive_polynomial(n)
+        if degree(self.polynomial) != n:
+            raise TPGError(
+                f"polynomial degree {degree(self.polynomial)} != LFSR length {n}"
+            )
+        # Tap at stage e for every exponent e (excluding the constant term):
+        # stage e holds the bit generated e-1 shifts ago, i.e. b(t-e) next step.
+        self._tap_mask = 0
+        for e in exponents_of(self.polynomial):
+            if e != 0:
+                self._tap_mask |= 1 << (e - 1)
+        self.mask = (1 << n) - 1
+
+    def feedback(self, state: int) -> int:
+        """The bit shifted into stage 1 on the next clock."""
+        return bin(state & self._tap_mask).count("1") & 1
+
+    def step(self, state: int) -> int:
+        """One clock: stages shift 1->2->...->n, stage 1 takes the feedback."""
+        return ((state << 1) | self.feedback(state)) & self.mask
+
+    def states(self, seed: int = 1) -> Iterator[int]:
+        """Infinite state stream starting from (and including) ``seed``."""
+        state = seed & self.mask
+        while True:
+            yield state
+            state = self.step(state)
+
+    def sequence(self, seed: int = 1, count: int = 0) -> List[int]:
+        """First ``count`` states starting from ``seed``."""
+        stream = self.states(seed)
+        return [next(stream) for _ in range(count)]
+
+    def period(self, seed: int = 1) -> int:
+        """Cycle length of the orbit containing ``seed``."""
+        seed &= self.mask
+        state = self.step(seed)
+        length = 1
+        while state != seed:
+            state = self.step(state)
+            length += 1
+            if length > self.mask + 1:
+                raise TPGError("LFSR period exceeds state space (internal error)")
+        return length
+
+    def is_maximal(self) -> bool:
+        """True iff a non-zero seed visits all 2^n - 1 non-zero states."""
+        return self.period(1) == self.mask
+
+    def stage(self, state: int, index: int) -> int:
+        """Value of stage ``index`` (1-based) in a state."""
+        if not 1 <= index <= self.n:
+            raise TPGError(f"stage {index} out of range 1..{self.n}")
+        return (state >> (index - 1)) & 1
+
+
+class Type2LFSR:
+    """Internal-XOR (Galois) LFSR, for contrast and for MISR construction.
+
+    Type 2 LFSRs do *not* have the stage-shift property; the paper's TPG
+    needs type 1.  Provided so tests can demonstrate the difference.
+    """
+
+    def __init__(self, n: int, polynomial: Optional[int] = None):
+        if n < 1:
+            raise TPGError("LFSR needs at least one stage")
+        self.n = n
+        self.polynomial = polynomial if polynomial is not None else primitive_polynomial(n)
+        if degree(self.polynomial) != n:
+            raise TPGError("polynomial degree mismatch")
+        self.mask = (1 << n) - 1
+        # XOR pattern applied when the bit shifted out is 1.
+        self._xor_mask = (self.polynomial >> 1) & self.mask
+
+    def step(self, state: int) -> int:
+        out = state & 1
+        state >>= 1
+        if out:
+            state ^= self._xor_mask
+        return state
+
+    def states(self, seed: int = 1) -> Iterator[int]:
+        state = seed & self.mask
+        while True:
+            yield state
+            state = self.step(state)
+
+    def period(self, seed: int = 1) -> int:
+        seed &= self.mask
+        state = self.step(seed)
+        length = 1
+        while state != seed:
+            state = self.step(state)
+            length += 1
+            if length > self.mask + 1:
+                raise TPGError("LFSR period exceeds state space (internal error)")
+        return length
+
+    def is_maximal(self) -> bool:
+        return self.period(1) == self.mask
+
+
+class CompleteLFSR(Type1LFSR):
+    """Complete feedback shift register (Wang & McCluskey, reference [15]).
+
+    The de Bruijn modification: the feedback is complemented when stages
+    1..n-1 are all zero, splicing the all-zero state into the maximal cycle.
+    The period becomes exactly 2^n, supplying the all-0 pattern the plain
+    LFSR can never produce (the paper uses this to cover the all-0 pattern
+    it otherwise "ignores in the discussion").
+    """
+
+    def step(self, state: int) -> int:
+        fb = self.feedback(state)
+        low_stages = state & (self.mask >> 1)
+        if low_stages == 0:
+            fb ^= 1
+        return ((state << 1) | fb) & self.mask
+
+    def is_maximal(self) -> bool:
+        """A complete LFSR cycles through all 2^n states."""
+        return self.period(0) == self.mask + 1

@@ -1,0 +1,160 @@
+"""Procedure MC_TPG — TPG design for multiple-cone balanced BISTable kernels.
+
+Implements the paper's Procedure MC_TPG (Section 4.2).  For every pair of
+registers (i, j) and every cone depending on both, the sequential-length
+difference ``delta_ij(x) = d_(j,x) - d_(i,x)`` constrains the displacement
+of R_i with respect to R_j; the binding constraint is the maximum over
+cones, translated to a displacement relative to the previous register
+(step 3(a)iii).  After cell assignment the LFSR size is the maximum
+*logical span* over cones (Theorem 7); labels beyond that span are shift-
+register stages.
+
+Complexity is O(m * n^2) for m cones and n registers, as the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TPGError
+from repro.tpg.design import Cone, KernelSpec, Slot, TPGDesign, normalize_labels
+
+
+@dataclass(frozen=True)
+class ConeSpan:
+    """Span bookkeeping for one cone under a finished assignment."""
+
+    cone: str
+    physical_span: int
+    logical_span: int
+    first_register: str
+    last_register: str
+
+
+def _pairwise_constraint(cone_list, reg_i: str, reg_j: str) -> Optional[int]:
+    """Delta_{i,j}: max of d_(j,x) - d_(i,x) over cones depending on both."""
+    best: Optional[int] = None
+    for cone in cone_list:
+        if cone.depends_on(reg_i) and cone.depends_on(reg_j):
+            delta = cone.depths[reg_j] - cone.depths[reg_i]
+            if best is None or delta > best:
+                best = delta
+    return best
+
+
+def mc_tpg(kernel: KernelSpec, polynomial: Optional[int] = None) -> TPGDesign:
+    """Build a TPG for a multiple-cone kernel (also handles single cones)."""
+    registers = kernel.registers
+    if not registers:
+        raise TPGError("kernel has no input registers")
+    cones = kernel.cones
+    if not cones:
+        raise TPGError("kernel has no output cones")
+
+    slots: List[Slot] = []
+    last_label: Dict[str, int] = {}  # k_i: label of the last cell of R_i
+
+    first = registers[0]
+    for cell in range(1, first.width + 1):
+        slots.append(Slot(cell, (first.name, cell)))
+    last_label[first.name] = first.width
+
+    for i in range(1, len(registers)):
+        register = registers[i]
+        prev = registers[i - 1]
+        k_prev = last_label[prev.name]
+        candidates: List[int] = []
+        for j in range(i):
+            other = registers[j]
+            constraint = _pairwise_constraint(cones, register.name, other.name)
+            if constraint is None:
+                continue
+            candidates.append(constraint + last_label[other.name] - k_prev)
+        if candidates:
+            delta = max(candidates)
+        else:
+            # No cone relates this register to any earlier one: it may share
+            # stages maximally.  Align its cells with the start of the string
+            # (the permuted Example 7 relies on such sharing).
+            delta = -k_prev
+        if delta < 0:
+            k = k_prev - (-delta)
+        else:
+            for label in range(k_prev + 1, k_prev + delta + 1):
+                slots.append(Slot(label))
+            k = k_prev + delta
+        for cell in range(1, register.width + 1):
+            slots.append(Slot(k + cell, (register.name, cell)))
+        last_label[register.name] = k + register.width
+
+    # Step 4: LFSR size = max logical span over cones.
+    spans = _cone_spans(kernel, slots)
+    lfsr_stages = max(span.logical_span for span in spans)
+    if lfsr_stages < 1:
+        raise TPGError("degenerate kernel: zero logical span")
+
+    # Step 5: extend the label range so the LFSR has M consecutive stages.
+    low = min(slot.label for slot in slots)
+    high = max(slot.label for slot in slots)
+    while high - low + 1 < lfsr_stages:
+        high += 1
+        slots.append(Slot(high))
+
+    normalize_labels(slots)
+    return TPGDesign(kernel, slots, lfsr_stages, polynomial)
+
+
+def _cone_spans(kernel: KernelSpec, slots: List[Slot]) -> List[ConeSpan]:
+    """Physical and logical spans per cone for a raw slot assignment.
+
+    The *logical span* is the width of the feedback-bit-stream window the
+    cone observes: a cell labelled L_k of a register at sequential length d
+    sees bit b(t - (k - 1) - d).  This generalises Theorem 7's
+    ``u_p - l_1 + 1 + d_p - d_1`` formula (with which it coincides whenever
+    register placement follows processing order) to assignments where
+    sharing pushes a later register physically before an earlier one.
+    """
+    first_cell: Dict[str, int] = {}
+    last_cell: Dict[str, int] = {}
+    for slot in slots:
+        if slot.owner is None:
+            continue
+        name = slot.owner[0]
+        first_cell[name] = min(first_cell.get(name, slot.label), slot.label)
+        last_cell[name] = max(last_cell.get(name, slot.label), slot.label)
+
+    spans: List[ConeSpan] = []
+    for cone in kernel.cones:
+        dependent = [r.name for r in kernel.registers if cone.depends_on(r.name)]
+        if not dependent:
+            raise TPGError(f"cone {cone.name} depends on no register")
+        positions: List[int] = []
+        seen = set()
+        for name in dependent:
+            depth = cone.depths[name]
+            for label in range(first_cell[name], last_cell[name] + 1):
+                position = (label - 1) + depth
+                if position in seen:
+                    raise TPGError(
+                        f"cone {cone.name}: cells of {name} collide with "
+                        "another register's cells at the same stream position"
+                    )
+                seen.add(position)
+                positions.append(position)
+        physical = (
+            max(last_cell[n] for n in dependent)
+            - min(first_cell[n] for n in dependent)
+            + 1
+        )
+        logical = max(positions) - min(positions) + 1
+        dependent.sort(key=lambda n: first_cell[n])
+        spans.append(
+            ConeSpan(cone.name, physical, logical, dependent[0], dependent[-1])
+        )
+    return spans
+
+
+def cone_spans(design: TPGDesign) -> List[ConeSpan]:
+    """Spans of a finished design (labels already normalised)."""
+    return _cone_spans(design.kernel, design.slots)

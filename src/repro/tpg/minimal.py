@@ -1,0 +1,172 @@
+"""Minimal test-time TPG search — the paper's open problem (Section 5).
+
+The conclusion states: "The necessary and sufficient condition for a
+k-stage LFSR to functionally exhaustively test a balanced BISTable kernel
+having n inputs, where k >= n, has been identified.  A procedure to
+generate a TPG using the minimal number of F/Fs and LFSR stages ... can be
+developed using this condition.  The development of such a procedure
+remains an open problem."
+
+This module supplies that procedure for small kernels, built on the
+*stream-position window condition*:
+
+    Assign register R_i the label offset o_i (its cells get labels
+    o_i+1 .. o_i+r_i).  A cell labelled L_k of a register at sequential
+    length d sees feedback bit b(t - (k-1) - d), i.e. stream position
+    (k-1) + d.  A cone is functionally exhaustively tested iff the stream
+    positions of all cells it depends on are pairwise distinct and span at
+    most M consecutive positions (a w-of-M window of an m-sequence takes
+    all 2^w values, all 2^M - 1 when w = M).
+
+Minimising the LFSR degree M therefore reduces to an integer program over
+the offsets: minimise the largest per-cone position-window width subject
+to per-cone position disjointness.  :func:`minimal_tpg` solves it by
+bounded exhaustive search (registers are few in practice, as the paper
+notes), then ties are broken on total flip-flop count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TPGError
+from repro.tpg.design import KernelSpec, Slot, TPGDesign
+from repro.tpg.mc_tpg import mc_tpg
+
+
+@dataclass(frozen=True)
+class OffsetAssignment:
+    """Register label offsets and the cost they achieve."""
+
+    offsets: Tuple[int, ...]      # per register, in kernel order
+    lfsr_stages: int
+    n_flipflops: int
+
+
+def _cone_windows(
+    kernel: KernelSpec, offsets: Sequence[int]
+) -> Optional[List[Tuple[int, int]]]:
+    """Per-cone (min, max) stream positions, or None on a collision."""
+    index_of = {r.name: i for i, r in enumerate(kernel.registers)}
+    windows: List[Tuple[int, int]] = []
+    for cone in kernel.cones:
+        seen: Set[int] = set()
+        low: Optional[int] = None
+        high: Optional[int] = None
+        for register in kernel.registers:
+            if not cone.depends_on(register.name):
+                continue
+            offset = offsets[index_of[register.name]]
+            depth = cone.depths[register.name]
+            start = offset + depth
+            end = offset + register.width - 1 + depth
+            for position in range(start, end + 1):
+                if position in seen:
+                    return None
+                seen.add(position)
+            low = start if low is None else min(low, start)
+            high = end if high is None else max(high, end)
+        windows.append((low or 0, high or 0))
+    return windows
+
+
+def _cost(kernel: KernelSpec, offsets: Sequence[int]) -> Optional[Tuple[int, int]]:
+    """(LFSR degree, flip-flop count) of an offset assignment, or None."""
+    windows = _cone_windows(kernel, offsets)
+    if windows is None:
+        return None
+    stages = max(high - low + 1 for low, high in windows)
+    # Physical FFs: every register cell, plus chain fill-ins for label
+    # positions not covered by any cell, plus extension so the label span
+    # reaches the LFSR degree.
+    covered: Set[int] = set()
+    for register, offset in zip(kernel.registers, offsets):
+        covered.update(range(offset + 1, offset + register.width + 1))
+    top = max(covered)
+    bottom = min(covered)
+    gap_fill = sum(
+        1 for label in range(bottom, top + 1) if label not in covered
+    )
+    extension = max(0, stages - (top - bottom + 1))
+    n_ffs = kernel.total_width + gap_fill + extension
+    return stages, n_ffs
+
+
+def minimal_tpg(
+    kernel: KernelSpec,
+    max_offset: Optional[int] = None,
+    polynomial: Optional[int] = None,
+) -> TPGDesign:
+    """The provably minimal-LFSR (then minimal-FF) TPG for a small kernel.
+
+    Searches all register offset vectors up to ``max_offset`` (default: the
+    MC_TPG baseline's LFSR size, beyond which no assignment can help).
+    Raises :class:`TPGError` for kernels with more than 6 registers — the
+    search is exponential in the register count, which the paper observes
+    is small in practice.
+    """
+    n = len(kernel.registers)
+    if n == 0:
+        raise TPGError("kernel has no registers")
+    if n > 6:
+        raise TPGError("minimal TPG search supports at most 6 registers")
+    baseline = mc_tpg(kernel, polynomial)
+    if max_offset is None:
+        max_offset = baseline.lfsr_stages
+
+    best: Optional[Tuple[Tuple[int, int], Tuple[int, ...]]] = None
+    # The first register can be pinned at offset 0 (global shifts are free).
+    for rest in itertools.product(range(max_offset + 1), repeat=n - 1):
+        offsets = (0,) + rest
+        cost = _cost(kernel, offsets)
+        if cost is None:
+            continue
+        if best is None or cost < best[0]:
+            best = (cost, offsets)
+    if best is None:
+        raise TPGError("no collision-free offset assignment found")
+
+    (stages, _n_ffs), offsets = best
+    if stages >= baseline.lfsr_stages:
+        return baseline  # the constructive procedure was already optimal
+
+    return design_from_offsets(kernel, offsets, stages, polynomial)
+
+
+def design_from_offsets(
+    kernel: KernelSpec,
+    offsets: Sequence[int],
+    lfsr_stages: int,
+    polynomial: Optional[int] = None,
+) -> TPGDesign:
+    """Materialise a TPG from explicit register offsets."""
+    slots: List[Slot] = []
+    covered: Set[int] = set()
+    order = sorted(range(len(kernel.registers)), key=lambda i: offsets[i])
+    for index in order:
+        register = kernel.registers[index]
+        for cell in range(1, register.width + 1):
+            label = offsets[index] + cell
+            slots.append(Slot(label, (register.name, cell)))
+            covered.add(label)
+    top = max(covered)
+    bottom = min(covered)
+    for label in range(bottom, top + 1):
+        if label not in covered:
+            slots.append(Slot(label))
+    while top - bottom + 1 < lfsr_stages:
+        top += 1
+        slots.append(Slot(top))
+    from repro.tpg.design import normalize_labels
+
+    normalize_labels(slots)
+    return TPGDesign(kernel, slots, lfsr_stages, polynomial)
+
+
+def optimality_gap(kernel: KernelSpec) -> Tuple[int, int]:
+    """(MC_TPG stages, provably minimal stages) for ablation studies."""
+    constructive = mc_tpg(kernel).lfsr_stages
+    optimal = minimal_tpg(kernel).lfsr_stages
+    return constructive, optimal

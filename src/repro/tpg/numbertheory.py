@@ -1,0 +1,85 @@
+"""Integer factorisation support for LFSR primitivity checking.
+
+Primitivity of a degree-n polynomial over GF(2) requires the prime factors of
+2^n - 1.  Miller-Rabin (deterministic for 64-bit inputs) plus Pollard's rho
+handles every degree this library tabulates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List
+
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+
+def is_probable_prime(n: int) -> bool:
+    """Miller-Rabin primality test (deterministic below 3.3e24)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are deterministic for n < 3,317,044,064,679,887,385,961,981.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _pollard_rho(n: int, rng: random.Random) -> int:
+    """Find a non-trivial factor of composite odd n."""
+    while True:
+        c = rng.randrange(1, n)
+        f = lambda x: (x * x + c) % n
+        x = y = rng.randrange(2, n)
+        d = 1
+        while d == 1:
+            x = f(x)
+            y = f(f(y))
+            d = math.gcd(abs(x - y), n)
+        if d != n:
+            return d
+
+
+def factorize(n: int) -> Dict[int, int]:
+    """Full prime factorisation as ``{prime: exponent}``."""
+    if n < 1:
+        raise ValueError("factorize needs a positive integer")
+    factors: Dict[int, int] = {}
+    for p in _SMALL_PRIMES:
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+    rng = random.Random(0xB1B5)
+    stack: List[int] = [n] if n > 1 else []
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_probable_prime(m):
+            factors[m] = factors.get(m, 0) + 1
+            continue
+        d = _pollard_rho(m, rng)
+        stack.append(d)
+        stack.append(m // d)
+    return factors
+
+
+def prime_factors(n: int) -> List[int]:
+    """Distinct prime factors of n, ascending."""
+    return sorted(factorize(n))

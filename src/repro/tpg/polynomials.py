@@ -1,0 +1,112 @@
+"""Primitive polynomial table.
+
+A curated table of low-weight primitive polynomials for degrees 1..32 —
+enough for every register width the paper's circuits use — backed by an
+on-demand search (:func:`repro.tpg.gf2.find_primitive_polynomial`) for any
+other degree.  The degree-12 entry is the paper's own
+``x^12 + x^7 + x^4 + x^3 + 1`` (Examples 2 and 3), verified primitive by the
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import TPGError
+from repro.tpg.gf2 import find_primitive_polynomial, poly_from_exponents
+
+# The polynomial used in the paper's Figures 13 and 15.
+PAPER_POLY_12 = poly_from_exponents([12, 7, 4, 3, 0])
+
+_TABLE_EXPONENTS: Dict[int, List[int]] = {
+    1: [1, 0],
+    2: [2, 1, 0],
+    3: [3, 1, 0],
+    4: [4, 1, 0],
+    5: [5, 2, 0],
+    6: [6, 1, 0],
+    7: [7, 1, 0],
+    8: [8, 4, 3, 2, 0],
+    9: [9, 4, 0],
+    10: [10, 3, 0],
+    11: [11, 2, 0],
+    12: [12, 7, 4, 3, 0],  # the paper's polynomial
+    13: [13, 4, 3, 1, 0],
+    14: [14, 5, 3, 1, 0],
+    15: [15, 1, 0],
+    16: [16, 5, 3, 2, 0],
+    17: [17, 3, 0],
+    18: [18, 7, 0],
+    19: [19, 5, 2, 1, 0],
+    20: [20, 3, 0],
+    21: [21, 2, 0],
+    22: [22, 1, 0],
+    23: [23, 5, 0],
+    24: [24, 4, 3, 1, 0],
+    25: [25, 3, 0],
+    26: [26, 6, 2, 1, 0],
+    27: [27, 5, 2, 1, 0],
+    28: [28, 3, 0],
+    29: [29, 2, 0],
+    30: [30, 6, 4, 1, 0],
+    31: [31, 3, 0],
+    32: [32, 7, 6, 2, 0],
+}
+
+_CACHE: Dict[int, int] = {}
+
+
+def primitive_polynomial(degree: int) -> int:
+    """A primitive polynomial of the given degree (bitmask form).
+
+    Table entries are returned directly; other degrees trigger a search,
+    cached per process.
+    """
+    if degree < 1:
+        raise TPGError(f"no primitive polynomial of degree {degree}")
+    if degree in _TABLE_EXPONENTS:
+        return poly_from_exponents(_TABLE_EXPONENTS[degree])
+    if degree not in _CACHE:
+        _CACHE[degree] = find_primitive_polynomial(degree)
+    return _CACHE[degree]
+
+
+def tabulated_degrees() -> List[int]:
+    """Degrees with a curated table entry."""
+    return sorted(_TABLE_EXPONENTS)
+
+
+def reciprocal(poly: int) -> int:
+    """The reciprocal polynomial x^n * p(1/x) (primitive iff p is)."""
+    from repro.tpg.gf2 import degree
+
+    n = degree(poly)
+    value = 0
+    for i in range(n + 1):
+        if (poly >> i) & 1:
+            value |= 1 << (n - i)
+    return value
+
+
+def alternate_primitive_polynomial(degree: int, avoid: int) -> int:
+    """A primitive polynomial of the given degree different from ``avoid``.
+
+    Used to decouple a MISR from the TPG that feeds the circuit: when both
+    use the *same* feedback polynomial, linearly-correlated error streams
+    (e.g. a stuck-at on a TPG register bit) cancel systematically in the
+    signature — empirically up to ~50% aliasing over near-period windows.
+    The reciprocal polynomial is tried first, then a fresh search.
+    """
+    from repro.tpg.gf2 import find_primitive_polynomial, is_primitive
+
+    candidate = primitive_polynomial(degree)
+    if candidate != avoid:
+        return candidate
+    flipped = reciprocal(avoid)
+    if flipped != avoid and is_primitive(flipped):
+        return flipped
+    for seed in range(1, 64):
+        candidate = find_primitive_polynomial(degree, seed=seed)
+        if candidate != avoid:
+            return candidate
+    return candidate  # degree 1/2 have a unique primitive polynomial

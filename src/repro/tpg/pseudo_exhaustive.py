@@ -1,0 +1,216 @@
+"""Functionally pseudo-exhaustive testing (Section 4.3).
+
+Two tools from the paper:
+
+* **Register-permutation search** (Example 7): run MC_TPG once per input
+  register ordering and keep the smallest LFSR.  The search stops early when
+  the lower bound — the maximal cone size w, since the test time of a
+  multiple-cone kernel is bounded below by 2^w — is met.
+* **McCluskey minimal-test-signal baseline** (Example 8): the register-level
+  extension of verification testing [17].  Registers that no cone jointly
+  depends on may share a test signal; the minimal signal count is the
+  chromatic number of the register conflict graph.  As the paper shows, the
+  resulting LFSR (12 stages in Example 8) can be much larger than what
+  MC_TPG plus permutation achieves (8 stages), because the signal model
+  cannot exploit sequential-length time shifts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import TPGError
+from repro.tpg.design import KernelSpec, TPGDesign
+from repro.tpg.mc_tpg import mc_tpg
+
+
+# --------------------------------------------------------------------- matrix
+
+def dependency_matrix(kernel: KernelSpec) -> List[List[int]]:
+    """D[i][j] = 1 iff cone i depends on register j (Example 8's matrix)."""
+    return [
+        [1 if cone.depends_on(r.name) else 0 for r in kernel.registers]
+        for cone in kernel.cones
+    ]
+
+
+def conflict_pairs(kernel: KernelSpec) -> List[Tuple[str, str]]:
+    """Register pairs some cone jointly depends on (cannot share a signal)."""
+    names = [r.name for r in kernel.registers]
+    pairs: List[Tuple[str, str]] = []
+    for a, b in itertools.combinations(names, 2):
+        for cone in kernel.cones:
+            if cone.depends_on(a) and cone.depends_on(b):
+                pairs.append((a, b))
+                break
+    return pairs
+
+
+# ------------------------------------------------------- minimal test signals
+
+@dataclass(frozen=True)
+class TestSignalPlan:
+    """A grouping of registers into shared test signals."""
+
+    groups: Tuple[FrozenSet[str], ...]
+    widths: Tuple[int, ...]
+
+    @property
+    def n_signals(self) -> int:
+        return len(self.groups)
+
+    @property
+    def lfsr_stages(self) -> int:
+        """Stages needed when each signal gets its own LFSR segment."""
+        return sum(self.widths)
+
+
+def minimal_test_signals(kernel: KernelSpec, exact_limit: int = 12) -> TestSignalPlan:
+    """Minimal register-level test-signal grouping.
+
+    Exact (branch-and-bound graph colouring) for up to ``exact_limit``
+    registers, greedy otherwise.  Width of a signal group is the widest
+    register in it (all registers in a group are fed the same stem).
+    """
+    names = [r.name for r in kernel.registers]
+    width_of = {r.name: r.width for r in kernel.registers}
+    conflicts = {name: set() for name in names}
+    for a, b in conflict_pairs(kernel):
+        conflicts[a].add(b)
+        conflicts[b].add(a)
+
+    if len(names) <= exact_limit:
+        grouping = _exact_coloring(names, conflicts)
+    else:
+        grouping = _greedy_coloring(names, conflicts)
+
+    groups = tuple(frozenset(g) for g in grouping)
+    widths = tuple(max(width_of[n] for n in g) for g in groups)
+    return TestSignalPlan(groups, widths)
+
+
+def _greedy_coloring(names: Sequence[str], conflicts: Dict[str, set]) -> List[List[str]]:
+    """Largest-degree-first greedy colouring."""
+    order = sorted(names, key=lambda n: -len(conflicts[n]))
+    groups: List[List[str]] = []
+    for name in order:
+        for group in groups:
+            if not conflicts[name] & set(group):
+                group.append(name)
+                break
+        else:
+            groups.append([name])
+    return groups
+
+
+def _exact_coloring(names: Sequence[str], conflicts: Dict[str, set]) -> List[List[str]]:
+    """Smallest colouring by trying k = clique bound .. n."""
+    greedy = _greedy_coloring(names, conflicts)
+    lower = _clique_lower_bound(names, conflicts)
+    for k in range(lower, len(greedy)):
+        assignment = _try_color(names, conflicts, k)
+        if assignment is not None:
+            groups: List[List[str]] = [[] for _ in range(k)]
+            for name, color in assignment.items():
+                groups[color].append(name)
+            return [g for g in groups if g]
+    return greedy
+
+
+def _clique_lower_bound(names: Sequence[str], conflicts: Dict[str, set]) -> int:
+    """Greedy clique as a chromatic lower bound."""
+    best = 1
+    for start in names:
+        clique = {start}
+        for other in names:
+            if other not in clique and all(other in conflicts[m] for m in clique):
+                clique.add(other)
+        best = max(best, len(clique))
+    return best
+
+
+def _try_color(
+    names: Sequence[str], conflicts: Dict[str, set], k: int
+) -> Optional[Dict[str, int]]:
+    """Backtracking k-colouring; None if infeasible."""
+    order = sorted(names, key=lambda n: -len(conflicts[n]))
+    assignment: Dict[str, int] = {}
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        name = order[index]
+        used = {assignment[n] for n in conflicts[name] if n in assignment}
+        # Symmetry breaking: never open more than one new colour.
+        ceiling = min(k, (max(assignment.values()) + 2) if assignment else 1)
+        for color in range(ceiling):
+            if color not in used:
+                assignment[name] = color
+                if backtrack(index + 1):
+                    return True
+                del assignment[name]
+        return False
+
+    return assignment if backtrack(0) else None
+
+
+# ------------------------------------------------------- permutation search
+
+@dataclass
+class PermutationSearchResult:
+    """Outcome of the register-ordering search."""
+
+    order: Tuple[str, ...]
+    design: TPGDesign
+    lfsr_stages: int
+    lower_bound: int
+    orders_tried: int
+
+    @property
+    def optimal(self) -> bool:
+        """True when the 2^w lower bound was achieved."""
+        return self.lfsr_stages == self.lower_bound
+
+
+def best_register_order(
+    kernel: KernelSpec,
+    max_permutations: int = 50000,
+) -> PermutationSearchResult:
+    """Search register orderings for the minimal-degree MC_TPG.
+
+    The paper argues this is practical because multiple-cone kernels rarely
+    have more than ~5 input registers and MC_TPG is polynomial.  The search
+    terminates as soon as an ordering achieves the 2^w lower bound (w =
+    maximal cone size).
+    """
+    names = [r.name for r in kernel.registers]
+    lower_bound = kernel.max_cone_width
+    best_design: Optional[TPGDesign] = None
+    best_order: Optional[Tuple[str, ...]] = None
+    tried = 0
+    for order in itertools.permutations(names):
+        if tried >= max_permutations:
+            break
+        tried += 1
+        design = mc_tpg(kernel.permuted(order))
+        if best_design is None or design.lfsr_stages < best_design.lfsr_stages:
+            best_design = design
+            best_order = tuple(order)
+            if design.lfsr_stages <= lower_bound:
+                break
+    if best_design is None or best_order is None:
+        raise TPGError("permutation search found no design")
+    return PermutationSearchResult(
+        order=best_order,
+        design=best_design,
+        lfsr_stages=best_design.lfsr_stages,
+        lower_bound=lower_bound,
+        orders_tried=tried,
+    )
+
+
+def mcclauskey_extension_stages(kernel: KernelSpec) -> int:
+    """LFSR stages required by the minimal-test-signal extension (Example 8)."""
+    return minimal_test_signals(kernel).lfsr_stages

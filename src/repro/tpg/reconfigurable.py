@@ -1,0 +1,111 @@
+"""Reconfigurable TPGs (Figure 20).
+
+When a multiple-cone kernel's single-LFSR TPG needs a much larger degree
+than any individual cone (Example 6: an 11-stage LFSR although each cone is
+only 8 wide), testing the cones in separate sessions with a *reconfigurable*
+TPG cuts test time (about 2 x 2^8 versus 2^11) at the price of extra
+configuration hardware.  This module builds one LFSR configuration per cone
+and accounts for the time/area trade-off the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import TPGError
+from repro.tpg.design import Cone, KernelSpec, TPGDesign
+from repro.tpg.sc_tpg import sc_tpg
+
+
+@dataclass
+class TPGSession:
+    """One configuration of a reconfigurable TPG: a cone and its sub-TPG."""
+
+    cone: str
+    design: TPGDesign
+
+    @property
+    def test_time(self) -> int:
+        return self.design.test_time()
+
+
+class ReconfigurableTPG:
+    """A set of per-cone LFSR configurations selected by control lines.
+
+    Attributes
+    ----------
+    sessions:
+        One :class:`TPGSession` per cone, in kernel cone order.
+    """
+
+    def __init__(self, kernel: KernelSpec, sessions: List[TPGSession]):
+        if not sessions:
+            raise TPGError("reconfigurable TPG needs at least one session")
+        self.kernel = kernel
+        self.sessions = sessions
+
+    @property
+    def total_test_time(self) -> int:
+        """Sum of per-session test times (sessions run one after another)."""
+        return sum(s.test_time for s in self.sessions)
+
+    @property
+    def n_control_lines(self) -> int:
+        """Control lines needed to select among the configurations."""
+        count = len(self.sessions)
+        lines = 0
+        while (1 << lines) < count:
+            lines += 1
+        return lines
+
+    @property
+    def n_reconfigured_stages(self) -> int:
+        """Stages whose feed differs between configurations (mux cost proxy).
+
+        Counted as the cells whose label differs across sessions; each such
+        cell needs a 2:1 mux (per extra configuration) in front of it.
+        """
+        differing = 0
+        for register in self.kernel.registers:
+            for cell in range(1, register.width + 1):
+                labels = {
+                    s.design.cell_labels.get((register.name, cell))
+                    for s in self.sessions
+                    if (register.name, cell) in s.design.cell_labels
+                }
+                if len(labels) > 1:
+                    differing += 1
+        return differing
+
+
+def build_reconfigurable(kernel: KernelSpec, polynomial: Optional[int] = None) -> ReconfigurableTPG:
+    """One LFSR configuration per cone, each built with SC_TPG.
+
+    Each session restricts the kernel to the registers the cone depends on
+    (the other registers may hold anything during that session) and treats
+    the cone as a single-cone kernel.
+    """
+    sessions: List[TPGSession] = []
+    for cone in kernel.cones:
+        registers = tuple(r for r in kernel.registers if cone.depends_on(r.name))
+        if not registers:
+            raise TPGError(f"cone {cone.name} depends on no register")
+        sub_kernel = KernelSpec(
+            registers,
+            (Cone(cone.name, {r.name: cone.depths[r.name] for r in registers}),),
+            name=f"{kernel.name}:{cone.name}",
+        )
+        sessions.append(TPGSession(cone.name, sc_tpg(sub_kernel, polynomial)))
+    return ReconfigurableTPG(kernel, sessions)
+
+
+def compare_with_monolithic(
+    kernel: KernelSpec,
+    monolithic: TPGDesign,
+) -> Tuple[int, int, float]:
+    """(monolithic time, reconfigurable time, speedup) for the trade-off table."""
+    reconfigurable = build_reconfigurable(kernel)
+    mono_time = monolithic.test_time()
+    reconf_time = reconfigurable.total_test_time
+    return mono_time, reconf_time, mono_time / reconf_time if reconf_time else float("inf")

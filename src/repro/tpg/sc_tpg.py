@@ -1,0 +1,91 @@
+"""Procedure SC_TPG — TPG design for single-cone balanced BISTable kernels.
+
+Implements the paper's Procedure SC_TPG verbatim (Section 4.1).  Registers
+are processed in the order given by the kernel spec; consecutive registers
+are *separated* by extra D flip-flops when the displacement
+``delta_i = d_(i-1) - d_i`` is positive and *share* fanout stems (duplicate
+labels) when it is negative.  FFs labelled L_1..L_M form a type-1 LFSR
+(M = total kernel input width); any labels beyond M continue as a shift
+register, and if sharing compresses the label span below M the string is
+extended (the paper's step 5; Example 4 is the case where the first LFSR
+stage comes out as L_0 — labels are normalised afterwards).
+
+Theorem 5: the resulting TPG functionally exhaustively tests the kernel in
+the minimum possible 2^M - 1 clock cycles (plus d flush cycles).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TPGError
+from repro.tpg.design import KernelSpec, Slot, TPGDesign, normalize_labels
+
+
+def sc_tpg(kernel: KernelSpec, polynomial: Optional[int] = None) -> TPGDesign:
+    """Build a TPG for a single-cone kernel.
+
+    Raises
+    ------
+    TPGError
+        If the kernel does not have exactly one cone, or the cone does not
+        depend on every input register (then MC_TPG is the right tool).
+    """
+    if len(kernel.cones) != 1:
+        raise TPGError(
+            f"SC_TPG needs a single-cone kernel, got {len(kernel.cones)} cones"
+        )
+    cone = kernel.cones[0]
+    for register in kernel.registers:
+        if not cone.depends_on(register.name):
+            raise TPGError(
+                f"single cone must depend on every register; {register.name} missing"
+            )
+
+    registers = kernel.registers
+    depths = [cone.depths[r.name] for r in registers]
+    total_width = kernel.total_width
+
+    slots: List[Slot] = []
+
+    # Step 3: first register occupies labels 1..r_1.
+    first = registers[0]
+    for cell in range(1, first.width + 1):
+        slots.append(Slot(cell, (first.name, cell)))
+    k = first.width
+
+    # Step 4: remaining registers, with separation or sharing.
+    for i in range(1, len(registers)):
+        register = registers[i]
+        delta = depths[i - 1] - depths[i]
+        if delta < 0:
+            k -= -delta  # share |delta| signals with the previous register
+        else:
+            for label in range(k + 1, k + delta + 1):
+                slots.append(Slot(label))  # separation FF
+            k += delta
+        for cell in range(1, register.width + 1):
+            slots.append(Slot(k + cell, (register.name, cell)))
+        k += register.width
+
+    # Step 5: if sharing compressed the label span below M, extend the chain
+    # so that M distinct consecutive labels exist for the LFSR.
+    low = min(slot.label for slot in slots)
+    high = max(slot.label for slot in slots)
+    while high - low + 1 < total_width:
+        high += 1
+        slots.append(Slot(high))
+
+    normalize_labels(slots)
+    return TPGDesign(kernel, slots, total_width, polynomial)
+
+
+def extra_flipflops_needed(kernel: KernelSpec) -> int:
+    """Extra D FFs SC_TPG will use, without building the TPG.
+
+    For depths sorted in descending order this is d_1 - d_n (the paper's
+    closed form below Figure 11); for arbitrary orders it is the sum of the
+    positive displacements plus any step-5 extension.
+    """
+    design = sc_tpg(kernel)
+    return design.n_extra_flipflops

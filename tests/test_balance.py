@@ -1,0 +1,105 @@
+"""Balance analysis: levels, conflicts, the pairwise definition."""
+
+import pytest
+
+from repro.analysis.balance import (
+    balance_levels,
+    is_balanced,
+    is_balanced_bistable,
+    path_length_between,
+    require_levels,
+)
+from repro.errors import BalanceError
+from repro.graph.build import build_circuit_graph
+from repro.graph.model import CircuitGraph, EdgeKind, VertexKind
+from repro.library.figures import figure1, figure2
+
+
+def test_figure2_balanced_with_levels():
+    graph = build_circuit_graph(figure2())
+    assert is_balanced(graph)
+    levels = require_levels(graph)
+    assert levels["C2"] - levels["C1"] == 1
+
+
+def test_figure1_unbalanced_with_conflict():
+    graph = build_circuit_graph(figure1())
+    assert not is_balanced(graph)
+    result = balance_levels(graph)
+    assert result.conflict is not None
+    assert result.conflict.imbalance == 1
+    with pytest.raises(BalanceError):
+        require_levels(graph)
+
+
+def test_cycle_is_not_balanced():
+    graph = CircuitGraph()
+    graph.add_vertex("a", VertexKind.LOGIC)
+    graph.add_vertex("b", VertexKind.LOGIC)
+    graph.add_edge("a", "b", EdgeKind.REGISTER, 4, "R1")
+    graph.add_edge("b", "a", EdgeKind.REGISTER, 4, "R2")
+    assert not is_balanced(graph)
+    assert not balance_levels(graph).balanced
+
+
+def test_pairwise_balanced_without_potential():
+    """The crisscross: every pair has a single path (pairwise balanced) but
+    no consistent level potential exists.  is_balanced follows the paper's
+    pairwise definition and accepts it."""
+    graph = CircuitGraph()
+    for name in ("a", "b", "c", "d"):
+        graph.add_vertex(name, VertexKind.LOGIC)
+    graph.add_edge("a", "c", EdgeKind.REGISTER, 4, "R1")
+    graph.add_edge("b", "c", EdgeKind.WIRE)
+    graph.add_edge("a", "d", EdgeKind.WIRE)
+    graph.add_edge("b", "d", EdgeKind.REGISTER, 4, "R2")
+    assert is_balanced(graph)
+    assert balance_levels(graph).conflict is not None  # potential impossible
+
+
+def test_path_length_between():
+    graph = build_circuit_graph(figure2())
+    assert path_length_between(graph, "C1", "C2") == 1
+    assert path_length_between(graph, "C2", "C1") is None
+
+
+def test_path_length_between_unbalanced_raises():
+    graph = CircuitGraph()
+    for name in ("s", "m", "t"):
+        graph.add_vertex(name, VertexKind.LOGIC)
+    graph.add_edge("s", "t", EdgeKind.WIRE)
+    graph.add_edge("s", "m", EdgeKind.REGISTER, 4, "R1")
+    graph.add_edge("m", "t", EdgeKind.WIRE)
+    with pytest.raises(BalanceError):
+        path_length_between(graph, "s", "t")
+
+
+def test_is_balanced_bistable_condition3():
+    """A cut register edge with both endpoints inside the kernel violates
+    Definition 1's third condition."""
+    kernel = CircuitGraph()
+    kernel.add_vertex("u", VertexKind.LOGIC)
+    kernel.add_vertex("v", VertexKind.LOGIC)
+    kernel.add_edge("u", "v", EdgeKind.WIRE)
+    full = CircuitGraph()
+    full.add_vertex("u", VertexKind.LOGIC)
+    full.add_vertex("v", VertexKind.LOGIC)
+    internal_cut = full.add_edge("v", "u", EdgeKind.REGISTER, 4, "R")
+    assert not is_balanced_bistable(kernel, [internal_cut])
+    # An edge crossing the boundary is fine.
+    other = CircuitGraph()
+    other.add_vertex("v", VertexKind.LOGIC)
+    other.add_vertex("w", VertexKind.LOGIC)
+    crossing = other.add_edge("v", "w", EdgeKind.REGISTER, 4, "R2")
+    assert is_balanced_bistable(kernel, [crossing])
+
+
+def test_levels_normalised_per_component():
+    graph = CircuitGraph()
+    for name in ("a", "b", "x", "y"):
+        graph.add_vertex(name, VertexKind.LOGIC)
+    graph.add_edge("a", "b", EdgeKind.REGISTER, 4, "R1")
+    graph.add_edge("x", "y", EdgeKind.REGISTER, 4, "R2")
+    levels = require_levels(graph)
+    assert levels["a"] == 0 and levels["b"] == 1
+    assert levels["x"] == 0 and levels["y"] == 1

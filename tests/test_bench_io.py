@@ -1,0 +1,88 @@
+""".bench reader/writer."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import bench_io
+from repro.netlist.evaluate import evaluate_single
+from repro.netlist.gates import GateType
+
+from tests.conftest import make_random_netlist, tiny_and_or
+
+SAMPLE = """
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(s)
+OUTPUT(c)
+s = XOR(a, b)
+c = AND(a, b)
+"""
+
+
+def test_loads_sample():
+    netlist = bench_io.loads(SAMPLE, name="half_adder")
+    assert len(netlist.primary_inputs) == 2
+    assert len(netlist.primary_outputs) == 2
+    assert len(netlist.gates) == 2
+    s = netlist.find_net("s")
+    a = netlist.find_net("a")
+    b = netlist.find_net("b")
+    values = evaluate_single(netlist, {a: 1, b: 1})
+    assert values[s] == 0
+    assert values[netlist.find_net("c")] == 1
+
+
+def test_forward_references_allowed():
+    text = "INPUT(a)\nOUTPUT(y)\ny = NOT(t)\nt = BUF(a)\n"
+    netlist = bench_io.loads(text)
+    a = netlist.find_net("a")
+    values = evaluate_single(netlist, {a: 0})
+    assert values[netlist.find_net("y")] == 1
+
+
+def test_roundtrip_preserves_function():
+    original = make_random_netlist(4, 20, seed=11)
+    text = bench_io.dumps(original)
+    parsed = bench_io.loads(text)
+    assert len(parsed.gates) == len(original.gates)
+    for trial in range(8):
+        assign_o = {
+            net: (trial >> i) & 1 for i, net in enumerate(original.primary_inputs)
+        }
+        assign_p = {
+            net: (trial >> i) & 1 for i, net in enumerate(parsed.primary_inputs)
+        }
+        out_o = [evaluate_single(original, assign_o)[n] for n in original.primary_outputs]
+        out_p = [evaluate_single(parsed, assign_p)[n] for n in parsed.primary_outputs]
+        assert out_o == out_p
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(NetlistError):
+        bench_io.loads("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+
+def test_unparseable_line_rejected():
+    with pytest.raises(NetlistError):
+        bench_io.loads("INPUT(a)\nthis is not bench\n")
+
+
+def test_undefined_output_rejected():
+    with pytest.raises(NetlistError):
+        bench_io.loads("INPUT(a)\nOUTPUT(zz)\n")
+
+
+def test_file_roundtrip(tmp_path):
+    netlist = tiny_and_or()
+    path = tmp_path / "tiny.bench"
+    bench_io.dump(netlist, path)
+    loaded = bench_io.load(path)
+    assert len(loaded.gates) == 2
+    assert loaded.name.endswith("tiny.bench")
+
+
+def test_inv_and_buff_aliases():
+    netlist = bench_io.loads("INPUT(a)\nOUTPUT(y)\nt = BUFF(a)\ny = INV(t)\n")
+    assert netlist.gates[0].gtype is GateType.BUF
+    assert netlist.gates[1].gtype is GateType.NOT

@@ -1,0 +1,93 @@
+"""BIBS selection: mandatory sets, exactness, validity, Theorem 2."""
+
+import pytest
+
+from repro.core.bibs import (
+    is_valid_selection,
+    make_bibs_testable,
+    mandatory_bilbo_registers,
+    pi_register_edges,
+    po_register_edges,
+    selection_violations,
+)
+from repro.datapath.filters import all_filters
+from repro.errors import SelectionError
+from repro.graph.build import build_circuit_graph
+from repro.library.figures import figure4
+from repro.library.ka_example import figure9
+
+
+def test_mandatory_set_is_pi_po_registers():
+    graph = build_circuit_graph(figure4())
+    assert mandatory_bilbo_registers(graph) == ["R1", "R6"]
+    assert [e.register for e in pi_register_edges(graph)] == ["R1"]
+    assert [e.register for e in po_register_edges(graph)] == ["R6"]
+
+
+def test_figure4_exact_selection_matches_paper():
+    """Example 1: six BILBO registers, two balanced BISTable kernels."""
+    design = make_bibs_testable(build_circuit_graph(figure4()), method="exact")
+    assert design.bilbo_registers == ["R1", "R3", "R6", "R7", "R8", "R9"]
+    assert design.n_kernels == 2
+    assert design.is_valid()
+
+
+def test_figure4_greedy_also_finds_valid_design():
+    design = make_bibs_testable(build_circuit_graph(figure4()), method="greedy")
+    assert design.is_valid()
+    # Greedy may convert more registers, never fewer than exact.
+    assert design.n_bilbo_registers >= 6
+
+
+def test_figure9_selection():
+    design = make_bibs_testable(build_circuit_graph(figure9()))
+    assert design.n_bilbo_registers == 8
+    assert design.n_bilbo_flipflops == 43
+    assert design.is_valid()
+
+
+def test_theorem2_cycle_needs_two_bilbo_edges():
+    """Any valid selection includes both registers of the B5/B6 cycle."""
+    graph = build_circuit_graph(figure9())
+    mandatory = set(mandatory_bilbo_registers(graph))
+    assert not is_valid_selection(graph, mandatory)
+    assert not is_valid_selection(graph, mandatory | {"R7"})
+    assert not is_valid_selection(graph, mandatory | {"R8"})
+    assert is_valid_selection(graph, mandatory | {"R7", "R8"})
+
+
+def test_datapaths_need_only_pi_po():
+    """Table 2 row 3: the balanced filters convert 9 / 7 / 10 registers."""
+    expected = {"c5a2m": 9, "c3a2m": 7, "c4a4m": 10}
+    for name, compiled in all_filters().items():
+        design = make_bibs_testable(build_circuit_graph(compiled.circuit))
+        assert design.n_bilbo_registers == expected[name]
+        assert design.n_kernels == 1
+        assert design.maximal_delay() == 2
+
+
+def test_violations_decrease_to_zero():
+    graph = build_circuit_graph(figure4())
+    mandatory = set(mandatory_bilbo_registers(graph))
+    start = selection_violations(graph, mandatory)
+    assert start > 0
+    full = mandatory | {"R3", "R7", "R8", "R9"}
+    assert selection_violations(graph, full) == 0
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(SelectionError):
+        make_bibs_testable(build_circuit_graph(figure4()), method="zigzag")
+
+
+def test_extra_mandatory_respected():
+    graph = build_circuit_graph(figure4())
+    design = make_bibs_testable(graph, extra_mandatory=["R5"])
+    assert "R5" in design.bilbo_registers
+    assert design.is_valid()
+
+
+def test_added_area_positive():
+    design = make_bibs_testable(build_circuit_graph(figure4()))
+    assert design.added_area() > 0
+    assert design.n_bilbo_flipflops == 8 + 4 + 4 + 5 + 5 + 8

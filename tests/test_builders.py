@@ -1,0 +1,157 @@
+"""Arithmetic gate builders against integer arithmetic."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.builders import (
+    array_multiplier,
+    equality_comparator,
+    full_adder,
+    half_adder,
+    mux2,
+    ripple_adder,
+    word_mux2,
+)
+from repro.netlist.evaluate import evaluate_single
+from repro.netlist.netlist import Netlist
+
+
+def _build(width, builder, **kwargs):
+    netlist = Netlist()
+    a = netlist.new_inputs(width, prefix="a")
+    b = netlist.new_inputs(width, prefix="b")
+    outs = builder(netlist, a, b, **kwargs)
+    for net in outs:
+        netlist.mark_output(net)
+    return netlist, a, b, outs
+
+
+def _run(netlist, a_nets, b_nets, va, vb):
+    assign = {}
+    for i, net in enumerate(a_nets):
+        assign[net] = (va >> i) & 1
+    for i, net in enumerate(b_nets):
+        assign[net] = (vb >> i) & 1
+    values = evaluate_single(netlist, assign)
+    return values
+
+
+def _word(values, nets):
+    return sum((values[net] & 1) << i for i, net in enumerate(nets))
+
+
+def test_half_adder_truth():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    s, c = half_adder(netlist, a, b)
+    netlist.mark_output(s)
+    netlist.mark_output(c)
+    for va, vb in itertools.product((0, 1), repeat=2):
+        values = evaluate_single(netlist, {a: va, b: vb})
+        assert values[s] == (va + vb) % 2
+        assert values[c] == (va + vb) // 2
+
+
+def test_full_adder_truth():
+    netlist = Netlist()
+    a, b, cin = netlist.new_input("a"), netlist.new_input("b"), netlist.new_input("c")
+    s, c = full_adder(netlist, a, b, cin)
+    for va, vb, vc in itertools.product((0, 1), repeat=3):
+        values = evaluate_single(netlist, {a: va, b: vb, cin: vc})
+        total = va + vb + vc
+        assert values[s] == total % 2
+        assert values[c] == total // 2
+
+
+@pytest.mark.parametrize("width", [1, 2, 4])
+def test_ripple_adder_exhaustive(width):
+    netlist, a, b, outs = _build(width, ripple_adder)
+    mask = (1 << width) - 1
+    for va in range(1 << width):
+        for vb in range(1 << width):
+            values = _run(netlist, a, b, va, vb)
+            assert _word(values, outs) == (va + vb) & mask
+
+
+def test_ripple_adder_keep_carry():
+    netlist, a, b, outs = _build(3, ripple_adder, keep_carry=True)
+    assert len(outs) == 4
+    values = _run(netlist, a, b, 7, 7)
+    assert _word(values, outs) == 14
+
+
+def test_ripple_adder_width_mismatch():
+    netlist = Netlist()
+    a = netlist.new_inputs(3, prefix="a")
+    b = netlist.new_inputs(2, prefix="b")
+    with pytest.raises(NetlistError):
+        ripple_adder(netlist, a, b)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_array_multiplier_exhaustive(width):
+    netlist, a, b, outs = _build(width, array_multiplier)
+    assert len(outs) == 2 * width
+    for va in range(1 << width):
+        for vb in range(1 << width):
+            values = _run(netlist, a, b, va, vb)
+            assert _word(values, outs) == va * vb
+
+
+@pytest.mark.parametrize("out_width", [2, 4, 6])
+def test_array_multiplier_truncated(out_width):
+    netlist, a, b, outs = _build(4, array_multiplier, out_width=out_width)
+    assert len(outs) == out_width
+    mask = (1 << out_width) - 1
+    for va, vb in [(15, 15), (9, 7), (12, 3), (1, 1)]:
+        values = _run(netlist, a, b, va, vb)
+        assert _word(values, outs) == (va * vb) & mask
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+@settings(max_examples=40, deadline=None)
+def test_adder_and_multiplier_8bit(va, vb):
+    netlist, a, b, outs = _build(8, ripple_adder)
+    values = _run(netlist, a, b, va, vb)
+    assert _word(values, outs) == (va + vb) & 0xFF
+
+    netlist, a, b, outs = _build(8, array_multiplier)
+    values = _run(netlist, a, b, va, vb)
+    assert _word(values, outs) == va * vb
+
+
+def test_equality_comparator():
+    netlist = Netlist()
+    a = netlist.new_inputs(3, prefix="a")
+    b = netlist.new_inputs(3, prefix="b")
+    eq = equality_comparator(netlist, a, b)
+    for va in range(8):
+        for vb in range(8):
+            values = _run(netlist, a, b, va, vb)
+            assert values[eq] == int(va == vb)
+
+
+def test_mux2_and_word_mux():
+    netlist = Netlist()
+    s = netlist.new_input("s")
+    x = netlist.new_input("x")
+    y = netlist.new_input("y")
+    out = mux2(netlist, s, x, y)
+    for vs, vx, vy in itertools.product((0, 1), repeat=3):
+        values = evaluate_single(netlist, {s: vs, x: vx, y: vy})
+        assert values[out] == (vy if vs else vx)
+
+    netlist = Netlist()
+    s = netlist.new_input("s")
+    x = netlist.new_inputs(4, prefix="x")
+    y = netlist.new_inputs(4, prefix="y")
+    outs = word_mux2(netlist, s, x, y)
+    assign = {s: 1}
+    assign.update({n: (0b1010 >> i) & 1 for i, n in enumerate(x)})
+    assign.update({n: (0b0110 >> i) & 1 for i, n in enumerate(y)})
+    values = evaluate_single(netlist, assign)
+    assert _word(values, outs) == 0b0110

@@ -1,0 +1,82 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def mac4_json(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "mac4.json"
+    assert main(["export", "mac4", str(path)]) == 0
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def figure4_json(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "figure4.json"
+    assert main(["export", "figure4", str(path)]) == 0
+    return str(path)
+
+
+def test_analyze(capsys, mac4_json):
+    assert main(["analyze", mac4_json]) == 0
+    out = capsys.readouterr().out
+    assert "balanced" in out and "True" in out
+    assert "k-step functionally testable" in out
+
+
+def test_analyze_unbalanced_reports_witness(capsys, figure4_json):
+    assert main(["analyze", figure4_json]) == 0
+    out = capsys.readouterr().out
+    assert "worst imbalance" in out
+
+
+def test_bibs(capsys, mac4_json):
+    assert main(["bibs", mac4_json, "--compare-ka"]) == 0
+    out = capsys.readouterr().out
+    assert "BILBO registers" in out
+    assert "KA-85 for contrast" in out
+
+
+def test_bibs_exact_method(capsys, figure4_json):
+    assert main(["bibs", figure4_json, "--method", "exact"]) == 0
+    out = capsys.readouterr().out
+    assert "R3" in out and "R9" in out
+
+
+def test_tpg(capsys, mac4_json):
+    assert main(["tpg", mac4_json]) == 0
+    out = capsys.readouterr().out
+    assert "M = 12" in out
+    assert "[OK]" in out or "skipping" in out
+
+
+def test_tpg_kernel_out_of_range(capsys, mac4_json):
+    assert main(["tpg", mac4_json, "--kernel", "9"]) == 2
+
+
+def test_selftest(capsys, mac4_json):
+    assert main(["selftest", mac4_json, "--cycles", "300",
+                 "--max-faults", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "golden signature" in out
+
+
+def test_selftest_without_gate_behaviour(capsys, figure4_json):
+    assert main(["selftest", figure4_json]) == 2
+    err = capsys.readouterr().err
+    assert "gate expander" in err
+
+
+def test_module_entry_point(tmp_path):
+    path = tmp_path / "c.json"
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", "export", "mac4", str(path)],
+        capture_output=True, text=True,
+    )
+    assert process.returncode == 0
+    assert path.exists()

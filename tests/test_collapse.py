@@ -1,0 +1,95 @@
+"""Equivalence collapsing correctness."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faultsim.collapse import collapse_faults, collapse_ratio
+from repro.faultsim.faults import full_fault_universe
+from repro.faultsim.simulator import FaultSimulator
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+from tests.conftest import make_random_netlist, tiny_and_or
+
+
+def test_collapse_shrinks_universe():
+    netlist = tiny_and_or()
+    representatives, mapping = collapse_faults(netlist)
+    assert len(representatives) < len(mapping)
+    assert set(mapping.values()) == set(representatives)
+
+
+def test_and_gate_collapse_rule():
+    # For y = AND(a, b): a/0, b/0 and y/0 are one equivalence class.
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    y = netlist.add_gate(GateType.AND, [a, b])
+    netlist.mark_output(y)
+    representatives, mapping = collapse_faults(netlist)
+    classes = {}
+    for fault, rep in mapping.items():
+        classes.setdefault(rep, set()).add((fault.net, fault.stuck_at))
+    merged = [c for c in classes.values() if len(c) > 1]
+    assert len(merged) == 1
+    assert merged[0] == {(a, 0), (b, 0), (y, 0)}
+
+
+def test_nand_gate_collapse_rule():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    y = netlist.add_gate(GateType.NAND, [a, b])
+    netlist.mark_output(y)
+    _, mapping = collapse_faults(netlist)
+    classes = {}
+    for fault, rep in mapping.items():
+        classes.setdefault(rep, set()).add((fault.net, fault.stuck_at))
+    merged = [c for c in classes.values() if len(c) > 1]
+    assert merged == [{(a, 0), (b, 0), (y, 1)}]
+
+
+def test_not_chain_collapses_through():
+    # a -> NOT -> NOT -> y: all faults collapse to 2 classes.
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    t = netlist.add_gate(GateType.NOT, [a])
+    y = netlist.add_gate(GateType.NOT, [t])
+    netlist.mark_output(y)
+    representatives, _ = collapse_faults(netlist)
+    assert len(representatives) == 2
+
+
+def test_xor_admits_no_collapse():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    y = netlist.add_gate(GateType.XOR, [a, b])
+    netlist.mark_output(y)
+    representatives, mapping = collapse_faults(netlist)
+    assert len(representatives) == len(mapping) == 6
+
+
+@given(st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_collapsed_classes_are_truly_equivalent(seed):
+    """Property: a pattern detects a fault iff it detects its representative.
+
+    Checked exhaustively over all input patterns of a small random netlist.
+    """
+    netlist = make_random_netlist(4, 12, seed=seed)
+    _, mapping = collapse_faults(netlist)
+    simulator = FaultSimulator(netlist)
+    patterns = list(itertools.product((0, 1), repeat=4))
+    for fault, rep in mapping.items():
+        if fault == rep:
+            continue
+        for pattern in patterns:
+            assert simulator.detects(fault, pattern) == simulator.detects(rep, pattern)
+
+
+def test_collapse_ratio_bounds():
+    netlist = make_random_netlist(4, 20, seed=2)
+    ratio = collapse_ratio(netlist)
+    assert 0 < ratio <= 1

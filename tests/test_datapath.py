@@ -1,0 +1,154 @@
+"""Datapath compiler and the Table-1 filter circuits."""
+
+import random
+
+import pytest
+
+from repro.datapath.compiler import (
+    Add,
+    Mul,
+    Var,
+    compile_datapath,
+    evaluate_expr,
+    expr_stage,
+)
+from repro.datapath.filters import FUNCTION_STRINGS, all_filters, c3a2m, c4a4m, c5a2m
+from repro.datapath.modules import adder_spec, multiplier_spec, passthrough_spec
+from repro.errors import RTLError
+from repro.graph.build import build_circuit_graph
+from repro.analysis.balance import is_balanced
+from repro.rtl.simulate import RTLSimulator, flatten_latency
+
+
+# ---------------------------------------------------------------- modules
+
+def test_adder_spec_slices_wide_operands():
+    _, word_func, _ = adder_spec(4)
+    assert word_func([0xFF, 0x01]) == [0]  # (15 + 1) mod 16 with slicing
+
+
+def test_multiplier_spec_full_product():
+    _, word_func, _ = multiplier_spec(4, 8)
+    assert word_func([15, 15]) == [225]
+
+
+def test_passthrough_spec():
+    _, word_func, _ = passthrough_spec(4)
+    assert word_func([9]) == [9]
+
+
+# --------------------------------------------------------------- compiler
+
+def test_expr_stage():
+    a, b, c = Var("a"), Var("b"), Var("c")
+    expr = Add(Mul(Add(a, b), c), a)
+    assert expr_stage(a) == 0
+    assert expr_stage(expr) == 3
+
+
+def test_bare_var_output_rejected():
+    with pytest.raises(RTLError):
+        compile_datapath([("o", Var("a"))], "bad")
+
+
+def test_shared_subexpression_single_block():
+    a, b, c = Var("a"), Var("b"), Var("c")
+    shared = Add(a, b)
+    compiled = compile_datapath(
+        [("o", Mul(shared, c)), ("p", Mul(shared, a))], "shared", width=4
+    )
+    assert compiled.n_adders == 1
+    assert compiled.n_multipliers == 2
+
+
+def test_compiled_datapaths_are_balanced():
+    for compiled in all_filters().values():
+        graph = build_circuit_graph(compiled.circuit)
+        assert is_balanced(graph), compiled.circuit.name
+
+
+def test_filter_structure_counts():
+    """The register-placement model of DESIGN.md Section 7."""
+    f5 = c5a2m()
+    assert (f5.n_adders, f5.n_multipliers) == (5, 2)
+    assert len(f5.circuit.registers) == 15
+    assert f5.n_delay_registers == 0
+    assert f5.n_stages == 3
+
+    f3 = c3a2m()
+    assert (f3.n_adders, f3.n_multipliers) == (3, 2)
+    assert len(f3.circuit.registers) == 21
+    assert f3.n_delay_registers == 10
+    assert f3.n_stages == 5
+
+    f4 = c4a4m()
+    assert (f4.n_adders, f4.n_multipliers) == (4, 4)
+    assert len(f4.circuit.registers) == 20
+    assert f4.n_delay_registers == 4
+    assert f4.n_stages == 3
+
+
+def test_filter_pi_po_counts():
+    assert len(c5a2m().circuit.primary_inputs) == 8
+    assert len(c3a2m().circuit.primary_inputs) == 6
+    assert len(c4a4m().circuit.primary_inputs) == 8
+    assert len(c4a4m().circuit.primary_outputs) == 2
+
+
+def test_function_strings_cover_all():
+    assert set(FUNCTION_STRINGS) == set(all_filters())
+
+
+@pytest.mark.parametrize("width", [4])
+def test_c5a2m_functional_behaviour(width):
+    """The pipeline computes the paper's expression after its latency."""
+    compiled = c5a2m(width=width)
+    circuit = compiled.circuit
+    simulator = RTLSimulator(circuit)
+    latency = flatten_latency(circuit)
+    rng = random.Random(7)
+    vectors = [
+        {name: rng.randrange(1 << width) for name in "abcdefgh"}
+        for _ in range(12)
+    ]
+    trace = simulator.run(vectors)
+    mask = (1 << width) - 1
+    out_name = circuit.nets[circuit.primary_outputs[0]].name
+    for t in range(latency, len(vectors)):
+        v = vectors[t - latency]
+        expected = (
+            ((v["a"] + v["b"]) & mask) * ((v["c"] + v["d"]) & mask)
+            + ((v["e"] + v["f"]) & mask) * ((v["g"] + v["h"]) & mask)
+        ) & mask
+        assert trace[t][out_name] == expected
+
+
+def test_c4a4m_dual_output_behaviour():
+    compiled = c4a4m(width=4)
+    circuit = compiled.circuit
+    simulator = RTLSimulator(circuit)
+    latency = flatten_latency(circuit)
+    rng = random.Random(9)
+    vectors = [
+        {name: rng.randrange(16) for name in "abcdefgh"}
+        for _ in range(10)
+    ]
+    trace = simulator.run(vectors)
+    names = [circuit.nets[n].name for n in circuit.primary_outputs]
+    for t in range(latency, len(vectors)):
+        v = vectors[t - latency]
+        fg = (v["f"] + v["g"]) & 0xF
+        bc = (v["b"] + v["c"]) & 0xF
+        o = ((v["a"] * fg) & 0xF) + ((v["e"] * bc) & 0xF) & 0xF
+        o = (((v["a"] * fg) & 0xF) + ((v["e"] * bc) & 0xF)) & 0xF
+        p = (((v["d"] * bc) & 0xF) + ((v["h"] * fg) & 0xF)) & 0xF
+        outputs = trace[t]
+        assert outputs[names[0]] == o
+        assert outputs[names[1]] == p
+
+
+def test_evaluate_expr_matches_word_semantics():
+    a, b = Var("a"), Var("b")
+    expr = Mul(Add(a, b), a)
+    value = evaluate_expr(expr, {"a": 10, "b": 9}, width=4, mul_out_width=8)
+    assert value == (((10 + 9) & 0xF) * 10) & 0xFF

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs green.
+
+Examples are user-facing documentation; these tests keep them honest.
+Heavier scripts get reduced budgets via their CLI flags.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "100.00% of detectable" in out
+    assert "BIBS converts" in out
+
+
+def test_filter_bist_comparison():
+    out = run_example(
+        "filter_bist_comparison.py",
+        "--circuit", "c5a2m", "--max-patterns", "4096", "--seeds", "1",
+    )
+    assert "# of BILBO registers" in out
+    assert "BIBS" in out and "KA-85" in out
+
+
+def test_tpg_gallery():
+    out = run_example("tpg_gallery.py")
+    assert "7.2%" in out
+    assert "[OK]" in out and "FAIL" not in out
+
+
+def test_pseudo_exhaustive_tour():
+    out = run_example("pseudo_exhaustive_tour.py")
+    assert "M =  8" in out or "M = 8" in out
+    assert "12-stage LFSR" in out
+
+
+def test_balance_explorer():
+    out = run_example("balance_explorer.py")
+    assert "BIBS saves 2 registers / 9 flip-flops" in out
+
+
+def test_selftest_dry_run():
+    out = run_example("selftest_dry_run.py")
+    assert "controller program" in out
+    assert "signature-detected" in out
+
+
+def test_testability_tour():
+    out = run_example("testability_tour.py")
+    assert "k = 2" in out
+    assert "functionally exhaustive in one period" in out

@@ -1,0 +1,63 @@
+"""Stuck-at fault universe construction."""
+
+from repro.faultsim.faults import Fault, full_fault_universe
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+from tests.conftest import tiny_and_or
+
+
+def test_universe_counts_tiny():
+    netlist = tiny_and_or()
+    faults = full_fault_universe(netlist)
+    # 3 PIs + 2 gate outputs = 5 stems, each with 2 polarities; no net fans
+    # out to more than one pin, so no branch faults.
+    assert len(faults) == 10
+    assert all(f.is_stem for f in faults)
+
+
+def test_branch_faults_only_on_fanout():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    netlist.add_gate(GateType.AND, [a, b], name="g1")
+    netlist.add_gate(GateType.OR, [a, b], name="g2")
+    netlist.mark_output(netlist.gates[0].output)
+    netlist.mark_output(netlist.gates[1].output)
+    faults = full_fault_universe(netlist)
+    branch = [f for f in faults if not f.is_stem]
+    # a and b each feed two pins -> 2 polarities x 2 pins x 2 nets.
+    assert len(branch) == 8
+    assert {(f.net, f.gate_index) for f in branch} == {
+        (a, 0), (a, 1), (b, 0), (b, 1)
+    }
+
+
+def test_po_sink_counts_toward_fanout():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    out = netlist.add_gate(GateType.NOT, [a])
+    netlist.mark_output(a)  # a is read by the gate AND observed as a PO
+    netlist.mark_output(out)
+    faults = full_fault_universe(netlist)
+    branch = [f for f in faults if not f.is_stem]
+    assert len(branch) == 2  # the gate-input pin of net a, both polarities
+
+
+def test_describe_readable():
+    netlist = tiny_and_or()
+    stem = Fault(netlist.find_net("t"), 0)
+    assert "s_a_0" in stem.describe(netlist)
+    assert "t" in stem.describe(netlist)
+    pin = Fault(netlist.find_net("a"), 1, gate_index=0, pin=0)
+    text = pin.describe(netlist)
+    assert "->" in text and "s_a_1" in text
+
+
+def test_fault_equality_and_hash():
+    f1 = Fault(3, 0)
+    f2 = Fault(3, 0)
+    f3 = Fault(3, 1)
+    assert f1 == f2 and hash(f1) == hash(f2)
+    assert f1 != f3
+    assert len({f1, f2, f3}) == 2

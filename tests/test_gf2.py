@@ -1,0 +1,81 @@
+"""GF(2) polynomial arithmetic and primitivity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tpg.gf2 import (
+    degree,
+    exponents_of,
+    find_primitive_polynomial,
+    is_irreducible,
+    is_primitive,
+    poly_from_exponents,
+    poly_gcd,
+    poly_mod,
+    poly_mul_mod,
+    poly_pow_mod,
+)
+from repro.tpg.lfsr import Type1LFSR
+
+
+def test_poly_construction():
+    poly = poly_from_exponents([12, 7, 4, 3, 0])
+    assert degree(poly) == 12
+    assert exponents_of(poly) == [12, 7, 4, 3, 0]
+
+
+def test_poly_mod_and_gcd():
+    x4_plus_x_plus_1 = poly_from_exponents([4, 1, 0])
+    x = 0b10
+    assert poly_mod(x, x4_plus_x_plus_1) == x
+    # x^4 mod (x^4+x+1) == x+1
+    assert poly_mod(1 << 4, x4_plus_x_plus_1) == 0b11
+    assert poly_gcd(x4_plus_x_plus_1, x4_plus_x_plus_1) == x4_plus_x_plus_1
+
+
+def test_poly_mul_mod_matches_pow():
+    mod = poly_from_exponents([5, 2, 0])
+    x = 0b10
+    square = poly_mul_mod(x, x, mod)
+    assert square == poly_pow_mod(x, 2, mod)
+    assert poly_pow_mod(x, 31, mod) == 1  # order of x is 2^5-1 = 31
+
+
+@pytest.mark.parametrize(
+    "exponents,expected",
+    [
+        ([4, 1, 0], True),    # x^4+x+1: primitive
+        ([4, 3, 2, 1, 0], False),  # x^4+x^3+x^2+x+1: irreducible, order 5
+        ([4, 2, 0], False),   # (x^2+x+1)^2: reducible
+        ([3, 1, 0], True),
+        ([12, 7, 4, 3, 0], True),  # the paper's polynomial
+    ],
+)
+def test_is_primitive_known_cases(exponents, expected):
+    assert is_primitive(poly_from_exponents(exponents)) is expected
+
+
+def test_irreducible_but_not_primitive():
+    poly = poly_from_exponents([4, 3, 2, 1, 0])
+    assert is_irreducible(poly)
+    assert not is_primitive(poly)
+
+
+def test_reducible_detected():
+    # (x+1)(x^2+x+1) = x^3 + 1... compute: x^3+x^2+x + x^2+x+1 = x^3+1
+    assert not is_irreducible(poly_from_exponents([3, 0]))
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 7, 9, 11, 13, 17])
+def test_find_primitive_polynomial(n):
+    poly = find_primitive_polynomial(n)
+    assert degree(poly) == n
+    assert is_primitive(poly)
+
+
+@given(st.integers(2, 10))
+@settings(max_examples=9, deadline=None)
+def test_primitive_implies_maximal_lfsr(n):
+    """The algebraic test agrees with brute-force LFSR period counting."""
+    poly = find_primitive_polynomial(n)
+    assert Type1LFSR(n, poly).is_maximal()

@@ -1,0 +1,95 @@
+"""RTL -> circuit graph construction (Section 3.1 modelling rules)."""
+
+from repro.graph.build import build_circuit_graph
+from repro.graph.model import EdgeKind, VertexKind
+from repro.library.figures import figure1, figure3
+from repro.rtl.circuit import RTLCircuit
+
+
+def test_fanout_vertex_created_for_multi_sink_net():
+    graph = build_circuit_graph(figure1())
+    fanouts = graph.vertices_of_kind(VertexKind.FANOUT)
+    assert len(fanouts) == 1  # the PI feeds both C and R
+
+
+def test_no_fanout_vertex_for_single_sink():
+    circuit = RTLCircuit()
+    pi = circuit.new_input("pi", 4)
+    r_out = circuit.add_net("r_out", 4)
+    circuit.add_register("R", pi, r_out)
+    c_out = circuit.add_net("c_out", 4)
+    circuit.add_block("C", [r_out], [c_out])
+    circuit.mark_output(c_out)
+    graph = build_circuit_graph(circuit)
+    assert not graph.vertices_of_kind(VertexKind.FANOUT)
+    assert not graph.vertices_of_kind(VertexKind.VACUOUS)
+
+
+def test_vacuous_vertex_between_chained_registers():
+    circuit = RTLCircuit()
+    pi = circuit.new_input("pi", 4)
+    mid = circuit.add_net("mid", 4)
+    circuit.add_register("R1", pi, mid)
+    end = circuit.add_net("end", 4)
+    circuit.add_register("R2", mid, end)
+    circuit.mark_output(end)
+    graph = build_circuit_graph(circuit)
+    vacuous = graph.vertices_of_kind(VertexKind.VACUOUS)
+    assert len(vacuous) == 1
+    # Both register edges attach to the vacuous vertex.
+    r1 = graph.edge_for_register("R1")
+    r2 = graph.edge_for_register("R2")
+    assert r1.head == vacuous[0].name
+    assert r2.tail == vacuous[0].name
+
+
+def test_no_vacuous_when_fanout_intervenes():
+    """Register-to-register through a fanout: the fanout vertex serves."""
+    circuit = RTLCircuit()
+    pi = circuit.new_input("pi", 4)
+    mid = circuit.add_net("mid", 4)
+    circuit.add_register("R1", pi, mid)
+    end = circuit.add_net("end", 4)
+    circuit.add_register("R2", mid, end)
+    c_out = circuit.add_net("c_out", 4)
+    circuit.add_block("C", [mid], [c_out])  # mid now has two sinks
+    circuit.mark_output(end)
+    circuit.mark_output(c_out)
+    graph = build_circuit_graph(circuit)
+    assert not graph.vertices_of_kind(VertexKind.VACUOUS)
+    fanout = graph.vertices_of_kind(VertexKind.FANOUT)[0]
+    assert graph.edge_for_register("R1").head == fanout.name
+    assert graph.edge_for_register("R2").tail == fanout.name
+
+
+def test_register_edge_weights_are_widths():
+    graph = build_circuit_graph(figure3())
+    for edge in graph.register_edges():
+        assert edge.weight == 8
+
+
+def test_figure3_vertex_census():
+    graph = build_circuit_graph(figure3())
+    kinds = {}
+    for vertex in graph.vertices.values():
+        kinds[vertex.kind] = kinds.get(vertex.kind, 0) + 1
+    assert kinds[VertexKind.LOGIC] == 8       # A..H
+    assert kinds[VertexKind.INPUT] == 1
+    assert kinds[VertexKind.OUTPUT] == 1
+    assert kinds[VertexKind.FANOUT] == 1      # FO1
+    assert kinds[VertexKind.VACUOUS] == 1     # V1 between R2 and R3
+    assert len(graph.register_edges()) == 9   # R1..R9
+
+
+def test_pi_and_po_vertices_named():
+    graph = build_circuit_graph(figure1())
+    assert any(v.name == "PI(pi)" for v in graph.input_vertices())
+    assert any(v.name.startswith("PO(") for v in graph.output_vertices())
+
+
+def test_block_ports_are_edges():
+    """The paper: ports correspond to in/out edges on a vertex."""
+    graph = build_circuit_graph(figure3())
+    # H has four input ports in the reconstruction.
+    assert len(graph.in_edges("H")) == 4
+    assert len(graph.out_edges("H")) == 2

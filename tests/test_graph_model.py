@@ -1,0 +1,104 @@
+"""Circuit graph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.model import (
+    CircuitGraph,
+    EdgeKind,
+    VertexKind,
+    WIRE_WEIGHT,
+)
+
+
+def diamond() -> CircuitGraph:
+    graph = CircuitGraph("diamond")
+    for name, kind in [
+        ("in", VertexKind.INPUT),
+        ("a", VertexKind.LOGIC),
+        ("b", VertexKind.LOGIC),
+        ("out", VertexKind.OUTPUT),
+    ]:
+        graph.add_vertex(name, kind)
+    graph.add_edge("in", "a", EdgeKind.REGISTER, 8, "R1")
+    graph.add_edge("in", "b", EdgeKind.REGISTER, 8, "R2")
+    graph.add_edge("a", "out", EdgeKind.WIRE)
+    graph.add_edge("b", "out", EdgeKind.WIRE)
+    return graph
+
+
+def test_vertex_and_edge_queries():
+    graph = diamond()
+    assert len(graph) == 4
+    assert graph.vertex("a").is_logic
+    assert [e.register for e in graph.register_edges()] == ["R1", "R2"]
+    assert len(graph.wire_edges()) == 2
+    assert graph.successors("in") == ["a", "b"]
+    assert graph.predecessors("out") == ["a", "b"]
+    assert graph.edge_for_register("R1").head == "a"
+
+
+def test_wire_weight_is_large():
+    graph = diamond()
+    wire = graph.wire_edges()[0]
+    assert wire.weight == WIRE_WEIGHT
+    assert wire.sequential_length == 0
+    register = graph.register_edges()[0]
+    assert register.weight == 8
+    assert register.sequential_length == 1
+
+
+def test_duplicate_vertex_rejected():
+    graph = diamond()
+    with pytest.raises(GraphError):
+        graph.add_vertex("a", VertexKind.LOGIC)
+
+
+def test_edge_to_unknown_vertex_rejected():
+    graph = diamond()
+    with pytest.raises(GraphError):
+        graph.add_edge("a", "zzz", EdgeKind.WIRE)
+    with pytest.raises(GraphError):
+        graph.add_edge("zzz", "a", EdgeKind.WIRE)
+
+
+def test_register_edge_needs_name_and_weight():
+    graph = diamond()
+    with pytest.raises(GraphError):
+        graph.add_edge("a", "b", EdgeKind.REGISTER, 4)
+    with pytest.raises(GraphError):
+        graph.add_edge("a", "b", EdgeKind.REGISTER, None, "R9")
+
+
+def test_missing_register_lookup():
+    with pytest.raises(GraphError):
+        diamond().edge_for_register("R99")
+
+
+def test_subgraph_induced():
+    graph = diamond()
+    sub = graph.subgraph(["in", "a", "out"])
+    assert set(sub.vertices) == {"in", "a", "out"}
+    assert len(sub.edges) == 2  # in->a register, a->out wire
+
+
+def test_without_edges():
+    graph = diamond()
+    r1 = graph.edge_for_register("R1")
+    cut = graph.without_edges([r1.index])
+    assert len(cut.edges) == 3
+    assert all(e.register != "R1" for e in cut.edges)
+
+
+def test_weakly_connected_components():
+    graph = diamond()
+    graph.add_vertex("island", VertexKind.LOGIC)
+    components = graph.weakly_connected_components()
+    assert sorted(map(len, components)) == [1, 4]
+
+
+def test_vertices_of_kind():
+    graph = diamond()
+    assert [v.name for v in graph.input_vertices()] == ["in"]
+    assert [v.name for v in graph.output_vertices()] == ["out"]
+    assert {v.name for v in graph.logic_vertices()} == {"a", "b"}

@@ -1,0 +1,57 @@
+"""Path queries: depth, enumeration, maximal delay."""
+
+from repro.datapath.filters import c3a2m, c5a2m
+from repro.graph.build import build_circuit_graph
+from repro.graph.model import CircuitGraph, EdgeKind, VertexKind
+from repro.graph.paths import (
+    all_paths,
+    maximal_delay,
+    path_sequential_length,
+    reachable_from,
+    sequential_depth,
+)
+
+
+def test_sequential_depth_of_pipelines():
+    assert sequential_depth(build_circuit_graph(c5a2m().circuit)) == 4
+    assert sequential_depth(build_circuit_graph(c3a2m().circuit)) == 6
+
+
+def test_all_paths_enumeration():
+    graph = CircuitGraph()
+    for name in "sabt":
+        graph.add_vertex(name, VertexKind.LOGIC)
+    graph.add_edge("s", "a", EdgeKind.WIRE)
+    graph.add_edge("s", "b", EdgeKind.WIRE)
+    graph.add_edge("a", "t", EdgeKind.WIRE)
+    graph.add_edge("b", "t", EdgeKind.REGISTER, 4, "R")
+    paths = all_paths(graph, "s", "t")
+    assert sorted(paths) == [["s", "a", "t"], ["s", "b", "t"]]
+    assert path_sequential_length(graph, ["s", "a", "t"]) == 0
+    assert path_sequential_length(graph, ["s", "b", "t"]) == 1
+
+
+def test_reachable_from():
+    graph = CircuitGraph()
+    for name in "abc":
+        graph.add_vertex(name, VertexKind.LOGIC)
+    graph.add_edge("a", "b", EdgeKind.WIRE)
+    assert reachable_from(graph, ["a"]) == {"a", "b"}
+    assert reachable_from(graph, ["c"]) == {"c"}
+
+
+def test_maximal_delay_counts_only_bilbo_registers():
+    """Table 2 row 4 semantics: BIBS=2, KA counts every converted register."""
+    graph = build_circuit_graph(c3a2m().circuit)
+    all_registers = [e.register for e in graph.register_edges()]
+    pi_po = [r for r in all_registers if r.startswith("R_") and
+             (len(r) == 3 or r in ("R_A3",))]
+    # BIBS converts PI + PO registers only -> delay 2.
+    from repro.core.bibs import mandatory_bilbo_registers
+
+    bibs = mandatory_bilbo_registers(graph)
+    assert maximal_delay(graph, bibs) == 2
+    # Converting everything gives the full pipeline length + PI + PO.
+    assert maximal_delay(graph, all_registers) == sequential_depth(graph)
+    # No conversions: no BILBO delay at all.
+    assert maximal_delay(graph, []) == 0

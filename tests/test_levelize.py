@@ -1,0 +1,57 @@
+"""Levelization and combinational-cycle detection."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.levelize import levelize, levels
+from repro.netlist.netlist import Netlist
+
+from tests.conftest import make_random_netlist, tiny_and_or
+
+
+def test_levelize_respects_dependencies():
+    netlist = make_random_netlist(4, 30, seed=3)
+    order = levelize(netlist)
+    position = {g: i for i, g in enumerate(order)}
+    driver = {gate.output: i for i, gate in enumerate(netlist.gates)}
+    for index, gate in enumerate(netlist.gates):
+        for net in gate.inputs:
+            if net in driver:
+                assert position[driver[net]] < position[index]
+
+
+def test_levelize_detects_cycle():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    x = netlist.add_net("x")
+    y = netlist.add_net("y")
+    netlist.add_gate(GateType.AND, [a, y], x)
+    netlist.add_gate(GateType.OR, [a, x], y)
+    with pytest.raises(NetlistError):
+        levelize(netlist)
+
+
+def test_levels_start_at_one():
+    netlist = tiny_and_or()
+    gate_levels = levels(netlist)
+    assert gate_levels[0] == 1  # AND reads only PIs
+    assert gate_levels[1] == 2  # OR reads the AND
+
+
+def test_levels_of_parallel_gates_equal():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    g1 = netlist.add_gate(GateType.AND, [a, b])
+    g2 = netlist.add_gate(GateType.OR, [a, b])
+    netlist.add_gate(GateType.XOR, [g1, g2])
+    gate_levels = levels(netlist)
+    assert gate_levels[0] == gate_levels[1] == 1
+    assert gate_levels[2] == 2
+
+
+def test_empty_netlist_levelizes():
+    netlist = Netlist()
+    netlist.new_input("a")
+    assert levelize(netlist) == []

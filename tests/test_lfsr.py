@@ -1,0 +1,98 @@
+"""LFSR behaviour, including the paper's type-1 shift property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TPGError
+from repro.tpg.lfsr import CompleteLFSR, Type1LFSR, Type2LFSR
+from repro.tpg.polynomials import PAPER_POLY_12
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8, 10])
+def test_type1_maximal_length(n):
+    assert Type1LFSR(n).is_maximal()
+
+
+def test_paper_polynomial_is_maximal():
+    assert Type1LFSR(12, PAPER_POLY_12).is_maximal()
+
+
+@given(st.integers(2, 9), st.integers(1, 500))
+@settings(max_examples=40, deadline=None)
+def test_type1_shift_property(n, seed):
+    """Section 4: stage i at time t equals stage i-1 at time t-1 (i > 1)."""
+    lfsr = Type1LFSR(n)
+    seed = (seed % lfsr.mask) or 1
+    state = seed
+    for _ in range(10):
+        nxt = lfsr.step(state)
+        for stage in range(2, n + 1):
+            assert lfsr.stage(nxt, stage) == lfsr.stage(state, stage - 1)
+        state = nxt
+
+
+def test_type1_never_reaches_zero_from_nonzero():
+    lfsr = Type1LFSR(5)
+    state = 1
+    for _ in range(64):
+        state = lfsr.step(state)
+        assert state != 0
+
+
+def test_zero_state_is_fixed_point():
+    lfsr = Type1LFSR(6)
+    assert lfsr.step(0) == 0
+
+
+def test_sequence_and_states():
+    lfsr = Type1LFSR(4)
+    seq = lfsr.sequence(seed=1, count=5)
+    assert seq[0] == 1
+    assert len(seq) == 5
+    stream = lfsr.states(seed=1)
+    assert [next(stream) for _ in range(5)] == seq
+
+
+def test_stage_bounds():
+    lfsr = Type1LFSR(4)
+    with pytest.raises(TPGError):
+        lfsr.stage(1, 0)
+    with pytest.raises(TPGError):
+        lfsr.stage(1, 5)
+
+
+def test_polynomial_degree_mismatch():
+    with pytest.raises(TPGError):
+        Type1LFSR(5, PAPER_POLY_12)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 6, 8])
+def test_type2_maximal(n):
+    assert Type2LFSR(n).is_maximal()
+
+
+def test_type2_lacks_shift_property():
+    """Galois LFSRs do NOT shift stages unchanged — the paper needs type 1."""
+    lfsr = Type2LFSR(4)
+    violations = 0
+    state = 1
+    for _ in range(15):
+        nxt = lfsr.step(state)
+        for stage in range(2, 5):
+            if (nxt >> (stage - 1)) & 1 != (state >> (stage - 2)) & 1:
+                violations += 1
+        state = nxt
+    assert violations > 0
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+def test_complete_lfsr_visits_all_states(n):
+    """Wang-McCluskey complete FSR: period 2^n including all-zero."""
+    lfsr = CompleteLFSR(n)
+    assert lfsr.is_maximal()
+    seen = set()
+    state = 0
+    for _ in range(1 << n):
+        seen.add(state)
+        state = lfsr.step(state)
+    assert seen == set(range(1 << n))

@@ -1,0 +1,102 @@
+"""Paper figure circuits reproduce the stated properties."""
+
+import pytest
+
+from repro.analysis.testability import classify
+from repro.core.ballast import make_balanced_by_scan
+from repro.core.bibs import make_bibs_testable
+from repro.core.ka85 import make_ka_testable
+from repro.graph.build import build_circuit_graph
+from repro.graph.model import VertexKind
+from repro.graph.structures import find_urfs_witnesses, simple_cycles
+from repro.library import (
+    example2_kernel,
+    example3_kernel,
+    example4_kernel,
+    example5_kernel,
+    example6_kernel,
+    example7_kernel,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure9,
+    figure12a,
+    figure17a,
+    figure21a,
+)
+
+
+def test_figure1_claims():
+    graph = build_circuit_graph(figure1())
+    report = classify(graph)
+    assert not report.balanced
+    assert report.k_step == 2
+
+
+def test_figure2_claims():
+    report = classify(build_circuit_graph(figure2()))
+    assert report.balanced and report.k_step == 1
+
+
+def test_figure3_claims():
+    graph = build_circuit_graph(figure3())
+    assert [sorted(c) for c in simple_cycles(graph)] == [["F", "H"]]
+    fanouts = graph.vertices_of_kind(VertexKind.FANOUT)
+    vacuous = graph.vertices_of_kind(VertexKind.VACUOUS)
+    assert len(fanouts) == 1 and len(vacuous) == 1
+    # The URFS: FO1 -> H paths of sequential lengths 1 (via C, E, G) and
+    # 2 (via A, D) once the cycle is set aside.
+    acyclic = graph.without_edges(
+        e.index for e in graph.register_edges() if e.register in ("R7", "R8")
+    )
+    witnesses = {
+        (w.source, w.target): (w.min_length, w.max_length)
+        for w in find_urfs_witnesses(acyclic)
+    }
+    assert witnesses[(fanouts[0].name, "H")] == (1, 2)
+
+
+def test_figure4_partial_scan_and_bibs():
+    graph = build_circuit_graph(figure4())
+    assert make_balanced_by_scan(graph).scan_registers == ["R3", "R9"]
+    design = make_bibs_testable(graph)
+    assert design.bilbo_registers == ["R1", "R3", "R6", "R7", "R8", "R9"]
+    assert design.n_kernels == 2
+
+
+def test_figure9_hardware_comparison():
+    graph = build_circuit_graph(figure9())
+    bibs = make_bibs_testable(graph)
+    ka = make_ka_testable(graph).design
+    assert (bibs.n_bilbo_registers, bibs.n_bilbo_flipflops) == (8, 43)
+    assert (ka.n_bilbo_registers, ka.n_bilbo_flipflops) == (10, 52)
+    assert sum(1 for k in bibs.kernels if k.logic_blocks) == 2
+
+
+@pytest.mark.parametrize(
+    "factory,n_regs,n_cones",
+    [
+        (example2_kernel, 3, 1),
+        (example3_kernel, 3, 1),
+        (example4_kernel, 2, 1),
+        (example5_kernel, 2, 2),
+        (example6_kernel, 2, 2),
+        (example7_kernel, 3, 3),
+    ],
+)
+def test_example_kernels_shape(factory, n_regs, n_cones):
+    kernel = factory()
+    assert len(kernel.registers) == n_regs
+    assert len(kernel.cones) == n_cones
+    assert all(r.width == 4 for r in kernel.registers)
+    small = factory(width=3)
+    assert all(r.width == 3 for r in small.registers)
+
+
+@pytest.mark.parametrize("factory", [figure12a, figure17a, figure21a])
+def test_rtl_kernels_are_balanced(factory):
+    from repro.analysis.balance import is_balanced
+
+    graph = build_circuit_graph(factory())
+    assert is_balanced(graph)

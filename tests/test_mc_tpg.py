@@ -1,0 +1,122 @@
+"""Procedure MC_TPG against Examples 5-7 plus properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.library.kernels import (
+    example5_kernel,
+    example6_kernel,
+    example7_kernel,
+)
+from repro.tpg.design import Cone, InputRegister, KernelSpec
+from repro.tpg.mc_tpg import cone_spans, mc_tpg
+from repro.tpg.verify import is_functionally_exhaustive, verify_design
+
+
+def test_example5_displacement_and_lfsr_size():
+    """Figure 17: displacement +2 and a 9-stage LFSR despite 8-wide cones."""
+    design = mc_tpg(example5_kernel())
+    assert design.lfsr_stages == 9
+    # R1 at L1-4, two separation FFs, R2 at L7-10.
+    assert design.register_label_span("R1") == (1, 4)
+    assert design.register_label_span("R2") == (7, 10)
+    spans = {s.cone: s for s in cone_spans(design)}
+    assert spans["O1"].physical_span == 10 and spans["O1"].logical_span == 8
+    assert spans["O2"].physical_span == 10 and spans["O2"].logical_span == 9
+
+
+def test_example6_eleven_stages():
+    """Figure 19: logical span 11 although the physical span is 10."""
+    design = mc_tpg(example6_kernel())
+    assert design.lfsr_stages == 11
+    assert design.max_label == 11  # step 5 appended the eleventh stage
+    spans = {s.cone: s for s in cone_spans(design)}
+    assert spans["O2"].logical_span == 11
+
+
+def test_example7_order_dependence():
+    """Figure 21: 16 stages in the given order, 8 after permutation."""
+    kernel = example7_kernel()
+    assert mc_tpg(kernel).lfsr_stages == 16
+    permuted = mc_tpg(kernel.permuted(["R1", "R3", "R2"]))
+    assert permuted.lfsr_stages == 8
+    # Sharing: R3 overlaps R1, R2 overlaps R3.
+    assert permuted.register_label_span("R1") == (1, 4)
+    assert permuted.register_label_span("R3") == (4, 7)
+    assert permuted.register_label_span("R2") == (7, 10)
+
+
+@pytest.mark.parametrize(
+    "factory", [example5_kernel, example6_kernel, example7_kernel]
+)
+def test_examples_functionally_exhaustive_at_width3(factory):
+    """Theorem 7 verified by exact enumeration at reduced width."""
+    assert is_functionally_exhaustive(mc_tpg(factory(width=3)))
+
+
+def test_example7_permuted_still_exhaustive_at_width3():
+    # At width 3 the sharing offsets (fixed by depths) no longer scale with
+    # the register width, so the best span is 7, not 2*width.
+    design = mc_tpg(example7_kernel(width=3).permuted(["R1", "R3", "R2"]))
+    assert design.lfsr_stages == 7
+    assert is_functionally_exhaustive(design)
+
+
+def test_single_cone_agrees_with_sc_tpg_sizing():
+    from repro.tpg.sc_tpg import sc_tpg
+
+    spec = KernelSpec.single_cone([("A", 3, 2), ("B", 3, 0)])
+    assert mc_tpg(spec).lfsr_stages == sc_tpg(spec).lfsr_stages == 6
+
+
+def test_unrelated_registers_share_stages():
+    """Registers no cone jointly depends on overlap maximally."""
+    spec = KernelSpec(
+        (InputRegister("A", 4), InputRegister("B", 4)),
+        (Cone("O1", {"A": 0}), Cone("O2", {"B": 0})),
+    )
+    design = mc_tpg(spec)
+    assert design.lfsr_stages == 4
+    assert design.register_label_span("A") == design.register_label_span("B")
+
+
+def test_lfsr_at_least_max_cone_width():
+    kernel = example7_kernel()
+    for order in (["R1", "R2", "R3"], ["R3", "R2", "R1"], ["R2", "R1", "R3"]):
+        design = mc_tpg(kernel.permuted(order))
+        assert design.lfsr_stages >= kernel.max_cone_width
+
+
+@st.composite
+def random_multicone_kernel(draw):
+    n_regs = draw(st.integers(2, 3))
+    registers = tuple(
+        InputRegister(f"R{i}", draw(st.integers(1, 3))) for i in range(n_regs)
+    )
+    n_cones = draw(st.integers(1, 3))
+    cones = []
+    for c in range(n_cones):
+        members = draw(
+            st.lists(
+                st.sampled_from([r.name for r in registers]),
+                min_size=1,
+                max_size=n_regs,
+                unique=True,
+            )
+        )
+        depths = {m: draw(st.integers(0, 2)) for m in members}
+        cones.append(Cone(f"O{c}", depths))
+    return KernelSpec(registers, tuple(cones), name="random")
+
+
+@given(random_multicone_kernel(), st.integers(1, 50))
+@settings(max_examples=25, deadline=None)
+def test_property_random_multicone_exhaustive(kernel, seed):
+    """Property (Theorem 7): MC_TPG functionally exhaustively tests every
+    cone of any small multi-cone kernel."""
+    design = mc_tpg(kernel)
+    if design.lfsr_stages > 11:  # keep exact enumeration cheap
+        return
+    seed = (seed % ((1 << design.lfsr_stages) - 1)) or 1
+    verdicts = verify_design(design, seed=seed)
+    assert all(v.exhaustive for v in verdicts), verdicts

@@ -1,0 +1,114 @@
+"""Cross-cutting properties and smaller API corners."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import errors
+from repro.bits.design_space import DesignPoint, pareto_front
+from repro.graph.model import CircuitGraph, EdgeKind, VertexKind
+from repro.netlist.evaluate import evaluate_single
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+from tests.conftest import make_random_netlist
+
+
+# ----------------------------------------------------------------- errors
+
+def test_error_hierarchy():
+    for name in (
+        "NetlistError", "RTLError", "GraphError", "BalanceError",
+        "TPGError", "SelectionError", "ScheduleError", "SimulationError",
+    ):
+        klass = getattr(errors, name)
+        assert issubclass(klass, errors.ReproError)
+        assert issubclass(klass, Exception)
+
+
+# ---------------------------------------------------------------- pruning
+
+@given(st.integers(0, 40))
+@settings(max_examples=20, deadline=None)
+def test_prune_preserves_po_functions(seed):
+    """Property: prune_to_outputs never changes any PO's function."""
+    netlist = make_random_netlist(4, 15, seed=seed)
+    pruned = netlist.prune_to_outputs()
+    assert len(pruned.gates) <= len(netlist.gates)
+    for combo in itertools.product((0, 1), repeat=4):
+        full_assign = dict(zip(netlist.primary_inputs, combo))
+        pruned_assign = dict(zip(pruned.primary_inputs, combo))
+        full = evaluate_single(netlist, full_assign)
+        slim = evaluate_single(pruned, pruned_assign)
+        full_words = [full[n] for n in netlist.primary_outputs]
+        slim_words = [slim[n] for n in pruned.primary_outputs]
+        assert full_words == slim_words
+
+
+# ------------------------------------------------------------ pareto front
+
+def _point(registers, area, delay, time):
+    return DesignPoint(
+        bilbo_registers=tuple(registers),
+        n_registers=len(registers),
+        added_area=area,
+        maximal_delay=delay,
+        test_time_proxy=time,
+        n_kernels=1,
+        n_sessions=1,
+    )
+
+
+def test_pareto_front_drops_dominated_points():
+    a = _point(["R1"], 10.0, 2, 100)
+    b = _point(["R2"], 12.0, 3, 200)  # dominated by a
+    c = _point(["R3"], 5.0, 4, 300)   # trades area for delay/time
+    front = pareto_front([a, b, c])
+    assert a in front and c in front and b not in front
+
+
+def test_pareto_front_keeps_incomparable_points():
+    a = _point(["R1"], 1.0, 5, 5)
+    b = _point(["R2"], 5.0, 1, 5)
+    c = _point(["R3"], 5.0, 5, 1)
+    assert len(pareto_front([a, b, c])) == 3
+
+
+def test_dominates_requires_strict_improvement():
+    a = _point(["R1"], 1.0, 1, 1)
+    twin = _point(["R2"], 1.0, 1, 1)
+    assert not a.dominates(twin)
+    assert not twin.dominates(a)
+
+
+# ------------------------------------------------------------- graph misc
+
+def test_subgraph_edge_filter():
+    graph = CircuitGraph()
+    graph.add_vertex("a", VertexKind.LOGIC)
+    graph.add_vertex("b", VertexKind.LOGIC)
+    graph.add_edge("a", "b", EdgeKind.WIRE)
+    graph.add_edge("a", "b", EdgeKind.REGISTER, 4, "R")
+    sub = graph.subgraph(["a", "b"], edge_filter=lambda e: e.is_register)
+    assert len(sub.edges) == 1
+    assert sub.edges[0].register == "R"
+
+
+# ----------------------------------------------------------- gate metadata
+
+def test_const_gates_in_netlists():
+    netlist = Netlist()
+    zero = netlist.add_gate(GateType.CONST0, [], name="z")
+    one = netlist.add_gate(GateType.CONST1, [], name="o")
+    out = netlist.add_gate(GateType.OR, [zero, one])
+    netlist.mark_output(out)
+    values = evaluate_single(netlist, {})
+    assert values[out] == 1
+
+
+def test_fanout_count_includes_multiple_pins_of_one_gate():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    netlist.add_gate(GateType.XOR, [a, a])
+    assert netlist.fanout_count(a) == 2

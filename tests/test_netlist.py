@@ -1,0 +1,154 @@
+"""Netlist container structure and invariants."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+from tests.conftest import tiny_and_or
+
+
+def test_add_net_names_and_lookup():
+    netlist = Netlist()
+    a = netlist.add_net("alpha")
+    anon = netlist.add_net()
+    assert netlist.net_name(a) == "alpha"
+    assert netlist.net_name(anon) == f"n{anon}"
+    assert netlist.find_net("alpha") == a
+    with pytest.raises(NetlistError):
+        netlist.find_net("missing")
+
+
+def test_duplicate_net_name_rejected():
+    netlist = Netlist()
+    netlist.add_net("x")
+    with pytest.raises(NetlistError):
+        netlist.add_net("x")
+
+
+def test_add_nets_with_prefix():
+    netlist = Netlist()
+    nets = netlist.add_nets(3, prefix="q")
+    assert [netlist.net_name(n) for n in nets] == ["q0", "q1", "q2"]
+
+
+def test_single_driver_enforced():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    out = netlist.add_net("out")
+    netlist.add_gate(GateType.AND, [a, b], out)
+    with pytest.raises(NetlistError):
+        netlist.add_gate(GateType.OR, [a, b], out)
+
+
+def test_primary_input_cannot_be_driven():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    with pytest.raises(NetlistError):
+        netlist.add_gate(GateType.AND, [a, b], a)
+
+
+def test_gate_with_unknown_nets_rejected():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    with pytest.raises(NetlistError):
+        netlist.add_gate(GateType.NOT, [99], None)
+
+
+def test_driver_of():
+    netlist = tiny_and_or()
+    t = netlist.find_net("t")
+    assert netlist.gates[netlist.driver_of(t)].name == "t"
+    assert netlist.driver_of(netlist.find_net("a")) is None
+
+
+def test_fanout_map_and_count():
+    netlist = tiny_and_or()
+    a = netlist.find_net("a")
+    t = netlist.find_net("t")
+    fanout = netlist.fanout_map()
+    assert fanout[a] == [0]
+    assert fanout[t] == [1]
+    assert netlist.fanout_count(a) == 1
+
+
+def test_transitive_fanout():
+    netlist = tiny_and_or()
+    a = netlist.find_net("a")
+    c = netlist.find_net("c")
+    assert netlist.transitive_fanout_gates(a) == [0, 1]
+    assert netlist.transitive_fanout_gates(c) == [1]
+
+
+def test_support_of():
+    netlist = tiny_and_or()
+    y = netlist.find_net("y")
+    t = netlist.find_net("t")
+    assert netlist.support_of([y]) == {
+        netlist.find_net("a"), netlist.find_net("b"), netlist.find_net("c")
+    }
+    assert netlist.support_of([t]) == {
+        netlist.find_net("a"), netlist.find_net("b")
+    }
+
+
+def test_prune_to_outputs_drops_dead_logic():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    live = netlist.add_gate(GateType.AND, [a, b], name="live")
+    netlist.add_gate(GateType.OR, [a, b], name="dead")
+    netlist.mark_output(live)
+    pruned = netlist.prune_to_outputs()
+    assert len(pruned.gates) == 1
+    assert pruned.gates[0].name == "live"
+    # Inputs survive pruning even if unused by kept logic.
+    assert len(pruned.primary_inputs) == 2
+    pruned.validate()
+
+
+def test_validate_floating_input():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    floating = netlist.add_net("floating")
+    netlist.add_gate(GateType.AND, [a, floating], name="g")
+    with pytest.raises(NetlistError):
+        netlist.validate()
+
+
+def test_validate_floating_output():
+    netlist = Netlist()
+    netlist.new_input("a")
+    dangling = netlist.add_net("dangling")
+    netlist.mark_output(dangling)
+    with pytest.raises(NetlistError):
+        netlist.validate()
+
+
+def test_counts_by_type_and_stats():
+    netlist = tiny_and_or()
+    counts = netlist.counts_by_type()
+    assert counts[GateType.AND] == 1
+    assert counts[GateType.OR] == 1
+    stats = netlist.stats()
+    assert stats.n_gates == 2
+    assert stats.n_inputs == 3
+    assert stats.n_outputs == 1
+    assert stats.logic_depth == 2
+
+
+def test_iteration_and_len():
+    netlist = tiny_and_or()
+    assert len(netlist) == 2
+    assert [g.name for g in netlist] == ["t", "y"]
+
+
+def test_po_on_pi_net_is_legal():
+    netlist = Netlist()
+    a = netlist.new_input("a")
+    netlist.mark_output(a)
+    netlist.validate()
+    assert netlist.primary_outputs == [a]

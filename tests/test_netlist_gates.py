@@ -1,0 +1,107 @@
+"""Gate primitive semantics."""
+
+import itertools
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.gates import (
+    CONTROLLED_OUTPUT,
+    CONTROLLING_VALUE,
+    GateType,
+    evaluate_gate,
+    validate_fanin,
+)
+
+
+def bits(values):
+    """Pack a list of single-bit patterns into parallel ints (1 per input)."""
+    return values
+
+
+REFERENCE = {
+    GateType.AND: lambda vs: int(all(vs)),
+    GateType.NAND: lambda vs: int(not all(vs)),
+    GateType.OR: lambda vs: int(any(vs)),
+    GateType.NOR: lambda vs: int(not any(vs)),
+    GateType.XOR: lambda vs: sum(vs) % 2,
+    GateType.XNOR: lambda vs: 1 - sum(vs) % 2,
+}
+
+
+@pytest.mark.parametrize("gtype", list(REFERENCE))
+@pytest.mark.parametrize("fanin", [2, 3, 4])
+def test_truth_tables(gtype, fanin):
+    for combo in itertools.product((0, 1), repeat=fanin):
+        assert evaluate_gate(gtype, list(combo), 1) == REFERENCE[gtype](combo)
+
+
+def test_not_and_buf():
+    assert evaluate_gate(GateType.NOT, [0], 1) == 1
+    assert evaluate_gate(GateType.NOT, [1], 1) == 0
+    assert evaluate_gate(GateType.BUF, [0], 1) == 0
+    assert evaluate_gate(GateType.BUF, [1], 1) == 1
+
+
+def test_constants():
+    assert evaluate_gate(GateType.CONST0, [], 0b1111) == 0
+    assert evaluate_gate(GateType.CONST1, [], 0b1111) == 0b1111
+
+
+def test_packed_evaluation_is_bitwise():
+    # 4 patterns at once: AND of 1100 and 1010 is 1000.
+    assert evaluate_gate(GateType.AND, [0b1100, 0b1010], 0b1111) == 0b1000
+    assert evaluate_gate(GateType.NOR, [0b1100, 0b1010], 0b1111) == 0b0001
+    assert evaluate_gate(GateType.XNOR, [0b1100, 0b1010], 0b1111) == 0b1001
+
+
+def test_inverting_respects_mask():
+    # Inversion must not leak bits above the mask.
+    out = evaluate_gate(GateType.NAND, [0b11, 0b01], 0b11)
+    assert out == 0b10
+
+
+def test_base_and_inverting_metadata():
+    assert GateType.NAND.base is GateType.AND
+    assert GateType.NAND.is_inverting
+    assert not GateType.AND.is_inverting
+    assert GateType.NOT.base is GateType.BUF
+    assert GateType.XNOR.base is GateType.XOR
+
+
+def test_controlling_values():
+    assert CONTROLLING_VALUE[GateType.AND] == 0
+    assert CONTROLLING_VALUE[GateType.OR] == 1
+    assert CONTROLLED_OUTPUT[GateType.NAND] == 1
+    assert CONTROLLED_OUTPUT[GateType.NOR] == 0
+    assert GateType.XOR not in CONTROLLING_VALUE
+
+
+@pytest.mark.parametrize(
+    "gtype,bad_fanin",
+    [
+        (GateType.AND, 1),
+        (GateType.OR, 0),
+        (GateType.NOT, 2),
+        (GateType.BUF, 0),
+        (GateType.CONST0, 1),
+        (GateType.XOR, 1),
+    ],
+)
+def test_validate_fanin_rejects(gtype, bad_fanin):
+    with pytest.raises(NetlistError):
+        validate_fanin(gtype, bad_fanin)
+
+
+@pytest.mark.parametrize(
+    "gtype,good_fanin",
+    [
+        (GateType.AND, 2),
+        (GateType.AND, 5),
+        (GateType.NOT, 1),
+        (GateType.CONST1, 0),
+        (GateType.XNOR, 3),
+    ],
+)
+def test_validate_fanin_accepts(gtype, good_fanin):
+    validate_fanin(gtype, good_fanin)  # must not raise

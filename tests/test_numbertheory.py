@@ -1,0 +1,44 @@
+"""Miller-Rabin and Pollard rho support."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tpg.numbertheory import factorize, is_probable_prime, prime_factors
+
+
+def test_small_primes():
+    primes = [2, 3, 5, 7, 11, 13, 97, 7919]
+    for p in primes:
+        assert is_probable_prime(p)
+    for n in [1, 4, 6, 9, 91, 7917]:
+        assert not is_probable_prime(n)
+
+
+def test_mersenne_factorizations():
+    # Known factorizations of 2^n - 1 used by primitivity checks.
+    assert prime_factors(2**11 - 1) == [23, 89]
+    assert prime_factors(2**12 - 1) == [3, 5, 7, 13]
+    assert prime_factors(2**16 - 1) == [3, 5, 17, 257]
+    assert prime_factors(2**23 - 1) == [47, 178481]
+    assert prime_factors(2**29 - 1) == [233, 1103, 2089]
+
+
+def test_factorize_with_multiplicity():
+    assert factorize(360) == {2: 3, 3: 2, 5: 1}
+    assert factorize(1) == {}
+    assert factorize(2**10) == {2: 10}
+
+
+@given(st.integers(2, 10**9))
+@settings(max_examples=60, deadline=None)
+def test_factorization_roundtrip(n):
+    factors = factorize(n)
+    product = 1
+    for prime, exponent in factors.items():
+        assert is_probable_prime(prime)
+        product *= prime**exponent
+    assert product == n
+
+
+def test_large_semiprime():
+    p, q = 1_000_003, 1_000_033
+    assert sorted(factorize(p * q)) == [p, q]

@@ -1,0 +1,40 @@
+"""The primitive polynomial table."""
+
+import pytest
+
+from repro.errors import TPGError
+from repro.tpg.gf2 import degree, is_primitive
+from repro.tpg.polynomials import (
+    PAPER_POLY_12,
+    primitive_polynomial,
+    tabulated_degrees,
+)
+
+
+def test_every_table_entry_is_primitive():
+    """The whole curated table is algebraically certified."""
+    for n in tabulated_degrees():
+        poly = primitive_polynomial(n)
+        assert degree(poly) == n
+        assert is_primitive(poly), f"table entry for degree {n} not primitive"
+
+
+def test_paper_polynomial_is_degree_12_entry():
+    assert primitive_polynomial(12) == PAPER_POLY_12
+    assert is_primitive(PAPER_POLY_12)
+
+
+def test_table_covers_1_through_32():
+    assert tabulated_degrees() == list(range(1, 33))
+
+
+def test_untabulated_degree_searches_and_caches():
+    poly1 = primitive_polynomial(33)
+    poly2 = primitive_polynomial(33)
+    assert poly1 == poly2
+    assert is_primitive(poly1)
+
+
+def test_invalid_degree():
+    with pytest.raises(TPGError):
+        primitive_polynomial(0)

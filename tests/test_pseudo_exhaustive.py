@@ -1,0 +1,103 @@
+"""Functionally pseudo-exhaustive testing (Examples 7-8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.library.kernels import example7_kernel
+from repro.tpg.design import Cone, InputRegister, KernelSpec
+from repro.tpg.pseudo_exhaustive import (
+    best_register_order,
+    conflict_pairs,
+    dependency_matrix,
+    mcclauskey_extension_stages,
+    minimal_test_signals,
+)
+
+
+def test_dependency_matrix_example8():
+    """The paper prints D = [[1,1,0],[1,0,1],[0,1,1]]."""
+    assert dependency_matrix(example7_kernel()) == [
+        [1, 1, 0],
+        [1, 0, 1],
+        [0, 1, 1],
+    ]
+
+
+def test_conflict_pairs_complete_triangle():
+    pairs = conflict_pairs(example7_kernel())
+    assert sorted(pairs) == [("R1", "R2"), ("R1", "R3"), ("R2", "R3")]
+
+
+def test_minimal_test_signals_example8():
+    """Example 8: 3 signals of 4 wires -> a 12-stage LFSR."""
+    plan = minimal_test_signals(example7_kernel())
+    assert plan.n_signals == 3
+    assert plan.lfsr_stages == 12
+    assert mcclauskey_extension_stages(example7_kernel()) == 12
+
+
+def test_signals_can_share_when_independent():
+    kernel = KernelSpec(
+        (InputRegister("A", 4), InputRegister("B", 3), InputRegister("C", 4)),
+        (Cone("O1", {"A": 0, "B": 0}), Cone("O2", {"B": 0, "C": 0})),
+    )
+    plan = minimal_test_signals(kernel)
+    # A and C share (no cone joins them): 2 signals; widths max(4,4)=4 and 3.
+    assert plan.n_signals == 2
+    assert plan.lfsr_stages == 7
+
+
+def test_permutation_search_finds_paper_optimum():
+    result = best_register_order(example7_kernel())
+    assert result.lfsr_stages == 8
+    assert result.lower_bound == 8
+    assert result.optimal
+    assert result.orders_tried <= 6
+
+
+def test_search_beats_mccluskey_on_example():
+    """The paper's punchline: MC_TPG + permutation (2^8) beats the signal
+    extension (2^12)."""
+    kernel = example7_kernel()
+    assert best_register_order(kernel).lfsr_stages < mcclauskey_extension_stages(kernel)
+
+
+def test_search_respects_permutation_budget():
+    result = best_register_order(example7_kernel(), max_permutations=1)
+    assert result.orders_tried == 1
+
+
+@st.composite
+def coloring_kernel(draw):
+    n = draw(st.integers(2, 6))
+    registers = tuple(InputRegister(f"R{i}", draw(st.integers(1, 4))) for i in range(n))
+    cones = []
+    for c in range(draw(st.integers(1, 4))):
+        members = draw(
+            st.lists(
+                st.sampled_from([r.name for r in registers]),
+                min_size=1, max_size=n, unique=True,
+            )
+        )
+        cones.append(Cone(f"O{c}", {m: 0 for m in members}))
+    return KernelSpec(registers, tuple(cones))
+
+
+@given(coloring_kernel())
+@settings(max_examples=40, deadline=None)
+def test_property_test_signal_grouping_is_valid(kernel):
+    """Property: no group contains two registers a cone jointly depends on,
+    every register is grouped exactly once, and exact <= greedy."""
+    plan = minimal_test_signals(kernel)
+    conflicts = set(conflict_pairs(kernel))
+    all_names = []
+    for group in plan.groups:
+        members = sorted(group)
+        all_names.extend(members)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                assert (a, b) not in conflicts and (b, a) not in conflicts
+    assert sorted(all_names) == sorted(r.name for r in kernel.registers)
+
+    greedy_plan = minimal_test_signals(kernel, exact_limit=0)
+    assert plan.n_signals <= greedy_plan.n_signals

@@ -1,0 +1,52 @@
+"""Reconfigurable TPGs (Figure 20)."""
+
+import pytest
+
+from repro.errors import TPGError
+from repro.library.kernels import example6_kernel, example7_kernel
+from repro.tpg.mc_tpg import mc_tpg
+from repro.tpg.reconfigurable import (
+    ReconfigurableTPG,
+    build_reconfigurable,
+    compare_with_monolithic,
+)
+from repro.tpg.verify import is_functionally_exhaustive
+
+
+def test_example6_time_savings():
+    """Figure 20: testing the cones separately takes ~2 x 2^8 << 2^11."""
+    kernel = example6_kernel()
+    monolithic = mc_tpg(kernel)
+    reconfigurable = build_reconfigurable(kernel)
+    assert len(reconfigurable.sessions) == 2
+    assert all(s.design.lfsr_stages == 8 for s in reconfigurable.sessions)
+    assert reconfigurable.total_test_time < monolithic.test_time() / 3
+    mono, reconf, speedup = compare_with_monolithic(kernel, monolithic)
+    assert mono == monolithic.test_time()
+    assert reconf == reconfigurable.total_test_time
+    assert speedup > 3.0
+
+
+def test_sessions_are_exhaustive_per_cone():
+    reconfigurable = build_reconfigurable(example6_kernel(width=3))
+    for session in reconfigurable.sessions:
+        assert is_functionally_exhaustive(session.design)
+
+
+def test_control_lines():
+    reconfigurable = build_reconfigurable(example7_kernel())
+    assert len(reconfigurable.sessions) == 3
+    assert reconfigurable.n_control_lines == 2  # ceil(log2(3))
+
+
+def test_reconfigured_stage_count_positive_when_labels_differ():
+    kernel = example6_kernel()
+    reconfigurable = build_reconfigurable(kernel)
+    # R2's cells sit at different labels in the two configurations
+    # (depths differ per cone), so muxes are needed.
+    assert reconfigurable.n_reconfigured_stages > 0
+
+
+def test_empty_sessions_rejected():
+    with pytest.raises(TPGError):
+        ReconfigurableTPG(example6_kernel(), [])

@@ -1,0 +1,125 @@
+"""RTL circuit container rules."""
+
+import pytest
+
+from repro.errors import RTLError
+from repro.rtl.circuit import RTLCircuit
+
+
+def small_circuit():
+    circuit = RTLCircuit("small")
+    pi = circuit.new_input("pi", 8)
+    r_out = circuit.add_net("r_out", 8)
+    circuit.add_register("R", pi, r_out)
+    c_out = circuit.add_net("c_out", 8)
+    circuit.add_block("C", [r_out], [c_out])
+    circuit.mark_output(c_out)
+    return circuit
+
+
+def test_valid_circuit_passes():
+    small_circuit().validate()
+
+
+def test_net_lookup_by_name_and_index():
+    circuit = small_circuit()
+    assert circuit.net("pi").name == "pi"
+    assert circuit.net(0).name == "pi"
+    with pytest.raises(RTLError):
+        circuit.net("nope")
+
+
+def test_duplicate_net_name():
+    circuit = RTLCircuit()
+    circuit.add_net("x", 4)
+    with pytest.raises(RTLError):
+        circuit.add_net("x", 4)
+
+
+def test_zero_width_net():
+    circuit = RTLCircuit()
+    with pytest.raises(RTLError):
+        circuit.add_net("x", 0)
+
+
+def test_duplicate_component_name():
+    circuit = small_circuit()
+    n1 = circuit.add_net("n1", 8)
+    n2 = circuit.add_net("n2", 8)
+    with pytest.raises(RTLError):
+        circuit.add_block("C", [n1], [n2])
+    with pytest.raises(RTLError):
+        circuit.add_register("R", n1, n2)
+
+
+def test_register_width_mismatch():
+    circuit = RTLCircuit()
+    a = circuit.add_net("a", 8)
+    b = circuit.add_net("b", 4)
+    with pytest.raises(RTLError):
+        circuit.add_register("R", a, b)
+
+
+def test_two_drivers_rejected():
+    circuit = RTLCircuit()
+    pi = circuit.new_input("pi", 8)
+    shared = circuit.add_net("shared", 8)
+    circuit.add_register("R1", pi, shared)
+    circuit.add_register("R2", pi, shared)
+    with pytest.raises(RTLError):
+        circuit.validate()
+
+
+def test_undriven_net_rejected():
+    circuit = RTLCircuit()
+    floating = circuit.add_net("floating", 8)
+    out = circuit.add_net("out", 8)
+    circuit.add_block("C", [floating], [out])
+    circuit.mark_output(out)
+    with pytest.raises(RTLError):
+        circuit.validate()
+
+
+def test_unsunk_net_rejected():
+    circuit = RTLCircuit()
+    pi = circuit.new_input("pi", 8)
+    with pytest.raises(RTLError):
+        circuit.validate()
+
+
+def test_block_needs_ports():
+    circuit = RTLCircuit()
+    n = circuit.add_net("n", 8)
+    with pytest.raises(RTLError):
+        circuit.add_block("B", [], [n])
+    with pytest.raises(RTLError):
+        circuit.add_block("B", [n], [])
+
+
+def test_drivers_and_sinks_maps():
+    circuit = small_circuit()
+    drivers = circuit.drivers()
+    sinks = circuit.sinks()
+    pi = circuit.net_index("pi")
+    r_out = circuit.net_index("r_out")
+    c_out = circuit.net_index("c_out")
+    assert drivers[pi].kind == "pi"
+    assert drivers[r_out].kind == "register"
+    assert drivers[c_out].kind == "block"
+    assert [s.kind for s in sinks[pi]] == ["register"]
+    assert [s.kind for s in sinks[c_out]] == ["po"]
+
+
+def test_stats():
+    stats = small_circuit().stats()
+    assert stats.n_blocks == 1
+    assert stats.n_registers == 1
+    assert stats.n_register_bits == 8
+    assert stats.n_primary_inputs == 1
+    assert stats.n_primary_outputs == 1
+
+
+def test_register_widths_helper():
+    circuit = small_circuit()
+    assert circuit.register_widths() == {"R": 8}
+    assert circuit.total_register_bits() == 8

@@ -1,0 +1,113 @@
+"""Procedure SC_TPG against the paper's Examples 2-4 plus properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TPGError
+from repro.library.kernels import (
+    example2_kernel,
+    example3_kernel,
+    example4_kernel,
+)
+from repro.tpg.design import Cone, InputRegister, KernelSpec
+from repro.tpg.polynomials import PAPER_POLY_12
+from repro.tpg.sc_tpg import extra_flipflops_needed, sc_tpg
+from repro.tpg.verify import is_functionally_exhaustive, verify_design
+
+
+def test_example2_exact_numbers():
+    """Figure 13: 12-stage LFSR, 2 extra D-FFs, test time 2^12 - 1 + 2."""
+    design = sc_tpg(example2_kernel(), polynomial=PAPER_POLY_12)
+    assert design.lfsr_stages == 12
+    assert design.n_extra_flipflops == 2
+    assert design.n_flipflops == 14
+    assert design.test_time() == (1 << 12) - 1 + 2
+    assert design.polynomial == PAPER_POLY_12
+
+
+def test_example2_sorted_depth_closed_form():
+    """For descending depths, extra FFs = d_1 - d_n."""
+    assert extra_flipflops_needed(example2_kernel()) == 2
+
+
+def test_example3_sharing_and_separation():
+    """Figure 15: R1.4 and R2.1 share L4; R2 and R3 separated by two FFs."""
+    design = sc_tpg(example3_kernel(), polynomial=PAPER_POLY_12)
+    assert design.lfsr_stages == 12
+    assert design.cell_labels[("R1", 4)] == design.cell_labels[("R2", 1)] == 4
+    assert design.register_label_span("R2") == (4, 7)
+    assert design.register_label_span("R3") == (10, 13)
+    assert design.max_label == 13  # L13 is a shift-register stage beyond M
+    assert design.n_flipflops == 14
+
+
+def test_example4_limited_sharing():
+    """Figure 16: |delta|=5 > r=4, so only 3 stages are actually shared."""
+    design = sc_tpg(example4_kernel())
+    assert design.lfsr_stages == 8
+    span1 = design.register_label_span("R1")
+    span2 = design.register_label_span("R2")
+    shared = min(span1[1], span2[1]) - max(span1[0], span2[0]) + 1
+    assert shared == 3
+    # The string is extended so M=8 consecutive labels exist (step 5).
+    assert design.max_label - min(s.label for s in design.slots) + 1 >= 8
+
+
+@pytest.mark.parametrize(
+    "factory", [example2_kernel, example3_kernel, example4_kernel]
+)
+def test_paper_examples_functionally_exhaustive_at_width3(factory):
+    """Theorem 5 verified by exact enumeration at reduced width."""
+    design = sc_tpg(factory(width=3))
+    assert is_functionally_exhaustive(design)
+
+
+def test_rejects_multi_cone():
+    spec = KernelSpec(
+        (InputRegister("A", 2), InputRegister("B", 2)),
+        (Cone("O1", {"A": 0}), Cone("O2", {"B": 0})),
+    )
+    with pytest.raises(TPGError):
+        sc_tpg(spec)
+
+
+def test_rejects_partial_cone():
+    spec = KernelSpec(
+        (InputRegister("A", 2), InputRegister("B", 2)),
+        (Cone("O1", {"A": 0}),),
+    )
+    with pytest.raises(TPGError):
+        sc_tpg(spec)
+
+
+def test_equal_depths_plain_lfsr():
+    """All depths equal: no extra FFs, registers concatenated directly."""
+    spec = KernelSpec.single_cone([("A", 3, 1), ("B", 3, 1), ("C", 2, 1)])
+    design = sc_tpg(spec)
+    assert design.n_extra_flipflops == 0
+    assert design.lfsr_stages == 8
+    assert design.register_label_span("C") == (7, 8)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 3), st.integers(0, 3)),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(1, 100),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_random_single_cone_exhaustive(widths_depths, seed):
+    """Property (Theorem 5): SC_TPG is functionally exhaustive for any
+    single-cone kernel, whatever the register order and depth profile."""
+    total = sum(w for w, _ in widths_depths)
+    if total > 10:  # keep the 2^M enumeration cheap
+        widths_depths = widths_depths[:2]
+    spec = KernelSpec.single_cone(
+        [(f"R{i}", w, d) for i, (w, d) in enumerate(widths_depths)]
+    )
+    design = sc_tpg(spec)
+    assert design.lfsr_stages == spec.total_width
+    verdicts = verify_design(design, seed=(seed % ((1 << design.lfsr_stages) - 1)) or 1)
+    assert all(v.exhaustive for v in verdicts)

@@ -1,0 +1,82 @@
+"""Selection robustness on random unbalanced structural circuits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.balance import is_balanced
+from repro.core.ballast import make_balanced_by_scan
+from repro.core.bibs import is_valid_selection, make_bibs_testable
+from repro.core.cbilbo import find_single_register_cycles
+from repro.errors import SelectionError
+from repro.graph.build import build_circuit_graph
+from repro.graph.structures import is_acyclic
+from repro.library.synth import random_structural_circuit
+
+
+@given(st.integers(0, 300))
+@settings(max_examples=25, deadline=None)
+def test_random_structural_circuits_validate(seed):
+    circuit = random_structural_circuit(seed)
+    graph = build_circuit_graph(circuit)
+    assert is_acyclic(graph)  # the generator builds DAGs
+    assert len(graph.register_edges()) >= 2
+
+
+@given(st.integers(0, 300))
+@settings(max_examples=20, deadline=None)
+def test_ballast_methods_agree_on_validity(seed):
+    """Property: both scan-selection methods produce balancing sets, and
+    the exact set is never larger."""
+    circuit = random_structural_circuit(seed)
+    graph = build_circuit_graph(circuit)
+    greedy = make_balanced_by_scan(graph, method="greedy")
+    cut = {
+        e.index for e in graph.register_edges()
+        if e.register in set(greedy.scan_registers)
+    }
+    assert is_balanced(graph.without_edges(cut))
+    if len(graph.register_edges()) <= 14:
+        exact = make_balanced_by_scan(graph, method="exact")
+        assert exact.n_scan_registers <= greedy.n_scan_registers
+
+
+@given(st.integers(0, 300))
+@settings(max_examples=15, deadline=None)
+def test_bibs_greedy_always_valid_on_structural_circuits(seed):
+    """Property: greedy BIBS selection is valid whenever any selection is
+    (single-register cycles are the only legitimate failure)."""
+    circuit = random_structural_circuit(seed)
+    graph = build_circuit_graph(circuit)
+    try:
+        design = make_bibs_testable(graph, method="greedy")
+    except SelectionError:
+        assert find_single_register_cycles(graph) or not is_valid_selection(
+            graph, {e.register for e in graph.register_edges() if e.register}
+        )
+        return
+    assert design.is_valid()
+    assert is_valid_selection(graph, set(design.bilbo_registers))
+
+
+def test_greedy_scan_matches_exact_on_figure4():
+    from repro.library.figures import figure4
+
+    graph = build_circuit_graph(figure4())
+    exact = make_balanced_by_scan(graph, method="exact")
+    greedy = make_balanced_by_scan(graph, method="greedy")
+    assert set(exact.scan_registers) <= {"R3", "R9"} or exact.scan_registers
+    assert exact.scan_registers == ["R3", "R9"]
+    # Greedy finds a (possibly different) valid balancing set.
+    cut = {
+        e.index for e in graph.register_edges()
+        if e.register in set(greedy.scan_registers)
+    }
+    assert is_balanced(graph.without_edges(cut))
+
+
+def test_unknown_scan_method():
+    from repro.library.figures import figure4
+
+    graph = build_circuit_graph(figure4())
+    with pytest.raises(SelectionError):
+        make_balanced_by_scan(graph, method="sideways")

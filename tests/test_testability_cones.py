@@ -1,0 +1,98 @@
+"""k-step classification and cone extraction."""
+
+import pytest
+
+from repro.analysis.cones import cone_dependencies, kernel_spec_from_graph
+from repro.analysis.testability import (
+    classify,
+    is_one_step_functionally_testable,
+    k_step,
+)
+from repro.core.bibs import make_bibs_testable
+from repro.errors import BalanceError
+from repro.graph.build import build_circuit_graph
+from repro.graph.model import CircuitGraph, EdgeKind, VertexKind
+from repro.library.figures import figure1, figure2, figure3, figure4
+from repro.library.kernels import figure12a, figure17a, figure21a
+
+
+# ------------------------------------------------------------- testability
+
+def test_figure1_is_two_step():
+    report = classify(build_circuit_graph(figure1()))
+    assert report.acyclic and not report.balanced
+    assert report.k_step == 2
+    assert report.worst_witness is not None
+
+
+def test_figure2_is_one_step():
+    graph = build_circuit_graph(figure2())
+    assert k_step(graph) == 1
+    assert is_one_step_functionally_testable(graph)
+
+
+def test_cyclic_circuit_unclassifiable():
+    report = classify(build_circuit_graph(figure3()))
+    assert report.k_step is None
+    assert not report.acyclic
+
+
+def test_figure4_k_step_is_three():
+    """Paths C1->C3 of lengths 1 and 3 -> imbalance 2 -> 3-step."""
+    assert k_step(build_circuit_graph(figure4())) == 3
+
+
+# ------------------------------------------------------------------ cones
+
+def _kernel_of(circuit):
+    design = make_bibs_testable(build_circuit_graph(circuit))
+    return [k for k in design.kernels if k.logic_blocks][0]
+
+
+def test_figure12a_spec_recovery():
+    spec = _kernel_of(figure12a()).to_kernel_spec()
+    assert [r.name for r in spec.registers] == ["R1", "R2", "R3"]
+    assert len(spec.cones) == 1
+    assert dict(spec.cones[0].depths) == {"R1": 2, "R2": 1, "R3": 0}
+
+
+def test_figure17a_spec_recovery():
+    spec = _kernel_of(figure17a()).to_kernel_spec()
+    depths = {cone.name: dict(cone.depths) for cone in spec.cones}
+    assert depths == {
+        "Rout1": {"R1": 2, "R2": 0},
+        "Rout2": {"R1": 1, "R2": 0},
+    }
+
+
+def test_figure21a_spec_recovery():
+    spec = _kernel_of(figure21a()).to_kernel_spec()
+    depths = {cone.name: dict(cone.depths) for cone in spec.cones}
+    assert depths == {
+        "S1": {"R1": 2, "R2": 0},
+        "S2": {"R1": 0, "R3": 1},
+        "S3": {"R2": 1, "R3": 0},
+    }
+
+
+def test_cone_dependencies_helper():
+    kernel = _kernel_of(figure21a())
+    deps = cone_dependencies(kernel.graph, kernel.input_edges, kernel.output_edges)
+    assert deps == {
+        "S1": ["R1", "R2"],
+        "S2": ["R1", "R3"],
+        "S3": ["R2", "R3"],
+    }
+
+
+def test_unbalanced_kernel_rejected():
+    graph = CircuitGraph()
+    for name in ("in", "c1", "c2", "out"):
+        graph.add_vertex(name, VertexKind.LOGIC)
+    tpg = graph.add_edge("in", "c1", EdgeKind.REGISTER, 4, "T")
+    graph.add_edge("c1", "c2", EdgeKind.REGISTER, 4, "I")
+    graph.add_edge("c1", "c2", EdgeKind.WIRE)  # unequal-length pair
+    sa = graph.add_edge("c2", "out", EdgeKind.REGISTER, 4, "S")
+    kernel_graph = graph.subgraph(["c1", "c2"])
+    with pytest.raises(BalanceError):
+        kernel_spec_from_graph(kernel_graph, [tpg], [sa])

@@ -1,0 +1,134 @@
+"""KernelSpec and TPGDesign model."""
+
+import pytest
+
+from repro.errors import TPGError
+from repro.tpg.design import (
+    Cone,
+    InputRegister,
+    KernelSpec,
+    Slot,
+    TPGDesign,
+    normalize_labels,
+)
+from repro.tpg.lfsr import Type1LFSR
+from repro.tpg.sc_tpg import sc_tpg
+
+
+def simple_spec():
+    return KernelSpec.single_cone([("A", 3, 1), ("B", 3, 0)], name="simple")
+
+
+def test_kernel_spec_basics():
+    spec = simple_spec()
+    assert spec.total_width == 6
+    assert spec.sequential_depth == 1
+    assert spec.width_of("A") == 3
+    assert spec.cone_width(spec.cones[0]) == 6
+    assert spec.max_cone_width == 6
+
+
+def test_kernel_spec_validation():
+    with pytest.raises(TPGError):
+        KernelSpec.single_cone([("A", 0, 0)])
+    with pytest.raises(TPGError):
+        KernelSpec.single_cone([("A", 2, 0), ("A", 2, 1)])
+    with pytest.raises(TPGError):
+        KernelSpec(
+            (InputRegister("A", 2),),
+            (Cone("O", {"Z": 0}),),
+        )
+    with pytest.raises(TPGError):
+        Cone("O", {"A": -1})
+
+
+def test_permuted():
+    spec = simple_spec()
+    flipped = spec.permuted(["B", "A"])
+    assert [r.name for r in flipped.registers] == ["B", "A"]
+    with pytest.raises(TPGError):
+        spec.permuted(["A"])
+    with pytest.raises(TPGError):
+        spec.permuted(["A", "A"])
+
+
+def test_design_accounting():
+    design = sc_tpg(simple_spec())
+    assert design.lfsr_stages == 6
+    assert design.n_flipflops == 7  # one separation FF for the depth gap
+    assert design.n_extra_flipflops == 1
+    assert design.test_time() == (1 << 6) - 1 + 1
+
+
+def test_register_label_span_and_displacement():
+    design = sc_tpg(simple_spec())
+    assert design.register_label_span("A") == (1, 3)
+    assert design.register_label_span("B") == (5, 7)
+    assert design.displacement("A", "B") == 4
+
+
+def test_unassigned_cell_rejected():
+    spec = simple_spec()
+    slots = [Slot(i + 1, ("A", i + 1)) for i in range(3)]  # B missing
+    with pytest.raises(TPGError):
+        TPGDesign(spec, slots, 6)
+
+
+def test_double_assignment_rejected():
+    spec = KernelSpec.single_cone([("A", 1, 0)])
+    slots = [Slot(1, ("A", 1)), Slot(2, ("A", 1))]
+    with pytest.raises(TPGError):
+        TPGDesign(spec, slots, 1)
+
+
+def test_normalize_labels_shifts_to_one():
+    slots = [Slot(0), Slot(-1), Slot(3)]
+    normalized, offset = normalize_labels(slots)
+    assert offset == 2
+    assert sorted(s.label for s in normalized) == [1, 2, 5]
+
+
+def test_zero_seed_rejected():
+    design = sc_tpg(simple_spec())
+    with pytest.raises(TPGError):
+        next(design.bit_stream(seed=0))
+
+
+def test_register_stream_matches_lfsr_states():
+    """A depth-0 single register TPG is just the LFSR itself.
+
+    Register cell j carries label j, so the register word at time t equals
+    the LFSR state (stage i at bit i-1) at time t.
+    """
+    spec = KernelSpec.single_cone([("R", 4, 0)])
+    design = sc_tpg(spec)
+    streams = design.register_streams(10, seed=1)
+    lfsr = Type1LFSR(4, design.polynomial)
+    expected = lfsr.sequence(seed=1, count=10)
+    assert streams["R"] == expected
+
+
+def test_register_stream_time_shift():
+    """Cells further down the chain lag the head of the LFSR."""
+    spec = KernelSpec.single_cone([("A", 2, 1), ("B", 2, 0)])
+    design = sc_tpg(spec)
+    steps = 20
+    streams = design.register_streams(steps, seed=1)
+    # B occupies labels 4..5 (after one separation FF): B at time t equals
+    # A's cells shifted by the label distance.
+    label_a1 = design.cell_labels[("A", 1)]
+    label_b1 = design.cell_labels[("B", 1)]
+    lag = label_b1 - label_a1
+    for t in range(lag, steps):
+        assert streams["B"][t] & 1 == streams["A"][t - lag] & 1
+
+
+def test_layout_mentions_cells():
+    design = sc_tpg(simple_spec())
+    text = design.layout()
+    assert "A.1" in text and "B.3" in text and "L1" in text
+
+
+def test_repr():
+    design = sc_tpg(simple_spec())
+    assert "simple" in repr(design)

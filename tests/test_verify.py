@@ -1,0 +1,77 @@
+"""Theorem 4/7 verification machinery (and its ability to catch bad TPGs)."""
+
+import pytest
+
+from repro.errors import TPGError
+from repro.tpg.design import Cone, InputRegister, KernelSpec, Slot, TPGDesign
+from repro.tpg.sc_tpg import sc_tpg
+from repro.tpg.verify import (
+    cone_pattern_set,
+    expected_pattern_count,
+    minimum_lfsr_degree_witness,
+    verify_cone,
+    verify_design,
+)
+
+
+def test_expected_counts():
+    spec = KernelSpec(
+        (InputRegister("A", 2), InputRegister("B", 2)),
+        (Cone("O1", {"A": 0, "B": 0}), Cone("O2", {"A": 0})),
+    )
+    design = sc_tpg(
+        KernelSpec.single_cone([("A", 2, 0), ("B", 2, 0)])
+    )
+    # w == M: all-zero unreachable -> 2^M - 1.
+    assert expected_pattern_count(design, design.kernel.cones[0]) == 15
+    # For a narrower cone (w < M) the expectation is the full 2^w.
+    narrow = Cone("N", {"A": 0})
+    assert expected_pattern_count(design, narrow) == 4
+
+
+def test_naive_tpg_without_compensation_fails_verification():
+    """A plain concatenated LFSR misses patterns when depths differ.
+
+    This is exactly the paper's motivation for SC_TPG (Figure 10): without
+    the extra delay FFs the shifted tuple cannot cover all combinations.
+    """
+    spec = KernelSpec.single_cone([("A", 2, 1), ("B", 2, 0)], name="naive")
+    # Hand-build the *wrong* TPG: registers simply concatenated.
+    slots = [
+        Slot(1, ("A", 1)), Slot(2, ("A", 2)),
+        Slot(3, ("B", 1)), Slot(4, ("B", 2)),
+    ]
+    bad = TPGDesign(spec, slots, 4)
+    verdicts = verify_design(bad)
+    assert not all(v.exhaustive for v in verdicts)
+    # And the correct SC_TPG design passes.
+    good = sc_tpg(spec)
+    assert all(v.exhaustive for v in verify_design(good))
+
+
+def test_seed_invariance():
+    """Exhaustiveness holds from every non-zero seed (full-period property)."""
+    design = sc_tpg(KernelSpec.single_cone([("A", 2, 1), ("B", 2, 0)]))
+    for seed in (1, 5, 9, 15):
+        assert all(v.exhaustive for v in verify_design(design, seed=seed))
+
+
+def test_verify_cone_fields():
+    design = sc_tpg(KernelSpec.single_cone([("A", 3, 0)]))
+    verdict = verify_cone(design, design.kernel.cones[0])
+    assert verdict.width == 3
+    assert verdict.distinct_patterns == 7
+    assert verdict.expected_patterns == 7
+    assert verdict.exhaustive
+
+
+def test_max_steps_guard():
+    design = sc_tpg(KernelSpec.single_cone([("A", 8, 0), ("B", 8, 0), ("C", 8, 0)]))
+    with pytest.raises(TPGError):
+        cone_pattern_set(design, design.kernel.cones[0], max_steps=1000)
+
+
+def test_minimum_lfsr_degree_witness():
+    design = sc_tpg(KernelSpec.single_cone([("A", 2, 0), ("B", 2, 0)]))
+    witness = minimum_lfsr_degree_witness(design)
+    assert witness == {"cone": 15}

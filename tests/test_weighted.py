@@ -1,0 +1,110 @@
+"""COP-guided weighted random patterns."""
+
+import pytest
+
+from repro.faultsim.collapse import collapse_faults
+from repro.faultsim.patterns import RandomPatternSource
+from repro.faultsim.simulator import FaultSimulator
+from repro.faultsim.weighted import (
+    MultiWeightedPatternSource,
+    WeightedPatternSource,
+    cop_weight_sets,
+    cop_weights,
+)
+from repro.netlist.evaluate import unpack_patterns
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+def wide_and_tree(width: int = 12) -> Netlist:
+    """The classic random-resistant circuit: y = AND of many inputs."""
+    netlist = Netlist("wide_and")
+    inputs = netlist.new_inputs(width, prefix="i")
+    y = netlist.add_gate(GateType.AND, inputs, name="y")
+    netlist.mark_output(y)
+    # A parallel OR keeps 0-heavy behaviour observable too.
+    z = netlist.add_gate(GateType.OR, inputs, name="z")
+    netlist.mark_output(z)
+    return netlist
+
+
+def test_weight_validation():
+    with pytest.raises(ValueError):
+        WeightedPatternSource([])
+    with pytest.raises(ValueError):
+        WeightedPatternSource([0.5, 1.5])
+
+
+def test_source_respects_weights_statistically():
+    source = WeightedPatternSource([0.9, 0.1], seed=3)
+    ones = [0, 0]
+    total = 4096
+    batches = source.batches(256)
+    seen = 0
+    while seen < total:
+        packed = next(batches)
+        for pattern in unpack_patterns(packed, 256):
+            ones[0] += pattern[0]
+            ones[1] += pattern[1]
+        seen += 256
+    assert ones[0] / seen == pytest.approx(0.9, abs=0.03)
+    assert ones[1] / seen == pytest.approx(0.1, abs=0.03)
+
+
+def test_cop_weight_sets_split_conflicting_demands():
+    """The AND cone wants ones, the OR cone wants zeros: two clusters."""
+    netlist = wide_and_tree()
+    sets = cop_weight_sets(netlist, n_sets=2)
+    assert len(sets) == 2
+    means = sorted(sum(ws) / len(ws) for ws in sets)
+    assert means[0] < 0.45 and means[1] > 0.55
+
+
+def test_single_set_cop_weights_cancel_on_symmetric_faults():
+    """A single distribution cannot serve both cones: votes cancel and the
+    weights stay near fair — the documented limitation that motivates the
+    multi-set API."""
+    netlist = wide_and_tree()
+    weights = cop_weights(netlist, hardest_fraction=0.3, strength=0.4)
+    assert all(abs(w - 0.5) < 0.2 for w in weights)
+
+
+def test_multiweighted_beats_uniform_on_and_tree():
+    """The motivating effect: >2x fewer patterns to full coverage."""
+    netlist = wide_and_tree()
+    simulator = FaultSimulator(netlist)
+    sets = cop_weight_sets(netlist, n_sets=2)
+
+    def median_patterns(make_source):
+        counts = []
+        for seed in (3, 11, 29):
+            result = simulator.run(make_source(seed), 1 << 17)
+            count = result.patterns_for_coverage(1.0)
+            assert count is not None
+            counts.append(count)
+        return sorted(counts)[1]
+
+    uniform = median_patterns(lambda s: RandomPatternSource(12, seed=s))
+    weighted = median_patterns(
+        lambda s: MultiWeightedPatternSource(sets, seed=s)
+    )
+    assert weighted * 2 < uniform
+
+
+def test_multi_source_validation():
+    with pytest.raises(ValueError):
+        MultiWeightedPatternSource([])
+    with pytest.raises(ValueError):
+        MultiWeightedPatternSource([[0.5, 0.5], [0.5]])
+
+
+def test_neutral_weights_on_xor_logic():
+    """XOR-dominant logic has no useful bias: weights stay near 0.5."""
+    netlist = Netlist("xor_chain")
+    inputs = netlist.new_inputs(6, prefix="i")
+    y = inputs[0]
+    for net in inputs[1:]:
+        y = netlist.add_gate(GateType.XOR, [y, net])
+    netlist.mark_output(y)
+    weights = cop_weights(netlist)
+    assert all(abs(w - 0.5) < 0.1 for w in weights)
