@@ -7,6 +7,8 @@ Top-level convenience re-exports; see the subpackages for the full API:
 
 * ``repro.netlist``   — gate-level netlists, builders, packed evaluation
 * ``repro.faultsim``  — stuck-at faults, collapsing, bit-parallel simulation
+* ``repro.engine``    — parallel fault-sim engine, golden-run cache, metrics
+* ``repro.results``   — the unified ``CoverageResult`` surface
 * ``repro.atpg``      — PODEM, for redundancy classification
 * ``repro.rtl``       — RTL circuits (blocks / registers / nets)
 * ``repro.graph``     — the Section-3.1 circuit graph model
@@ -26,8 +28,10 @@ from repro.core import (
     make_bibs_testable,
     make_ka_testable,
 )
+from repro.engine import EngineResult, GoldenCache, simulate
 from repro.faultsim import FaultSimulator, RandomPatternSource
 from repro.graph import build_circuit_graph
+from repro.results import CoverageResult, FaultSimResult, SessionResult
 from repro.rtl import RTLCircuit
 from repro.tpg import KernelSpec, TPGDesign, mc_tpg, sc_tpg
 
@@ -44,6 +48,12 @@ __all__ = [
     "compare_tdms",
     "FaultSimulator",
     "RandomPatternSource",
+    "simulate",
+    "EngineResult",
+    "GoldenCache",
+    "CoverageResult",
+    "FaultSimResult",
+    "SessionResult",
     "KernelSpec",
     "TPGDesign",
     "sc_tpg",

@@ -7,38 +7,32 @@ its input words into a signature.  A fault is *detected by the session* iff
 at least one SA signature differs from the fault-free (golden) signature —
 the practical notion behind Table 2's fault-coverage rows, including MISR
 aliasing, which this module also measures empirically.
+
+The fault-free (golden) signatures are memoized through the engine's
+:class:`~repro.engine.cache.GoldenCache`, so repeated sessions on the same
+kernel/TPG/seed skip the golden machine entirely; and
+:meth:`BISTSession.pattern_coverage` routes the session's stimulus through
+:func:`repro.engine.simulate` for per-pattern (aliasing-free) coverage,
+optionally sharded over worker processes.  :class:`SessionResult` now
+lives in :mod:`repro.results`; the import here is a compatibility shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bilbo.misr import MISR
 from repro.bist.gatesim import MachineFault, SequentialGateSimulator
 from repro.core.kernels import Kernel
+from repro.engine.cache import GoldenCache
 from repro.errors import SimulationError
 from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.faults import Fault
+from repro.results import SessionResult  # noqa: F401  (compatibility shim)
 from repro.rtl.circuit import RTLCircuit
 from repro.tpg.design import TPGDesign
 from repro.tpg.mc_tpg import mc_tpg
-
-
-@dataclass
-class SessionResult:
-    """Outcome of one BIST session over a set of faults."""
-
-    cycles: int
-    golden_signatures: Dict[str, int]
-    fault_signatures: Dict[Fault, Dict[str, int]]
-    detected: List[Fault] = field(default_factory=list)
-    undetected: List[Fault] = field(default_factory=list)
-
-    @property
-    def coverage(self) -> float:
-        total = len(self.detected) + len(self.undetected)
-        return len(self.detected) / total if total else 1.0
 
 
 class BISTSession:
@@ -55,6 +49,11 @@ class BISTSession:
         The pattern generator; defaults to MC_TPG on the kernel's spec.
     seed:
         TPG seed (non-zero).
+    cache:
+        Golden-run cache for fault-free signatures; defaults to a private
+        per-session cache so repeated :meth:`run` calls with the same
+        cycle count reuse the golden machine.  Pass a shared
+        :class:`~repro.engine.cache.GoldenCache` to pool across sessions.
     """
 
     def __init__(
@@ -63,12 +62,14 @@ class BISTSession:
         kernel: Kernel,
         tpg: Optional[TPGDesign] = None,
         seed: int = 1,
+        cache: Optional[GoldenCache] = None,
     ):
         self.circuit = circuit
         self.kernel = kernel
         self.spec = kernel.to_kernel_spec()
         self.tpg = tpg if tpg is not None else mc_tpg(self.spec)
         self.seed = seed
+        self.cache = cache if cache is not None else GoldenCache()
         self.simulator = SequentialGateSimulator(circuit)
         for name in kernel.sa_registers:
             if name not in circuit.registers:
@@ -186,17 +187,81 @@ class BISTSession:
 
     # -------------------------------------------------------------- running
 
+    def _pi_defaults(self) -> Dict[str, int]:
+        return {
+            self.circuit.nets[n].name: 0 for n in self.circuit.primary_inputs
+        }
+
+    def _golden_key(self, cycles: int, streams: Dict[str, List[int]]) -> Tuple:
+        """Content key for the cached golden signatures.
+
+        Hashes the actual TPG stream (not the TPG object) so any generator
+        producing the same stimulus shares the entry, and differing ones
+        can never collide.
+        """
+        stream_digest = hashlib.sha256(
+            repr(sorted((name, tuple(s)) for name, s in streams.items())).encode()
+        ).hexdigest()
+        return (
+            "session-golden",
+            self.simulator.netlist.fingerprint(),
+            tuple(sorted(self.kernel.sa_registers)),
+            cycles,
+            stream_digest,
+        )
+
+    def golden_signatures(self, cycles: int) -> Dict[str, int]:
+        """Fault-free MISR signatures for a session of ``cycles`` cycles.
+
+        Memoized in the session's golden-run cache: the fault-free machine
+        is simulated once per (kernel, stimulus, length), however many
+        times :meth:`run` or :meth:`aliasing_study` need it.
+        """
+        streams = self.tpg.register_streams(cycles, seed=self.seed)
+        return self._golden_signatures(cycles, streams)
+
+    def _golden_signatures(
+        self, cycles: int, streams: Dict[str, List[int]]
+    ) -> Dict[str, int]:
+        key = self._golden_key(cycles, streams)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        pi_defaults = self._pi_defaults()
+        tpg_registers = set(self.kernel.tpg_registers)
+        misr_states = {name: 0 for name in self._misrs}
+
+        def observe(t: int, values: Dict[int, int]) -> None:
+            for name, bits in self._sa_input_bits.items():
+                word = self.simulator.machine_word(values, bits, 0)
+                misr_states[name] = self._misrs[name]._lfsr.step(misr_states[name]) ^ word
+
+        self.simulator.run(
+            cycles,
+            lambda t: pi_defaults,
+            machines=1,
+            forced_registers=lambda t: {
+                name: streams[name][t] for name in tpg_registers
+            },
+            observe=observe,
+        )
+        golden = dict(misr_states)
+        self.cache.put(key, dict(golden))
+        return golden
+
     def run(
         self,
         cycles: int,
         faults: Sequence[Fault] = (),
         machines_per_pass: int = 64,
     ) -> SessionResult:
-        """Run the session against a fault list (golden machine included)."""
+        """Run the session against a fault list.
+
+        The golden machine comes from the cached :meth:`golden_signatures`
+        run, so every pass packs ``machines_per_pass`` *faulty* machines.
+        """
         streams = self.tpg.register_streams(cycles, seed=self.seed)
-        pi_defaults = {
-            self.circuit.nets[n].name: 0 for n in self.circuit.primary_inputs
-        }
+        pi_defaults = self._pi_defaults()
         tpg_registers = set(self.kernel.tpg_registers)
 
         def drive(t: int) -> Dict[str, int]:
@@ -205,18 +270,17 @@ class BISTSession:
         def forced(t: int) -> Dict[str, int]:
             return {name: streams[name][t] for name in tpg_registers}
 
-        golden: Dict[str, int] = {}
+        golden = self._golden_signatures(cycles, streams)
         fault_signatures: Dict[Fault, Dict[str, int]] = {}
         pending = list(faults)
-        first = True
-        while pending or first:
-            chunk = pending[: machines_per_pass - 1]
-            pending = pending[machines_per_pass - 1:]
+        while pending:
+            chunk = pending[:machines_per_pass]
+            pending = pending[machines_per_pass:]
             machine_faults = [
-                MachineFault(i + 1, fault.net, fault.stuck_at)
+                MachineFault(i, fault.net, fault.stuck_at)
                 for i, fault in enumerate(chunk)
             ]
-            machines = len(chunk) + 1
+            machines = len(chunk)
             misr_states: Dict[str, List[int]] = {
                 name: [0] * machines for name in self._misrs
             }
@@ -237,14 +301,9 @@ class BISTSession:
                 forced_registers=forced,
                 observe=observe,
             )
-            if first:
-                golden = {
-                    name: misr_states[name][0] for name in self._misrs
-                }
-                first = False
             for i, fault in enumerate(chunk):
                 fault_signatures[fault] = {
-                    name: misr_states[name][i + 1] for name in self._misrs
+                    name: misr_states[name][i] for name in self._misrs
                 }
 
         result = SessionResult(cycles, golden, fault_signatures)
@@ -255,15 +314,56 @@ class BISTSession:
                 result.undetected.append(fault)
         return result
 
+    def pattern_coverage(
+        self,
+        max_patterns: Optional[int] = None,
+        faults: Optional[Sequence[Fault]] = None,
+        jobs: Optional[int] = None,
+        cache: Optional[GoldenCache] = None,
+    ):
+        """Per-pattern kernel fault coverage under the session's stimulus.
+
+        Lowers the kernel to a combinational netlist, replays the TPG
+        register streams as explicit patterns and routes the run through
+        :func:`repro.engine.simulate` — measuring what the patterns detect
+        *before* MISR compression (so the gap to :meth:`run`'s coverage is
+        exactly the aliasing loss).  ``faults`` defaults to the lowered
+        netlist's collapsed universe (its net ids, not the sequential
+        simulator's).  ``jobs`` shards the run over worker processes.
+        """
+        from repro.core.flow import lower_kernel_to_netlist
+        from repro.engine import simulate
+        from repro.faultsim.patterns import SequencePatternSource
+
+        netlist = lower_kernel_to_netlist(self.circuit, self.kernel)
+        n = max_patterns if max_patterns is not None else self.recommended_cycles()
+        streams = self.tpg.register_streams(n, seed=self.seed)
+        names = sorted(self.kernel.tpg_registers)
+        widths = [self.circuit.registers[name].width for name in names]
+        patterns = []
+        for t in range(n):
+            bits: List[int] = []
+            for name, width in zip(names, widths):
+                word = streams[name][t]
+                bits.extend((word >> position) & 1 for position in range(width))
+            patterns.append(tuple(bits))
+        source = SequencePatternSource(patterns)
+        return simulate(
+            netlist,
+            faults,
+            source,
+            max_patterns=n,
+            jobs=jobs,
+            cache=cache if cache is not None else self.cache,
+        )
+
     def aliasing_study(
         self, cycles: int, faults: Sequence[Fault]
     ) -> Tuple[int, int]:
         """(faults detected per-cycle but aliased in the signature, total
         per-cycle detected) — the empirical MISR aliasing rate."""
         streams = self.tpg.register_streams(cycles, seed=self.seed)
-        pi_defaults = {
-            self.circuit.nets[n].name: 0 for n in self.circuit.primary_inputs
-        }
+        pi_defaults = self._pi_defaults()
         tpg_registers = set(self.kernel.tpg_registers)
 
         per_cycle_detected: Dict[Fault, bool] = {f: False for f in faults}
@@ -298,7 +398,6 @@ class BISTSession:
             observe=observe,
         )
         observable = [f for f, hit in per_cycle_detected.items() if hit]
-        aliased = [
-            f for f in observable if f not in set(session.detected)
-        ]
+        signature_detected = set(session.detected)
+        aliased = [f for f in observable if f not in signature_detected]
         return len(aliased), len(observable)

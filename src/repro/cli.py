@@ -3,21 +3,27 @@
 The library's tool face, mirroring the BITS flow on JSON circuit files
 (see ``repro.bits.io_json`` for the schema)::
 
-    python -m repro analyze  circuit.json
-    python -m repro bibs     circuit.json [--method exact|greedy|auto]
-    python -m repro tpg      circuit.json [--kernel N]
+    python -m repro analyze  circuit.json [--json]
+    python -m repro bibs     circuit.json [--method exact|greedy|auto] [--json]
+    python -m repro tpg      circuit.json [--kernel N] [--json]
     python -m repro selftest circuit.json [--cycles N] [--max-faults N]
+                             [--jobs N] [--seed N] [--json]
     python -m repro export   {c5a2m,c3a2m,c4a4m,figure4,figure9,mac4} out.json
 
 ``export`` writes the built-in circuits so every other command has
-something to chew on out of the box.
+something to chew on out of the box.  Every subcommand accepts ``--json``
+and then emits a single machine-readable object on stdout (results use the
+unified ``to_json()`` surface of :mod:`repro.results`).  ``selftest
+--jobs N`` shards the per-pattern engine run over N worker processes (see
+``docs/ENGINE.md``); ``--seed`` sets the TPG seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.testability import classify
 from repro.bits import io_json
@@ -31,6 +37,10 @@ from repro.graph.model import VertexKind
 def _load(path: str):
     circuit = io_json.load(path)
     return circuit, build_circuit_graph(circuit)
+
+
+def _emit_json(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def cmd_analyze(args) -> int:
@@ -53,6 +63,13 @@ def cmd_analyze(args) -> int:
             f"{witness.source} -> {witness.target}: "
             f"{witness.min_length}..{witness.max_length}",
         ))
+    if args.json:
+        _emit_json({
+            "kind": "analyze",
+            "circuit": circuit.name,
+            "properties": {str(k): v for k, v in rows},
+        })
+        return 0
     print(render_table(["property", "value"], rows,
                        title=f"Analysis: {circuit.name}"))
     return 0
@@ -61,6 +78,36 @@ def cmd_analyze(args) -> int:
 def cmd_bibs(args) -> int:
     circuit, graph = _load(args.circuit)
     design = make_bibs_testable(graph, method=args.method)
+    kernels = [
+        {
+            "name": kernel.name,
+            "blocks": sorted(kernel.logic_blocks),
+            "tpg_registers": sorted(kernel.tpg_registers),
+            "sa_registers": sorted(kernel.sa_registers),
+            "input_width": kernel.input_width,
+            "sequential_depth": kernel.sequential_depth,
+        }
+        for kernel in design.kernels
+    ]
+    payload: Dict[str, Any] = {
+        "kind": "bibs",
+        "circuit": circuit.name,
+        "n_bilbo_registers": design.n_bilbo_registers,
+        "n_bilbo_flipflops": design.n_bilbo_flipflops,
+        "bilbo_registers": sorted(design.bilbo_registers),
+        "maximal_delay": design.maximal_delay(),
+        "kernels": kernels,
+    }
+    if args.compare_ka:
+        ka = make_ka_testable(graph).design
+        payload["ka85"] = {
+            "n_bilbo_registers": ka.n_bilbo_registers,
+            "n_bilbo_flipflops": ka.n_bilbo_flipflops,
+            "maximal_delay": ka.maximal_delay(),
+        }
+    if args.json:
+        _emit_json(payload)
+        return 0
     print(f"BILBO registers ({design.n_bilbo_registers}, "
           f"{design.n_bilbo_flipflops} FFs): {design.bilbo_registers}")
     print(f"maximal delay: {design.maximal_delay()} time units")
@@ -79,10 +126,10 @@ def cmd_bibs(args) -> int:
         title=f"BIBS design: {circuit.name}",
     ))
     if args.compare_ka:
-        ka = make_ka_testable(graph).design
-        print(f"\nKA-85 for contrast: {ka.n_bilbo_registers} registers "
-              f"({ka.n_bilbo_flipflops} FFs), maximal delay "
-              f"{ka.maximal_delay()}")
+        ka = payload["ka85"]
+        print(f"\nKA-85 for contrast: {ka['n_bilbo_registers']} registers "
+              f"({ka['n_bilbo_flipflops']} FFs), maximal delay "
+              f"{ka['maximal_delay']}")
     return 0
 
 
@@ -100,21 +147,43 @@ def cmd_tpg(args) -> int:
     kernel = kernels[args.kernel]
     spec = kernel.to_kernel_spec()
     tpg = mc_tpg(spec)
+    payload: Dict[str, Any] = {
+        "kind": "tpg",
+        "circuit": circuit.name,
+        "kernel": kernel.name,
+        "lfsr_stages": tpg.lfsr_stages,
+        "n_flipflops": tpg.n_flipflops,
+        "n_extra_flipflops": tpg.n_extra_flipflops,
+        "test_time": tpg.test_time(),
+    }
+    verified = True
+    if tpg.lfsr_stages <= args.verify_limit:
+        verdicts = verify_design(tpg)
+        payload["cones"] = [
+            {
+                "cone": str(verdict.cone),
+                "distinct_patterns": verdict.distinct_patterns,
+                "expected_patterns": verdict.expected_patterns,
+                "exhaustive": verdict.exhaustive,
+            }
+            for verdict in verdicts
+        ]
+        verified = all(v.exhaustive for v in verdicts)
+    if args.json:
+        _emit_json(payload)
+        return 0 if verified else 1
     print(f"kernel {kernel.name}: M = {tpg.lfsr_stages}, "
           f"{tpg.n_flipflops} FFs ({tpg.n_extra_flipflops} extra), "
           f"test time {tpg.test_time()} cycles")
     print(tpg.layout())
-    if tpg.lfsr_stages <= args.verify_limit:
-        verdicts = verify_design(tpg)
-        for verdict in verdicts:
-            status = "OK" if verdict.exhaustive else "FAIL"
-            print(f"  cone {verdict.cone}: {verdict.distinct_patterns}/"
-                  f"{verdict.expected_patterns} [{status}]")
-        if not all(v.exhaustive for v in verdicts):
-            return 1
+    if "cones" in payload:
+        for cone in payload["cones"]:
+            status = "OK" if cone["exhaustive"] else "FAIL"
+            print(f"  cone {cone['cone']}: {cone['distinct_patterns']}/"
+                  f"{cone['expected_patterns']} [{status}]")
     else:
         print(f"  (skipping exhaustive verification: M > {args.verify_limit})")
-    return 0
+    return 0 if verified else 1
 
 
 def cmd_selftest(args) -> int:
@@ -122,11 +191,15 @@ def cmd_selftest(args) -> int:
 
     from repro.errors import SimulationError
 
+    if args.seed == 0:
+        print("error: --seed must be non-zero (an all-zero LFSR state "
+              "never advances)", file=sys.stderr)
+        return 2
     circuit, graph = _load(args.circuit)
     design = make_bibs_testable(graph)
     kernel = next(k for k in design.kernels if k.logic_blocks)
     try:
-        session = BISTSession(circuit, kernel)
+        session = BISTSession(circuit, kernel, seed=args.seed)
     except SimulationError as error:
         print(f"error: {error}", file=sys.stderr)
         print("hint: self-test needs gate-level block behaviour; circuits "
@@ -138,11 +211,30 @@ def cmd_selftest(args) -> int:
     if args.max_faults and len(faults) > args.max_faults:
         faults = faults[: args.max_faults]
     result = session.run(cycles, faults=faults)
+    pattern_result = None
+    if args.jobs is not None:
+        pattern_result = session.pattern_coverage(
+            max_patterns=cycles, jobs=args.jobs
+        )
+    if args.json:
+        payload = result.to_json()
+        payload["circuit"] = circuit.name
+        payload["kernel"] = kernel.name
+        payload["seed"] = args.seed
+        if pattern_result is not None:
+            payload["pattern_coverage"] = pattern_result.to_json()
+        _emit_json(payload)
+        return 0
     print(f"session: {cycles} cycles, {len(faults)} kernel faults")
     for name, signature in result.golden_signatures.items():
         print(f"  golden signature {name}: {signature:#x}")
     print(f"  detected {len(result.detected)} "
           f"({100 * result.coverage:.1f}% of the fault cone)")
+    if pattern_result is not None:
+        print(f"  per-pattern (pre-MISR) coverage: "
+              f"{100 * pattern_result.coverage():.1f}% over "
+              f"{pattern_result.n_patterns} patterns "
+              f"[engine, jobs={args.jobs}]")
     return 0
 
 
@@ -162,6 +254,9 @@ def cmd_export(args) -> int:
     ).circuit
     circuit = builders[args.name]()
     io_json.dump(circuit, args.output)
+    if args.json:
+        _emit_json({"kind": "export", "name": args.name, "output": args.output})
+        return 0
     print(f"wrote {args.name} to {args.output}")
     return 0
 
@@ -173,8 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_json_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON object on stdout")
+
     p = sub.add_parser("analyze", help="balance / k-step analysis")
     p.add_argument("circuit")
+    add_json_flag(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bibs", help="BIBS BILBO selection and kernels")
@@ -182,24 +282,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="auto",
                    choices=("auto", "exact", "greedy"))
     p.add_argument("--compare-ka", action="store_true")
+    add_json_flag(p)
     p.set_defaults(func=cmd_bibs)
 
     p = sub.add_parser("tpg", help="SC_TPG/MC_TPG design for a kernel")
     p.add_argument("circuit")
     p.add_argument("--kernel", type=int, default=0)
     p.add_argument("--verify-limit", type=int, default=14)
+    add_json_flag(p)
     p.set_defaults(func=cmd_tpg)
 
     p = sub.add_parser("selftest", help="gate-level BIST session")
     p.add_argument("circuit")
     p.add_argument("--cycles", type=int, default=0)
     p.add_argument("--max-faults", type=int, default=256)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="also measure per-pattern coverage through the "
+                        "engine, sharded over N worker processes")
+    p.add_argument("--seed", type=int, default=1, help="TPG seed (non-zero)")
+    add_json_flag(p)
     p.set_defaults(func=cmd_selftest)
 
     p = sub.add_parser("export", help="write a built-in circuit as JSON")
     p.add_argument("name", choices=("c5a2m", "c3a2m", "c4a4m",
                                     "figure4", "figure9", "mac4"))
     p.add_argument("output")
+    add_json_flag(p)
     p.set_defaults(func=cmd_export)
     return parser
 

@@ -14,7 +14,7 @@ BISTable kernels are 1-step functionally testable (Theorem 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bibs import BIBSDesign, make_bibs_testable
 from repro.core.ka85 import make_ka_testable
@@ -27,6 +27,9 @@ from repro.graph.build import build_circuit_graph
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 from repro.rtl.circuit import RTLCircuit
+
+if TYPE_CHECKING:
+    from repro.engine.cache import GoldenCache
 
 
 def lower_kernel_to_netlist(circuit: RTLCircuit, kernel: Kernel) -> Netlist:
@@ -156,6 +159,8 @@ def evaluate_design(
     batch_width: int = 256,
     classify_undetected: bool = True,
     n_seeds: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional["GoldenCache"] = None,
 ) -> DesignEvaluation:
     """Fault-simulate every kernel of a design under random patterns.
 
@@ -169,6 +174,10 @@ def evaluate_design(
     streams and reports the per-target *median* pattern count — the
     patterns-to-100% statistic is a maximum over fault detection times and
     is noisy under a single stream.
+
+    ``jobs`` shards each kernel's fault list over worker processes via
+    :func:`repro.engine.simulate` (results are bit-identical to serial);
+    ``cache`` shares golden-run batches across kernels, seeds and calls.
     """
     evaluations: List[KernelEvaluation] = []
     for kernel in design.kernels:
@@ -180,7 +189,7 @@ def evaluate_design(
             source = RandomPatternSource(
                 len(netlist.primary_inputs), seed=seed + 7919 * round_index
             )
-            result = simulator.run(source, max_patterns)
+            result = simulator.run(source, max_patterns, jobs=jobs, cache=cache)
             if classify_undetected and result.undetected:
                 from repro.atpg.podem import classify_faults
 
@@ -224,15 +233,19 @@ def compare_tdms(
     max_patterns: int = 1 << 17,
     seed: int = 1994,
     n_seeds: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional["GoldenCache"] = None,
 ) -> TDMComparison:
     """Run both TDMs end to end on one circuit."""
     graph = build_circuit_graph(circuit)
     bibs_design = make_bibs_testable(graph)
     ka_design = make_ka_testable(graph).design
     bibs_eval = evaluate_design(
-        circuit, bibs_design, targets, max_patterns, seed, n_seeds=n_seeds
+        circuit, bibs_design, targets, max_patterns, seed,
+        n_seeds=n_seeds, jobs=jobs, cache=cache,
     )
     ka_eval = evaluate_design(
-        circuit, ka_design, targets, max_patterns, seed, n_seeds=n_seeds
+        circuit, ka_design, targets, max_patterns, seed,
+        n_seeds=n_seeds, jobs=jobs, cache=cache,
     )
     return TDMComparison(circuit.name, bibs_eval, ka_eval)

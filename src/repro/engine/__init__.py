@@ -1,0 +1,26 @@
+"""Parallel fault-simulation engine: sharding, golden-run cache, metrics.
+
+The single entry point is :func:`simulate`::
+
+    from repro.engine import GoldenCache, simulate
+
+    cache = GoldenCache()
+    result = simulate(netlist, faults, patterns, jobs=4, cache=cache)
+
+``repro.faultsim.simulator``, ``repro.bist.session``, the experiment
+harness and the CLI all route their fault simulation through here; see
+``docs/ENGINE.md`` for the sharding/merge semantics, cache keys and
+instrumentation fields.
+"""
+
+from repro.engine.cache import GoldenBatches, GoldenCache
+from repro.engine.core import EngineResult, simulate
+from repro.engine.instrumentation import ShardStats
+
+__all__ = [
+    "EngineResult",
+    "GoldenBatches",
+    "GoldenCache",
+    "ShardStats",
+    "simulate",
+]

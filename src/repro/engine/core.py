@@ -1,0 +1,402 @@
+"""The parallel fault-simulation engine (single entry point: ``simulate``).
+
+``simulate`` partitions the collapsed fault list into round-robin shards
+and fans the shards out over a :class:`concurrent.futures.
+ProcessPoolExecutor`: each worker holds a pickled copy of the netlist and
+runs the existing bit-parallel event-driven propagator
+(:meth:`repro.faultsim.simulator.FaultSimulator.simulate_batch`) over the
+golden batches the parent ships it.  Per-shard ``first_detection`` maps are
+merged deterministically — shards are disjoint and rounds arrive in
+pattern order — so the result is **bit-identical to the serial path** for
+every combination of ``stop_when_complete`` / ``drop_detected``.
+
+The fault-free (golden) evaluation of each batch is computed once in the
+parent, optionally through a :class:`~repro.engine.cache.GoldenCache`
+shared across shards and across repeated runs.  ``jobs=None`` (or 1) runs
+the same primitive serially in-process with zero multiprocessing overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import GoldenBatches, GoldenCache
+from repro.engine.instrumentation import ShardStats
+from repro.errors import SimulationError
+from repro.faultsim.collapse import collapse_faults
+from repro.faultsim.faults import Fault
+from repro.faultsim.patterns import PatternSource
+from repro.faultsim.simulator import FaultSimulator
+from repro.netlist.netlist import Netlist
+from repro.results import FaultSimResult
+
+#: Batches per fan-out round: large enough to amortize task dispatch and
+#: golden-batch shipping, small enough that early stop wastes little work.
+CHUNK_BATCHES = 4
+
+
+@dataclass
+class EngineResult(FaultSimResult):
+    """A :class:`~repro.results.FaultSimResult` plus engine instrumentation.
+
+    Drop-in compatible with the serial result everywhere (it *is* one);
+    the extra fields surface how the run was executed.
+    """
+
+    jobs: int = 1
+    wall_time: float = 0.0
+    shards: List[ShardStats] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def events_propagated(self) -> int:
+        return sum(shard.events_propagated for shard in self.shards)
+
+    def to_json(self, include_faults: bool = False) -> Dict:
+        payload = super().to_json(include_faults)
+        payload["engine"] = {
+            "jobs": self.jobs,
+            "wall_time": self.wall_time,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "shards": [shard.to_json() for shard in self.shards],
+        }
+        return payload
+
+
+# --------------------------------------------------------------- worker side
+
+_WORKER_SIMULATOR: Optional[FaultSimulator] = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Build this worker process's simulator from the pickled netlist."""
+    global _WORKER_SIMULATOR
+    netlist, batch_width = pickle.loads(payload)
+    _WORKER_SIMULATOR = FaultSimulator(netlist, batch_width)
+
+
+def _run_shard_round(
+    shard_id: int,
+    faults: List[Fault],
+    golden_batches: List[Tuple[int, Dict[int, int]]],
+    pattern_base: int,
+    drop_detected: bool,
+) -> Tuple[int, Dict[Fault, int], List[Fault], Dict[str, float]]:
+    """Simulate one round of batches for one shard inside a worker.
+
+    ``golden_batches`` is a list of ``(mask, golden values)`` pairs; the
+    batch width is recovered from the mask.  Returns the shard's new
+    detections (absolute pattern indices), its surviving fault list, and
+    round measurements.
+    """
+    simulator = _WORKER_SIMULATOR
+    assert simulator is not None, "worker used before initialization"
+    start = time.perf_counter()
+    events_before = simulator.events_propagated
+    detections: Dict[Fault, int] = {}
+    live = list(faults)
+    base = pattern_base
+    patterns = 0
+    for mask, good in golden_batches:
+        width = mask.bit_length()
+        live = simulator.simulate_batch(
+            live, good, mask, base, detections, drop_detected
+        )
+        base += width
+        patterns += width
+        if not live:
+            break
+    measurements = {
+        "events": simulator.events_propagated - events_before,
+        "patterns": patterns,
+        "wall": time.perf_counter() - start,
+    }
+    return shard_id, detections, live, measurements
+
+
+# --------------------------------------------------------------- parent side
+
+def _narrow(good: Dict[int, int], mask: int, batch_width: int) -> Dict[int, int]:
+    """Restrict full-width golden values to a narrower final batch.
+
+    Packed evaluation is bitwise per pattern lane, so masking the wide
+    result equals evaluating at the narrow width directly.
+    """
+    if mask == (1 << batch_width) - 1:
+        return good
+    return {net: value & mask for net, value in good.items()}
+
+
+def _plan_round(
+    pattern_base: int, max_patterns: int, batch_width: int, n_batches: int
+) -> List[int]:
+    """Widths of the next up-to-``n_batches`` batches, respecting the cap."""
+    widths: List[int] = []
+    base = pattern_base
+    while len(widths) < n_batches and base < max_patterns:
+        width = min(batch_width, max_patterns - base)
+        widths.append(width)
+        base += width
+    return widths
+
+
+def _stopped_n_patterns(
+    first_detection: Dict[Fault, int],
+    n_faults: int,
+    max_patterns: int,
+    batch_width: int,
+    stop_when_complete: bool,
+    drop_detected: bool,
+) -> int:
+    """The serial loop's ``n_patterns`` accounting, computed analytically.
+
+    The serial path stops at the end of the batch in which the last live
+    fault was detected — either because fault dropping emptied the live
+    list or because ``stop_when_complete`` saw full detection — and runs to
+    ``max_patterns`` otherwise.
+    """
+    if n_faults == 0:
+        return 0
+    if len(first_detection) == n_faults and (drop_detected or stop_when_complete):
+        last = max(first_detection.values())
+        return min(max_patterns, (last // batch_width + 1) * batch_width)
+    return max_patterns
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def simulate(
+    netlist: Netlist,
+    faults: Optional[Sequence[Fault]] = None,
+    patterns: Optional[PatternSource] = None,
+    *,
+    max_patterns: int = 1 << 16,
+    jobs: Optional[int] = None,
+    cache: Optional[GoldenCache] = None,
+    batch_width: int = 256,
+    stop_when_complete: bool = True,
+    drop_detected: bool = True,
+    chunk_batches: int = CHUNK_BATCHES,
+    simulator: Optional[FaultSimulator] = None,
+) -> EngineResult:
+    """Fault-simulate ``patterns`` against ``faults``, optionally in parallel.
+
+    Parameters
+    ----------
+    netlist:
+        The combinational circuit under test.
+    faults:
+        Fault list; defaults to the equivalence-collapsed universe.
+    patterns:
+        Pattern source; defaults to a seeded
+        :class:`~repro.faultsim.patterns.RandomPatternSource`.
+    max_patterns:
+        Upper bound on applied patterns.
+    jobs:
+        ``None``/``1`` runs serially in-process; ``N > 1`` shards the fault
+        list over ``N`` worker processes.  Results are bit-identical either
+        way.
+    cache:
+        Optional :class:`GoldenCache` for fault-free batch evaluations,
+        shared across shards and across repeated calls.
+    batch_width / stop_when_complete / drop_detected:
+        As on :meth:`FaultSimulator.run`.
+    chunk_batches:
+        Batches shipped per fan-out round in parallel mode.
+    simulator:
+        An existing :class:`FaultSimulator` to reuse for serial runs (the
+        ``FaultSimulator.run`` routing passes itself).
+    """
+    if batch_width < 1:
+        raise SimulationError("batch width must be positive")
+    if chunk_batches < 1:
+        raise SimulationError("chunk_batches must be positive")
+    if faults is None:
+        faults, _ = collapse_faults(netlist)
+    if patterns is None:
+        from repro.faultsim.patterns import RandomPatternSource
+
+        patterns = RandomPatternSource(len(netlist.primary_inputs))
+    if patterns.n_inputs != len(netlist.primary_inputs):
+        raise SimulationError(
+            f"pattern source width {patterns.n_inputs} != circuit inputs "
+            f"{len(netlist.primary_inputs)}"
+        )
+
+    fault_list = list(faults)
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    if simulator is not None and simulator.batch_width == batch_width:
+        evaluator = simulator.evaluator
+    else:
+        evaluator = None
+    golden: Optional[GoldenBatches] = None
+    if cache is not None:
+        golden = cache.batch_entry(netlist, patterns, batch_width, evaluator)
+    if golden is None:
+        if evaluator is None:
+            from repro.netlist.evaluate import Evaluator
+
+            evaluator = Evaluator(netlist)
+        golden = GoldenBatches(evaluator, patterns, batch_width)
+
+    start = time.perf_counter()
+    n_jobs = 1 if jobs is None else max(1, int(jobs))
+    if n_jobs == 1 or len(fault_list) <= 1:
+        result = _simulate_serial(
+            netlist, fault_list, golden, max_patterns, batch_width,
+            stop_when_complete, drop_detected, simulator,
+        )
+    else:
+        result = _simulate_parallel(
+            netlist, fault_list, golden, max_patterns, batch_width,
+            stop_when_complete, drop_detected, n_jobs, chunk_batches,
+        )
+    result.wall_time = time.perf_counter() - start
+    if cache is not None:
+        result.cache_hits = cache.hits - hits_before
+        result.cache_misses = cache.misses - misses_before
+    return result
+
+
+def _simulate_serial(
+    netlist: Netlist,
+    faults: List[Fault],
+    golden: GoldenBatches,
+    max_patterns: int,
+    batch_width: int,
+    stop_when_complete: bool,
+    drop_detected: bool,
+    simulator: Optional[FaultSimulator],
+) -> EngineResult:
+    """The historical serial loop, driven through the golden provider."""
+    if simulator is None or simulator.batch_width != batch_width:
+        simulator = FaultSimulator(netlist, batch_width)
+    stats = ShardStats(shard=0, n_faults=len(faults))
+    events_before = simulator.events_propagated
+    shard_start = time.perf_counter()
+
+    detections: Dict[Fault, int] = {}
+    live = list(faults)
+    pattern_base = 0
+    batch_index = 0
+    while pattern_base < max_patterns and live:
+        width = min(batch_width, max_patterns - pattern_base)
+        mask = (1 << width) - 1
+        good = _narrow(golden.golden_batch(batch_index), mask, batch_width)
+        n_live = len(live)
+        live = simulator.simulate_batch(
+            live, good, mask, pattern_base, detections, drop_detected
+        )
+        stats.faults_dropped += n_live - len(live)
+        pattern_base += width
+        batch_index += 1
+        if stop_when_complete and len(detections) == len(faults):
+            break
+
+    stats.events_propagated = simulator.events_propagated - events_before
+    stats.patterns_simulated = pattern_base
+    stats.wall_time = time.perf_counter() - shard_start
+    return EngineResult(
+        netlist=netlist,
+        faults=faults,
+        first_detection=detections,
+        n_patterns=pattern_base,
+        jobs=1,
+        shards=[stats],
+    )
+
+
+def _simulate_parallel(
+    netlist: Netlist,
+    faults: List[Fault],
+    golden: GoldenBatches,
+    max_patterns: int,
+    batch_width: int,
+    stop_when_complete: bool,
+    drop_detected: bool,
+    jobs: int,
+    chunk_batches: int,
+) -> EngineResult:
+    """Fan fault shards out over a process pool, round by round."""
+    shards: Dict[int, List[Fault]] = {
+        shard_id: faults[shard_id::jobs] for shard_id in range(jobs)
+    }
+    shards = {s: flist for s, flist in shards.items() if flist}
+    stats = {
+        shard_id: ShardStats(shard=shard_id, n_faults=len(flist))
+        for shard_id, flist in shards.items()
+    }
+    merged: Dict[Fault, int] = {}
+    payload = pickle.dumps((netlist, batch_width))
+    pattern_base = 0
+    batch_index = 0
+    with ProcessPoolExecutor(
+        max_workers=len(shards),
+        mp_context=_mp_context(),
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as executor:
+        while pattern_base < max_patterns and any(shards.values()):
+            widths = _plan_round(
+                pattern_base, max_patterns, batch_width, chunk_batches
+            )
+            round_batches: List[Tuple[int, Dict[int, int]]] = []
+            for width in widths:
+                mask = (1 << width) - 1
+                round_batches.append(
+                    (mask, _narrow(golden.golden_batch(batch_index), mask, batch_width))
+                )
+                batch_index += 1
+            futures = [
+                executor.submit(
+                    _run_shard_round,
+                    shard_id,
+                    live,
+                    round_batches,
+                    pattern_base,
+                    drop_detected,
+                )
+                for shard_id, live in shards.items()
+                if live
+            ]
+            for future in futures:
+                shard_id, detections, survivors, measured = future.result()
+                for fault, index in detections.items():
+                    if fault not in merged:  # rounds arrive in pattern order
+                        merged[fault] = index
+                dropped = len(shards[shard_id]) - len(survivors)
+                if drop_detected:
+                    shards[shard_id] = survivors
+                stats[shard_id].absorb(
+                    int(measured["events"]),
+                    int(measured["patterns"]),
+                    float(measured["wall"]),
+                    dropped if drop_detected else 0,
+                )
+            pattern_base += sum(widths)
+            if stop_when_complete and len(merged) == len(faults):
+                break
+
+    n_patterns = _stopped_n_patterns(
+        merged, len(faults), max_patterns, batch_width,
+        stop_when_complete, drop_detected,
+    )
+    return EngineResult(
+        netlist=netlist,
+        faults=faults,
+        first_detection=merged,
+        n_patterns=n_patterns,
+        jobs=jobs,
+        shards=[stats[shard_id] for shard_id in sorted(stats)],
+    )

@@ -1,0 +1,50 @@
+"""Lightweight per-shard measurement of an engine run.
+
+Every :func:`repro.engine.simulate` call returns one :class:`ShardStats`
+per fault shard (a single implicit shard for serial runs), aggregated over
+all rounds the shard participated in.  Fields are chosen to answer the
+scaling questions the benchmarks ask: where did wall time go, how much
+propagation work did each shard do, and how quickly were faults dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class ShardStats:
+    """Aggregated measurements for one fault shard."""
+
+    shard: int
+    n_faults: int = 0              #: faults assigned to this shard
+    faults_dropped: int = 0        #: faults removed after first detection
+    events_propagated: int = 0     #: gate evaluations during fault propagation
+    patterns_simulated: int = 0    #: patterns this shard actually consumed
+    wall_time: float = 0.0         #: seconds spent inside the shard worker
+
+    @property
+    def patterns_per_second(self) -> float:
+        """Shard throughput; 0.0 when the shard did no timed work."""
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.patterns_simulated / self.wall_time
+
+    def absorb(self, events: int, patterns: int, wall: float, dropped: int) -> None:
+        """Fold one round's worker measurements into the totals."""
+        self.events_propagated += events
+        self.patterns_simulated += patterns
+        self.wall_time += wall
+        self.faults_dropped += dropped
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "n_faults": self.n_faults,
+            "faults_dropped": self.faults_dropped,
+            "events_propagated": self.events_propagated,
+            "patterns_simulated": self.patterns_simulated,
+            "wall_time": self.wall_time,
+            "patterns_per_second": self.patterns_per_second,
+        }

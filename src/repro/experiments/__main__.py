@@ -3,7 +3,10 @@
 ``python -m repro.experiments [outdir] [--quick]`` writes the same
 artifacts the benchmark suite produces (Table 1, Table 2, the per-figure
 reports) without pytest.  ``--quick`` shrinks the fault-simulation budget
-for a fast smoke pass.
+for a fast smoke pass; ``--jobs N`` shards fault simulation over N worker
+processes (bit-identical results, see ``docs/ENGINE.md``); ``--seed N``
+changes the random-pattern seed; ``--json`` additionally writes
+``table1.json``/``table2.json`` machine-readable artifacts.
 """
 
 from __future__ import annotations
@@ -22,8 +25,8 @@ from repro.experiments.figures import (
     pseudo_exhaustive_report,
     tpg_examples_report,
 )
-from repro.experiments.table1 import render_table1
-from repro.experiments.table2 import render_table2, table2_columns
+from repro.experiments.table1 import render_table1, table1_json, table1_rows
+from repro.experiments.table2 import render_table2, table2_columns, table2_json
 
 
 def main(argv=None) -> int:
@@ -31,6 +34,12 @@ def main(argv=None) -> int:
     parser.add_argument("outdir", nargs="?", default="results")
     parser.add_argument("--quick", action="store_true",
                         help="smaller fault-sim budget (smoke pass)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="shard fault simulation over N worker processes")
+    parser.add_argument("--seed", type=int, default=1994,
+                        help="random-pattern seed for Table 2")
+    parser.add_argument("--json", action="store_true",
+                        help="also write table1.json / table2.json")
     args = parser.parse_args(argv)
 
     outdir = pathlib.Path(args.outdir)
@@ -41,12 +50,20 @@ def main(argv=None) -> int:
         print(f"wrote {outdir / name}")
 
     start = time.time()
-    write("table1.txt", render_table1())
+    rows = table1_rows()
+    write("table1.txt", render_table1(rows))
+    if args.json:
+        write("table1.json", json.dumps(table1_json(rows), indent=2))
 
     max_patterns = 1 << (13 if args.quick else 16)
     n_seeds = 1 if args.quick else 3
-    columns = table2_columns(max_patterns=max_patterns, n_seeds=n_seeds)
+    columns = table2_columns(
+        max_patterns=max_patterns, seed=args.seed, n_seeds=n_seeds,
+        jobs=args.jobs,
+    )
     write("table2_full.txt", render_table2(columns))
+    if args.json:
+        write("table2.json", json.dumps(table2_json(columns), indent=2))
 
     write("figures_1_2.txt", json.dumps(figures_1_2_report(), indent=2, default=str))
     write("figure3.txt", json.dumps(figure3_report(), indent=2, default=str))

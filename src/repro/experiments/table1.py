@@ -9,8 +9,8 @@ and magnitude relationships are what the benchmark asserts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List
 
 from repro.core.bibs import make_bibs_testable
 from repro.core.flow import lower_kernel_to_netlist
@@ -74,6 +74,16 @@ def table1_rows() -> List[Table1Row]:
             )
         )
     return rows
+
+
+def table1_json(rows=None) -> Dict[str, Any]:
+    """Table 1 as a JSON-safe dict (one entry per circuit)."""
+    if rows is None:
+        rows = table1_rows()
+    return {
+        "table": "table1",
+        "circuits": {row.name: asdict(row) for row in rows},
+    }
 
 
 def render_table1(rows=None) -> str:

@@ -19,11 +19,14 @@ comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.core.flow import TDMComparison, compare_tdms
 from repro.datapath.filters import all_filters
 from repro.experiments.render import fmt, render_table
+
+if TYPE_CHECKING:
+    from repro.engine.cache import GoldenCache
 
 #: The paper's Table 2, for side-by-side reporting: circuit -> (BIBS, [3]).
 PAPER_TABLE2 = {
@@ -68,8 +71,15 @@ def measure_circuit(
     max_patterns: int = 1 << 17,
     seed: int = 1994,
     n_seeds: int = 3,
+    jobs: Optional[int] = None,
+    cache: Optional["GoldenCache"] = None,
 ) -> Table2Column:
-    """Run the full Table 2 measurement for one circuit."""
+    """Run the full Table 2 measurement for one circuit.
+
+    ``jobs`` shards every kernel's fault simulation over worker processes;
+    ``cache`` reuses golden batches between the BIBS and KA evaluations of
+    a kernel (same netlist + stream) and across repeated measurements.
+    """
     compiled = all_filters()[name]
     comparison = compare_tdms(
         compiled.circuit,
@@ -77,6 +87,8 @@ def measure_circuit(
         max_patterns=max_patterns,
         seed=seed,
         n_seeds=n_seeds,
+        jobs=jobs,
+        cache=cache,
     )
     bibs, ka = comparison.bibs, comparison.ka
     return Table2Column(
@@ -99,9 +111,41 @@ def table2_columns(
     max_patterns: int = 1 << 17,
     seed: int = 1994,
     n_seeds: int = 3,
+    jobs: Optional[int] = None,
 ) -> List[Table2Column]:
-    """Measure every circuit."""
-    return [measure_circuit(c, max_patterns, seed, n_seeds) for c in circuits]
+    """Measure every circuit, sharing one golden-run cache across them."""
+    from repro.engine import GoldenCache
+
+    cache = GoldenCache(max_entries=16)
+    return [
+        measure_circuit(c, max_patterns, seed, n_seeds, jobs=jobs, cache=cache)
+        for c in circuits
+    ]
+
+
+def table2_json(
+    columns: List[Table2Column], include_paper: bool = True
+) -> Dict[str, Any]:
+    """Table 2 as a JSON-safe dict (one entry per circuit, (BIBS, KA) pairs)."""
+    payload: Dict[str, Any] = {
+        "table": "table2",
+        "rows": [attr for attr, _ in _ROW_LABELS],
+        "measured": {
+            column.circuit: {
+                attr: list(getattr(column, attr)) for attr, _ in _ROW_LABELS
+            }
+            for column in columns
+        },
+    }
+    if include_paper:
+        payload["paper"] = {
+            column.circuit: {
+                attr: list(PAPER_TABLE2[column.circuit][attr])
+                for attr, _ in _ROW_LABELS
+            }
+            for column in columns
+        }
+    return payload
 
 
 _ROW_LABELS = [

@@ -8,96 +8,26 @@ once per fault per batch), and compares primary outputs.  Faults are dropped
 at first detection and the pattern index of that first detection is recorded,
 which is what the paper's "number of patterns to achieve X% fault coverage"
 rows are computed from.
+
+Runs are orchestrated by :mod:`repro.engine`, which this module routes
+through: :meth:`FaultSimulator.run` with ``jobs`` set fans the fault list
+out over worker processes; the default stays serial and bit-identical to
+the historical behaviour.  :class:`FaultSimResult` now lives in
+:mod:`repro.results`; the import here is kept as a compatibility shim.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
-from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.faults import Fault
 from repro.faultsim.patterns import PatternSource
 from repro.netlist.evaluate import Evaluator
 from repro.netlist.gates import evaluate_gate
 from repro.netlist.netlist import Netlist
-
-
-@dataclass
-class FaultSimResult:
-    """Outcome of a fault-simulation run.
-
-    ``first_detection`` maps each detected fault to the 0-based index of the
-    first pattern that detects it.  ``n_patterns`` is how many patterns were
-    simulated in total.
-    """
-
-    netlist: Netlist
-    faults: List[Fault]
-    first_detection: Dict[Fault, int] = field(default_factory=dict)
-    n_patterns: int = 0
-    undetectable: List[Fault] = field(default_factory=list)
-
-    @property
-    def n_faults(self) -> int:
-        return len(self.faults)
-
-    @property
-    def detected(self) -> List[Fault]:
-        return list(self.first_detection)
-
-    @property
-    def undetected(self) -> List[Fault]:
-        return [f for f in self.faults if f not in self.first_detection]
-
-    def coverage(self, after_patterns: Optional[int] = None, of_detectable: bool = False) -> float:
-        """Fault coverage (fraction in [0,1]).
-
-        With ``after_patterns`` given, counts only detections whose first
-        pattern index is below it.  With ``of_detectable``, the denominator
-        excludes faults proven undetectable (the paper reports coverage of
-        detectable faults).
-        """
-        if after_patterns is None:
-            hits = len(self.first_detection)
-        else:
-            hits = sum(1 for idx in self.first_detection.values() if idx < after_patterns)
-        denom = len(self.faults)
-        if of_detectable:
-            denom -= len(self.undetectable)
-        return hits / denom if denom else 1.0
-
-    def detection_indices(self) -> List[int]:
-        """Sorted first-detection pattern indices of all detected faults."""
-        return sorted(self.first_detection.values())
-
-    def patterns_for_coverage(self, target: float, of_detectable: bool = True) -> Optional[int]:
-        """Fewest patterns reaching ``target`` coverage, or None if never.
-
-        Returns the pattern *count* (index of the detecting pattern + 1).
-        """
-        denom = len(self.faults) - (len(self.undetectable) if of_detectable else 0)
-        if denom <= 0:
-            return 0
-        needed = target * denom
-        indices = self.detection_indices()
-        # Smallest k with (#detections at index < k) >= needed.
-        count = 0
-        for position, index in enumerate(indices, start=1):
-            count = position
-            if count >= needed - 1e-9:
-                return index + 1
-        return None
-
-    def merge_undetectable(self, faults: Iterable[Fault]) -> None:
-        """Record faults proven redundant (e.g. by ATPG)."""
-        known = set(self.undetectable)
-        for fault in faults:
-            if fault not in known:
-                self.undetectable.append(fault)
-                known.add(fault)
+from repro.results import FaultSimResult  # noqa: F401  (compatibility shim)
 
 
 class FaultSimulator:
@@ -121,6 +51,9 @@ class FaultSimulator:
         # Topological position of every gate, for event ordering.
         self._pos: Dict[int, int] = {g: i for i, g in enumerate(self.evaluator.order)}
         self._po_set = list(netlist.primary_outputs)
+        #: Gate evaluations performed by fault propagation so far — the
+        #: engine's per-shard instrumentation reads deltas of this counter.
+        self.events_propagated = 0
 
     # ------------------------------------------------------------- injection
 
@@ -152,6 +85,7 @@ class FaultSimulator:
                 for pin, n in enumerate(gate.inputs)
             ]
             value = evaluate_gate(gate.gtype, inputs, mask)
+            self.events_propagated += 1
             if value == good[gate.output]:
                 return 0
             delta[gate.output] = value
@@ -164,6 +98,7 @@ class FaultSimulator:
             gate = gates[gate_index]
             inputs = [delta.get(n, good[n]) for n in gate.inputs]
             value = evaluate_gate(gate.gtype, inputs, mask)
+            self.events_propagated += 1
             old = delta.get(gate.output, good[gate.output])
             if value != old:
                 if value == good[gate.output]:
@@ -180,6 +115,33 @@ class FaultSimulator:
 
     # ------------------------------------------------------------------ runs
 
+    def simulate_batch(
+        self,
+        live: Sequence[Fault],
+        good: Dict[int, int],
+        mask: int,
+        pattern_base: int,
+        detections: Dict[Fault, int],
+        drop_detected: bool = True,
+    ) -> List[Fault]:
+        """Simulate one packed batch of patterns against the live faults.
+
+        Records first detections (absolute pattern indices, offset by
+        ``pattern_base``) into ``detections`` and returns the surviving
+        fault list.  This is the primitive both the serial loop and the
+        engine's shard workers drive; keeping it in one place is what makes
+        ``jobs=N`` bit-identical to the serial path.
+        """
+        survivors: List[Fault] = []
+        for fault in live:
+            detect = self._simulate_fault(fault, good, mask)
+            if detect and fault not in detections:
+                first_bit = (detect & -detect).bit_length() - 1
+                detections[fault] = pattern_base + first_bit
+            if not detect or not drop_detected:
+                survivors.append(fault)
+        return survivors
+
     def run(
         self,
         source: PatternSource,
@@ -187,6 +149,8 @@ class FaultSimulator:
         faults: Optional[Sequence[Fault]] = None,
         stop_when_complete: bool = True,
         drop_detected: bool = True,
+        jobs: Optional[int] = None,
+        cache: Optional["object"] = None,
     ) -> FaultSimResult:
         """Simulate up to ``max_patterns`` patterns against the fault list.
 
@@ -195,42 +159,27 @@ class FaultSimulator:
         detected (fault dropping makes the tail cheap anyway).
         ``drop_detected=False`` keeps detected faults in the simulated
         population — useful only for ablation studies of fault dropping.
+
+        ``jobs`` > 1 shards the fault list over that many worker processes
+        (see :func:`repro.engine.simulate`); results are bit-identical to
+        the serial path.  ``cache`` optionally supplies a
+        :class:`repro.engine.GoldenCache` so fault-free batch evaluations
+        are shared across shards and repeated runs.
         """
-        if faults is None:
-            faults, _ = collapse_faults(self.netlist)
-        if source.n_inputs != len(self.netlist.primary_inputs):
-            raise SimulationError(
-                f"pattern source width {source.n_inputs} != circuit inputs "
-                f"{len(self.netlist.primary_inputs)}"
-            )
-        result = FaultSimResult(self.netlist, list(faults))
-        live: List[Fault] = list(faults)
-        pattern_base = 0
-        batches = source.batches(self.batch_width)
-        pis = self.netlist.primary_inputs
+        from repro.engine import simulate
 
-        while pattern_base < max_patterns and live:
-            width = min(self.batch_width, max_patterns - pattern_base)
-            mask = (1 << width) - 1
-            packed = next(batches)
-            inputs = {net: packed[i] & mask for i, net in enumerate(pis)}
-            good = self.evaluator.run(inputs, mask)
-
-            survivors: List[Fault] = []
-            for fault in live:
-                detect = self._simulate_fault(fault, good, mask)
-                if detect and fault not in result.first_detection:
-                    first_bit = (detect & -detect).bit_length() - 1
-                    result.first_detection[fault] = pattern_base + first_bit
-                if not detect or not drop_detected:
-                    survivors.append(fault)
-            live = survivors
-            pattern_base += width
-            if stop_when_complete and len(result.first_detection) == len(faults):
-                break
-
-        result.n_patterns = pattern_base
-        return result
+        return simulate(
+            self.netlist,
+            faults,
+            source,
+            max_patterns=max_patterns,
+            jobs=jobs,
+            cache=cache,
+            batch_width=self.batch_width,
+            stop_when_complete=stop_when_complete,
+            drop_detected=drop_detected,
+            simulator=self,
+        )
 
     def detects(self, fault: Fault, pattern: Sequence[int]) -> bool:
         """Check whether one explicit pattern detects one fault.

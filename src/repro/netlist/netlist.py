@@ -272,6 +272,26 @@ class Netlist:
 
         levelize(self)
 
+    def fingerprint(self) -> str:
+        """Stable digest of the netlist structure (gates, nets, I/O).
+
+        Two netlists with equal fingerprints are structurally identical —
+        same net ids, names, gates and port lists — so packed evaluation
+        results computed for one are valid for the other.  Used as the
+        golden-run cache key by :mod:`repro.engine`.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(repr(self._net_names).encode())
+        digest.update(repr(self.primary_inputs).encode())
+        digest.update(repr(self.primary_outputs).encode())
+        for gate in self.gates:
+            digest.update(
+                f"{gate.gtype.value}:{gate.inputs}:{gate.output}".encode()
+            )
+        return digest.hexdigest()
+
     # --------------------------------------------------------------- queries
 
     def __len__(self) -> int:
