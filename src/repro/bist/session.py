@@ -320,6 +320,9 @@ class BISTSession:
         faults: Optional[Sequence[Fault]] = None,
         jobs: Optional[int] = None,
         cache: Optional[GoldenCache] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        **engine_options,
     ):
         """Per-pattern kernel fault coverage under the session's stimulus.
 
@@ -329,7 +332,11 @@ class BISTSession:
         *before* MISR compression (so the gap to :meth:`run`'s coverage is
         exactly the aliasing loss).  ``faults`` defaults to the lowered
         netlist's collapsed universe (its net ids, not the sequential
-        simulator's).  ``jobs`` shards the run over worker processes.
+        simulator's).  ``jobs`` shards the run over worker processes;
+        ``checkpoint_dir`` / ``resume`` journal completed shard rounds so
+        an interrupted measurement picks up where it stopped, and other
+        ``engine_options`` (``shard_timeout``, ``max_retries``, ``chaos``,
+        ...) reach the engine's fault-tolerance layer unchanged.
         """
         from repro.core.flow import lower_kernel_to_netlist
         from repro.engine import simulate
@@ -355,6 +362,9 @@ class BISTSession:
             max_patterns=n,
             jobs=jobs,
             cache=cache if cache is not None else self.cache,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            **engine_options,
         )
 
     def aliasing_study(

@@ -8,6 +8,8 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
     python -m repro tpg      circuit.json [--kernel N] [--json]
     python -m repro selftest circuit.json [--cycles N] [--max-faults N]
                              [--jobs N] [--seed N] [--json]
+                             [--checkpoint-dir DIR] [--resume]
+                             [--shard-timeout S]
     python -m repro export   {c5a2m,c3a2m,c4a4m,figure4,figure9,mac4} out.json
 
 ``export`` writes the built-in circuits so every other command has
@@ -214,7 +216,9 @@ def cmd_selftest(args) -> int:
     pattern_result = None
     if args.jobs is not None:
         pattern_result = session.pattern_coverage(
-            max_patterns=cycles, jobs=args.jobs
+            max_patterns=cycles, jobs=args.jobs,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            shard_timeout=args.shard_timeout,
         )
     if args.json:
         payload = result.to_json()
@@ -300,6 +304,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also measure per-pattern coverage through the "
                         "engine, sharded over N worker processes")
     p.add_argument("--seed", type=int, default=1, help="TPG seed (non-zero)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="journal completed engine shard rounds under this "
+                        "directory (resumable per-pattern measurement)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay journaled shard rounds instead of "
+                        "re-running them")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   help="seconds before a shard round is declared hung "
+                        "and retried on a fresh worker")
     add_json_flag(p)
     p.set_defaults(func=cmd_selftest)
 

@@ -161,6 +161,9 @@ def evaluate_design(
     n_seeds: int = 1,
     jobs: Optional[int] = None,
     cache: Optional["GoldenCache"] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    **engine_options,
 ) -> DesignEvaluation:
     """Fault-simulate every kernel of a design under random patterns.
 
@@ -178,6 +181,11 @@ def evaluate_design(
     ``jobs`` shards each kernel's fault list over worker processes via
     :func:`repro.engine.simulate` (results are bit-identical to serial);
     ``cache`` shares golden-run batches across kernels, seeds and calls.
+    ``checkpoint_dir`` / ``resume`` journal each kernel run's completed
+    shard rounds (keyed per kernel/stream, so one directory serves the
+    whole sweep) and replay them after an interruption; further
+    ``engine_options`` (``shard_timeout``, ``max_retries``, ``chaos``,
+    ...) pass through to the engine.
     """
     evaluations: List[KernelEvaluation] = []
     for kernel in design.kernels:
@@ -189,7 +197,11 @@ def evaluate_design(
             source = RandomPatternSource(
                 len(netlist.primary_inputs), seed=seed + 7919 * round_index
             )
-            result = simulator.run(source, max_patterns, jobs=jobs, cache=cache)
+            result = simulator.run(
+                source, max_patterns, jobs=jobs, cache=cache,
+                checkpoint_dir=checkpoint_dir, resume=resume,
+                **engine_options,
+            )
             if classify_undetected and result.undetected:
                 from repro.atpg.podem import classify_faults
 
@@ -235,6 +247,9 @@ def compare_tdms(
     n_seeds: int = 1,
     jobs: Optional[int] = None,
     cache: Optional["GoldenCache"] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    **engine_options,
 ) -> TDMComparison:
     """Run both TDMs end to end on one circuit."""
     graph = build_circuit_graph(circuit)
@@ -243,9 +258,11 @@ def compare_tdms(
     bibs_eval = evaluate_design(
         circuit, bibs_design, targets, max_patterns, seed,
         n_seeds=n_seeds, jobs=jobs, cache=cache,
+        checkpoint_dir=checkpoint_dir, resume=resume, **engine_options,
     )
     ka_eval = evaluate_design(
         circuit, ka_design, targets, max_patterns, seed,
         n_seeds=n_seeds, jobs=jobs, cache=cache,
+        checkpoint_dir=checkpoint_dir, resume=resume, **engine_options,
     )
     return TDMComparison(circuit.name, bibs_eval, ka_eval)

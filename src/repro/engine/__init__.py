@@ -14,11 +14,17 @@ instrumentation fields.
 """
 
 from repro.engine.cache import GoldenBatches, GoldenCache
+from repro.engine.chaos import ChaosError, ChaosInterrupt, FaultInjector
+from repro.engine.checkpoint import CheckpointStore
 from repro.engine.core import EngineResult, simulate
 from repro.engine.instrumentation import ShardStats
 
 __all__ = [
+    "ChaosError",
+    "ChaosInterrupt",
+    "CheckpointStore",
     "EngineResult",
+    "FaultInjector",
     "GoldenBatches",
     "GoldenCache",
     "ShardStats",

@@ -24,7 +24,7 @@ collision).  Entries are bounded LRU.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, Optional
 
 from repro.faultsim.patterns import PatternSource, source_fingerprint
 from repro.netlist.evaluate import Evaluator
@@ -32,36 +32,78 @@ from repro.netlist.netlist import Netlist
 
 
 class GoldenBatches:
-    """Lazily extended list of fault-free packed evaluations for one stream.
+    """Lazily extended cache of fault-free packed evaluations for one stream.
 
     ``golden_batch(i)`` returns the full-width packed value of every net
     under patterns ``[i * batch_width, (i+1) * batch_width)``.  Batches are
     computed on demand and retained, so any consumer — serial loop, shard
     fan-out, a later run with the same key — pays for each batch once.
+
+    ``max_cached_batches`` bounds retention: past it, the oldest batches
+    are evicted LRU-fashion (a 2^17-pattern Table 2 run is 512 batches of
+    every-net packed values per kernel; unbounded retention across a sweep
+    dominates memory).  A re-request of an evicted batch restarts the
+    pattern stream and recomputes — correct for any source that can state a
+    :func:`~repro.faultsim.patterns.source_fingerprint`, because such
+    sources are pure by contract (that purity is the whole reason their
+    golden values are cacheable).
     """
 
-    def __init__(self, evaluator: Evaluator, source: PatternSource, batch_width: int):
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        source: PatternSource,
+        batch_width: int,
+        max_cached_batches: Optional[int] = None,
+    ):
+        if max_cached_batches is not None and max_cached_batches < 1:
+            raise ValueError("max_cached_batches must be positive")
         self._evaluator = evaluator
+        self._source = source
         self._source_batches = source.batches(batch_width)
         self._pis = list(evaluator.netlist.primary_inputs)
         self._full_mask = (1 << batch_width) - 1
         self.batch_width = batch_width
-        self._golden: List[Dict[int, int]] = []
+        self.max_cached_batches = max_cached_batches
+        self._golden: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self._next_index = 0  #: next batch the stream iterator will yield
+        self.evictions = 0
+        self.recomputes = 0  #: batches re-evaluated after eviction
 
     @property
     def n_cached_batches(self) -> int:
         return len(self._golden)
 
+    def _evaluate_next(self) -> Dict[int, int]:
+        packed = next(self._source_batches)
+        inputs = {
+            net: packed[position] & self._full_mask
+            for position, net in enumerate(self._pis)
+        }
+        self._next_index += 1
+        return self._evaluator.run(inputs, self._full_mask)
+
     def golden_batch(self, index: int) -> Dict[int, int]:
         """Fault-free net values for batch ``index`` (computed if new)."""
-        while len(self._golden) <= index:
-            packed = next(self._source_batches)
-            inputs = {
-                net: packed[position] & self._full_mask
-                for position, net in enumerate(self._pis)
-            }
-            self._golden.append(self._evaluator.run(inputs, self._full_mask))
-        return self._golden[index]
+        cached = self._golden.get(index)
+        if cached is not None:
+            self._golden.move_to_end(index)
+            return cached
+        if index < self._next_index:
+            # Evicted: restart the (pure) stream and re-advance to it.
+            self.recomputes += 1
+            self._source_batches = self._source.batches(self.batch_width)
+            self._next_index = 0
+        while self._next_index <= index:
+            position = self._next_index
+            values = self._golden[position] = self._evaluate_next()
+            if (
+                self.max_cached_batches is not None
+                and len(self._golden) > self.max_cached_batches
+            ):
+                self._golden.popitem(last=False)
+                self.evictions += 1
+        return values
 
 
 class GoldenCache:
@@ -72,14 +114,29 @@ class GoldenCache:
     content fingerprints, never by object identity.
     """
 
-    def __init__(self, max_entries: int = 8):
+    def __init__(
+        self,
+        max_entries: int = 8,
+        max_memo_entries: Optional[int] = None,
+        max_batches_per_entry: Optional[int] = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if max_memo_entries is not None and max_memo_entries < 1:
+            raise ValueError("max_memo_entries must be positive")
         self.max_entries = max_entries
+        #: Bound on generic-memo entries; defaults to ``max_entries``.
+        self.max_memo_entries = (
+            max_memo_entries if max_memo_entries is not None else max_entries
+        )
+        #: Per-entry bound on retained golden batches (see
+        #: :class:`GoldenBatches`); None keeps every batch.
+        self.max_batches_per_entry = max_batches_per_entry
         self._batches: "OrderedDict[Hashable, GoldenBatches]" = OrderedDict()
         self._memo: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------- batch entries
 
@@ -109,10 +166,12 @@ class GoldenCache:
             evaluator if evaluator is not None else Evaluator(netlist),
             source,
             batch_width,
+            max_cached_batches=self.max_batches_per_entry,
         )
         self._batches[key] = entry
         while len(self._batches) > self.max_entries:
             self._batches.popitem(last=False)
+            self.evictions += 1
         return entry
 
     # -------------------------------------------------------- generic memo
@@ -130,16 +189,18 @@ class GoldenCache:
         """Store a memoized value under a caller-built key."""
         self._memo[key] = value
         self._memo.move_to_end(key)
-        while len(self._memo) > self.max_entries:
+        while len(self._memo) > self.max_memo_entries:
             self._memo.popitem(last=False)
+            self.evictions += 1
 
     # ------------------------------------------------------------ counters
 
     def counters(self) -> Dict[str, int]:
-        """Hit/miss/entry counts, JSON-safe."""
+        """Hit/miss/eviction/entry counts, JSON-safe."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "batch_entries": len(self._batches),
             "memo_entries": len(self._memo),
         }

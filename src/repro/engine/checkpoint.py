@@ -1,0 +1,197 @@
+"""Run checkpointing: journal completed shard rounds, resume interrupted runs.
+
+Long Table 2 sweeps apply 2^17 patterns per kernel; losing a run to one
+crashed machine and restarting from zero is exactly the cost this module
+removes.  The engine journals every completed shard round — the round's new
+detections and surviving faults, as *indices into the run's fault list* —
+into a directory keyed by the same content fingerprints the golden-run
+cache uses, plus every parameter that shapes shard/round boundaries.  A
+re-invocation with ``resume=True`` replays journaled rounds instead of
+re-executing them (surfaced as ``ShardStats.rounds_resumed``), then picks
+up the real work where the interrupted run stopped.
+
+Layout::
+
+    <checkpoint root>/<run key (sha256 prefix)>/shard0003_round0012.rec
+
+Records are pickled dicts written atomically (temp file + ``os.replace``)
+so an interruption can never leave a half-written record behind; a record
+that fails to unpickle is simply treated as never written.  The run key
+covers the netlist fingerprint, the pattern-source fingerprint, the fault
+list, and (batch width, max patterns, jobs, chunk size, stop/drop
+semantics) — any change to those invalidates the journal wholesale, the
+same stale-key philosophy as :class:`~repro.engine.cache.GoldenCache`.
+Sources without a stable fingerprint cannot be journaled (``run_key``
+returns None) and the engine silently runs without checkpointing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faultsim.faults import Fault
+from repro.faultsim.patterns import PatternSource, source_fingerprint
+from repro.netlist.netlist import Netlist
+
+#: Bumped whenever the record layout changes; part of the run key so stale
+#: journals from older engine versions can never be replayed.
+JOURNAL_VERSION = 1
+
+
+def run_key(
+    netlist: Netlist,
+    source: PatternSource,
+    faults: Sequence[Fault],
+    batch_width: int,
+    max_patterns: int,
+    jobs: int,
+    chunk_batches: int,
+    stop_when_complete: bool,
+    drop_detected: bool,
+) -> Optional[str]:
+    """Content key identifying one resumable run, or None if unkeyable."""
+    stream_id = source_fingerprint(source)
+    if stream_id is None:
+        return None
+    fault_digest = hashlib.sha256(
+        repr([
+            (f.net, f.stuck_at, f.gate_index, f.pin) for f in faults
+        ]).encode()
+    ).hexdigest()
+    blob = repr((
+        JOURNAL_VERSION,
+        netlist.fingerprint(),
+        stream_id,
+        fault_digest,
+        batch_width,
+        max_patterns,
+        jobs,
+        chunk_batches,
+        stop_when_complete,
+        drop_detected,
+    )).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class CheckpointStore:
+    """One run's journal directory: load, record, and replay shard rounds."""
+
+    def __init__(self, root, key: str):
+        self.root = Path(root)
+        self.key = key
+        self.directory = self.root / key[:32]
+
+    def _record_path(self, shard: int, round_index: int) -> Path:
+        return self.directory / f"shard{shard:04d}_round{round_index:06d}.rec"
+
+    # -------------------------------------------------------------- loading
+
+    def load(self) -> Dict[Tuple[int, int], Dict[str, Any]]:
+        """All readable records, keyed by ``(shard, round)``.
+
+        Unreadable (half-written, foreign) files are skipped, not fatal:
+        the engine just re-executes those rounds.
+        """
+        records: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        if not self.directory.is_dir():
+            return records
+        for path in sorted(self.directory.glob("shard*_round*.rec")):
+            try:
+                with open(path, "rb") as handle:
+                    record = pickle.load(handle)
+                shard = int(record["shard"])
+                round_index = int(record["round"])
+            except Exception:
+                continue
+            records[(shard, round_index)] = record
+        return records
+
+    def clear(self) -> None:
+        """Drop every record of this run (a fresh, non-resumed start)."""
+        if not self.directory.is_dir():
+            return
+        for path in self.directory.glob("shard*_round*.rec"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------ recording
+
+    def record(
+        self,
+        shard: int,
+        round_index: int,
+        detections: Dict[int, int],
+        survivors: List[int],
+        patterns: int,
+    ) -> None:
+        """Atomically journal one completed shard round.
+
+        ``detections`` maps fault-list *indices* to absolute pattern
+        indices; ``survivors`` lists the indices still live afterwards.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "shard": shard,
+            "round": round_index,
+            "detections": dict(detections),
+            "survivors": list(survivors),
+            "patterns": int(patterns),
+        }
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(self.directory), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(payload, handle)
+            os.replace(temp_name, self._record_path(shard, round_index))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def n_records(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("shard*_round*.rec"))
+
+
+def open_store(
+    checkpoint_dir,
+    netlist: Netlist,
+    source: PatternSource,
+    faults: Sequence[Fault],
+    batch_width: int,
+    max_patterns: int,
+    jobs: int,
+    chunk_batches: int,
+    stop_when_complete: bool,
+    drop_detected: bool,
+    resume: bool,
+) -> Optional[CheckpointStore]:
+    """The engine's entry point: a store for this run, or None.
+
+    Returns None when ``checkpoint_dir`` is unset or the run has no stable
+    content key.  With ``resume=False`` any existing journal for this exact
+    run is cleared so the journal always reflects a single coherent run.
+    """
+    if checkpoint_dir is None:
+        return None
+    key = run_key(
+        netlist, source, faults, batch_width, max_patterns,
+        jobs, chunk_batches, stop_when_complete, drop_detected,
+    )
+    if key is None:
+        return None
+    store = CheckpointStore(checkpoint_dir, key)
+    if not resume:
+        store.clear()
+    return store

@@ -10,6 +10,17 @@ merged deterministically — shards are disjoint and rounds arrive in
 pattern order — so the result is **bit-identical to the serial path** for
 every combination of ``stop_when_complete`` / ``drop_detected``.
 
+The engine is fault tolerant: every shard round carries an integrity
+checksum, is bounded by an optional ``shard_timeout``, and is retried with
+exponential backoff on crash / timeout / corruption (the worker pool is
+rebuilt, since a dead or hung worker poisons it).  A shard that exhausts
+its retry budget degrades gracefully to in-process serial execution in the
+parent, so a run *always* completes with results identical to ``jobs=1``.
+With a ``checkpoint_dir``, completed rounds are journaled
+(:mod:`repro.engine.checkpoint`) and ``resume=True`` replays them instead
+of re-executing; a deterministic :class:`~repro.engine.chaos.FaultInjector`
+(parameter or ``$REPRO_CHAOS``) makes all of these paths testable in CI.
+
 The fault-free (golden) evaluation of each batch is computed once in the
 parent, optionally through a :class:`~repro.engine.cache.GoldenCache`
 shared across shards and across repeated runs.  ``jobs=None`` (or 1) runs
@@ -18,14 +29,18 @@ the same primitive serially in-process with zero multiprocessing overhead.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.engine import checkpoint as checkpoint_io
 from repro.engine.cache import GoldenBatches, GoldenCache
+from repro.engine.chaos import ChaosInterrupt, FaultInjector
 from repro.engine.instrumentation import ShardStats
 from repro.errors import SimulationError
 from repro.faultsim.collapse import collapse_faults
@@ -38,6 +53,13 @@ from repro.results import FaultSimResult
 #: Batches per fan-out round: large enough to amortize task dispatch and
 #: golden-batch shipping, small enough that early stop wastes little work.
 CHUNK_BATCHES = 4
+
+#: Default bounded-retry budget per shard round before degrading to
+#: in-process execution.
+MAX_RETRIES = 2
+
+#: Base of the exponential backoff between retry waves (seconds).
+RETRY_BACKOFF = 0.05
 
 
 @dataclass
@@ -58,6 +80,21 @@ class EngineResult(FaultSimResult):
     def events_propagated(self) -> int:
         return sum(shard.events_propagated for shard in self.shards)
 
+    @property
+    def rounds_resumed(self) -> int:
+        """Shard rounds replayed from a checkpoint journal, summed."""
+        return sum(shard.rounds_resumed for shard in self.shards)
+
+    @property
+    def retries(self) -> int:
+        """Shard-round re-executions forced by failures, summed."""
+        return sum(shard.retries for shard in self.shards)
+
+    @property
+    def degraded_shards(self) -> List[int]:
+        """Shards that fell back to in-process execution."""
+        return [shard.shard for shard in self.shards if shard.degraded]
+
     def to_json(self, include_faults: bool = False) -> Dict:
         payload = super().to_json(include_faults)
         payload["engine"] = {
@@ -65,9 +102,38 @@ class EngineResult(FaultSimResult):
             "wall_time": self.wall_time,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "retries": self.retries,
+            "rounds_resumed": self.rounds_resumed,
+            "degraded_shards": self.degraded_shards,
             "shards": [shard.to_json() for shard in self.shards],
         }
         return payload
+
+
+class _CorruptShardRound(SimulationError):
+    """A shard round whose payload failed integrity verification."""
+
+
+def _fault_key(fault: Fault) -> Tuple[int, int, int, int]:
+    """A total-orderable identity tuple (stem faults carry None fields)."""
+    return (
+        fault.net,
+        fault.stuck_at,
+        -1 if fault.gate_index is None else fault.gate_index,
+        -1 if fault.pin is None else fault.pin,
+    )
+
+
+def _round_checksum(
+    detections: Dict[Fault, int], survivors: List[Fault], patterns: int
+) -> str:
+    """Integrity digest over one shard round's result payload."""
+    blob = repr((
+        sorted(_fault_key(f) + (index,) for f, index in detections.items()),
+        [_fault_key(f) for f in survivors],
+        patterns,
+    )).encode()
+    return hashlib.sha256(blob).hexdigest()
 
 
 # --------------------------------------------------------------- worker side
@@ -82,22 +148,19 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_SIMULATOR = FaultSimulator(netlist, batch_width)
 
 
-def _run_shard_round(
-    shard_id: int,
+def _consume_batches(
+    simulator: FaultSimulator,
     faults: List[Fault],
     golden_batches: List[Tuple[int, Dict[int, int]]],
     pattern_base: int,
     drop_detected: bool,
-) -> Tuple[int, Dict[Fault, int], List[Fault], Dict[str, float]]:
-    """Simulate one round of batches for one shard inside a worker.
+) -> Tuple[Dict[Fault, int], List[Fault], Dict[str, float]]:
+    """Run one round of batches for one fault list on one simulator.
 
-    ``golden_batches`` is a list of ``(mask, golden values)`` pairs; the
-    batch width is recovered from the mask.  Returns the shard's new
-    detections (absolute pattern indices), its surviving fault list, and
-    round measurements.
+    The shared primitive behind both the worker-side shard round and the
+    parent's degraded in-process fallback — one implementation is what
+    keeps every execution path bit-identical.
     """
-    simulator = _WORKER_SIMULATOR
-    assert simulator is not None, "worker used before initialization"
     start = time.perf_counter()
     events_before = simulator.events_propagated
     detections: Dict[Fault, int] = {}
@@ -118,7 +181,47 @@ def _run_shard_round(
         "patterns": patterns,
         "wall": time.perf_counter() - start,
     }
-    return shard_id, detections, live, measurements
+    return detections, live, measurements
+
+
+def _run_shard_round(
+    shard_id: int,
+    faults: List[Fault],
+    golden_batches: List[Tuple[int, Dict[int, int]]],
+    pattern_base: int,
+    drop_detected: bool,
+    round_index: int = 0,
+    attempt: int = 0,
+    injector: Optional[FaultInjector] = None,
+) -> Tuple[int, Dict[Fault, int], List[Fault], Dict[str, float], str]:
+    """Simulate one round of batches for one shard inside a worker.
+
+    ``golden_batches`` is a list of ``(mask, golden values)`` pairs; the
+    batch width is recovered from the mask.  Returns the shard's new
+    detections (absolute pattern indices), its surviving fault list, round
+    measurements and an integrity checksum (taken *before* any chaos
+    corruption, so tampering is detectable by the parent).
+    """
+    simulator = _WORKER_SIMULATOR
+    assert simulator is not None, "worker used before initialization"
+    corrupt = (
+        injector.apply(shard_id, round_index, attempt)
+        if injector is not None
+        else False
+    )
+    detections, live, measurements = _consume_batches(
+        simulator, faults, golden_batches, pattern_base, drop_detected
+    )
+    checksum = _round_checksum(detections, live, int(measurements["patterns"]))
+    if corrupt:
+        if detections:
+            first = next(iter(detections))
+            detections[first] += 1
+        elif live:
+            detections[live[0]] = pattern_base
+        else:
+            measurements["patterns"] = int(measurements["patterns"]) + 1
+    return shard_id, detections, live, measurements, checksum
 
 
 # --------------------------------------------------------------- parent side
@@ -175,6 +278,50 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+class _WorkerPool:
+    """A restartable process pool.
+
+    ``ProcessPoolExecutor`` is poisoned by a dead worker (BrokenProcessPool)
+    and cannot cancel a hung one, so the recovery path for *any* shard
+    failure is the same: abandon the executor, terminate its processes and
+    build a fresh one lazily on the next submit.
+    """
+
+    def __init__(self, max_workers: int, init_payload: bytes):
+        self._max_workers = max_workers
+        self._init_payload = init_payload
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.restarts = 0
+
+    def submit(self, fn, *args):
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                mp_context=_mp_context(),
+                initializer=_init_worker,
+                initargs=(self._init_payload,),
+            )
+        return self._executor.submit(fn, *args)
+
+    def restart(self) -> None:
+        self.shutdown()
+        self.restarts += 1
+
+    def shutdown(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        # Snapshot worker processes before shutdown: hung workers would
+        # otherwise linger until their (possibly unbounded) task finishes.
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+
 def simulate(
     netlist: Netlist,
     faults: Optional[Sequence[Fault]] = None,
@@ -188,6 +335,12 @@ def simulate(
     drop_detected: bool = True,
     chunk_batches: int = CHUNK_BATCHES,
     simulator: Optional[FaultSimulator] = None,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = MAX_RETRIES,
+    retry_backoff: float = RETRY_BACKOFF,
+    chaos: Optional[FaultInjector] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> EngineResult:
     """Fault-simulate ``patterns`` against ``faults``, optionally in parallel.
 
@@ -216,11 +369,31 @@ def simulate(
     simulator:
         An existing :class:`FaultSimulator` to reuse for serial runs (the
         ``FaultSimulator.run`` routing passes itself).
+    shard_timeout:
+        Seconds a shard round may run before it is declared hung and
+        retried (None: wait forever).
+    max_retries:
+        Bounded retry budget per shard round; past it the round runs
+        degraded (serially, in-process) so the run still completes.
+    retry_backoff:
+        Base of the exponential backoff between retry waves (seconds).
+    chaos:
+        Deterministic failure injection for testing the recovery paths;
+        defaults to :meth:`FaultInjector.from_env` (``$REPRO_CHAOS``).
+    checkpoint_dir:
+        Journal completed shard rounds under this directory (keyed by the
+        run's content fingerprint) so an interrupted run can be resumed.
+    resume:
+        Replay rounds already journaled under ``checkpoint_dir`` instead
+        of re-executing them; ``False`` clears any prior journal for this
+        exact run.
     """
     if batch_width < 1:
         raise SimulationError("batch width must be positive")
     if chunk_batches < 1:
         raise SimulationError("chunk_batches must be positive")
+    if max_retries < 0:
+        raise SimulationError("max_retries must be >= 0")
     if faults is None:
         faults, _ = collapse_faults(netlist)
     if patterns is None:
@@ -232,6 +405,8 @@ def simulate(
             f"pattern source width {patterns.n_inputs} != circuit inputs "
             f"{len(netlist.primary_inputs)}"
         )
+    if chaos is None:
+        chaos = FaultInjector.from_env()
 
     fault_list = list(faults)
     hits_before = cache.hits if cache is not None else 0
@@ -252,21 +427,40 @@ def simulate(
 
     start = time.perf_counter()
     n_jobs = 1 if jobs is None else max(1, int(jobs))
-    if n_jobs == 1 or len(fault_list) <= 1:
+    serial = n_jobs == 1 or len(fault_list) <= 1
+    store = checkpoint_io.open_store(
+        checkpoint_dir, netlist, patterns, fault_list, batch_width,
+        max_patterns, 1 if serial else n_jobs, chunk_batches,
+        stop_when_complete, drop_detected, resume,
+    )
+    if serial:
         result = _simulate_serial(
             netlist, fault_list, golden, max_patterns, batch_width,
-            stop_when_complete, drop_detected, simulator,
+            stop_when_complete, drop_detected, simulator, chaos, store,
         )
     else:
         result = _simulate_parallel(
             netlist, fault_list, golden, max_patterns, batch_width,
             stop_when_complete, drop_detected, n_jobs, chunk_batches,
+            shard_timeout, max_retries, retry_backoff, chaos, store,
         )
     result.wall_time = time.perf_counter() - start
     if cache is not None:
         result.cache_hits = cache.hits - hits_before
         result.cache_misses = cache.misses - misses_before
     return result
+
+
+def _replay_record(
+    record: Dict[str, Any], fault_list: List[Fault]
+) -> Tuple[Dict[Fault, int], List[Fault]]:
+    """Indices-on-disk -> fault objects for one journaled round."""
+    detections = {
+        fault_list[index]: pattern
+        for index, pattern in record["detections"].items()
+    }
+    survivors = [fault_list[index] for index in record["survivors"]]
+    return detections, survivors
 
 
 def _simulate_serial(
@@ -278,13 +472,22 @@ def _simulate_serial(
     stop_when_complete: bool,
     drop_detected: bool,
     simulator: Optional[FaultSimulator],
+    chaos: Optional[FaultInjector],
+    store: Optional[checkpoint_io.CheckpointStore],
 ) -> EngineResult:
-    """The historical serial loop, driven through the golden provider."""
+    """The historical serial loop, driven through the golden provider.
+
+    With a checkpoint store each batch is one journaled round (shard 0);
+    chaos injection does not apply in-process (there is no worker to kill)
+    except for the parent-side ``abort`` mode.
+    """
     if simulator is None or simulator.batch_width != batch_width:
         simulator = FaultSimulator(netlist, batch_width)
     stats = ShardStats(shard=0, n_faults=len(faults))
     events_before = simulator.events_propagated
     shard_start = time.perf_counter()
+    journal = store.load() if store is not None else {}
+    fault_index = {fault: i for i, fault in enumerate(faults)}
 
     detections: Dict[Fault, int] = {}
     live = list(faults)
@@ -292,15 +495,35 @@ def _simulate_serial(
     batch_index = 0
     while pattern_base < max_patterns and live:
         width = min(batch_width, max_patterns - pattern_base)
-        mask = (1 << width) - 1
-        good = _narrow(golden.golden_batch(batch_index), mask, batch_width)
-        n_live = len(live)
-        live = simulator.simulate_batch(
-            live, good, mask, pattern_base, detections, drop_detected
-        )
-        stats.faults_dropped += n_live - len(live)
+        record = journal.get((0, batch_index))
+        if record is not None:
+            batch_detections, survivors = _replay_record(record, faults)
+            stats.rounds_resumed += 1
+        else:
+            mask = (1 << width) - 1
+            good = _narrow(golden.golden_batch(batch_index), mask, batch_width)
+            batch_detections = {}
+            survivors = simulator.simulate_batch(
+                live, good, mask, pattern_base, batch_detections, drop_detected
+            )
+            if store is not None:
+                store.record(
+                    0, batch_index,
+                    {fault_index[f]: p for f, p in batch_detections.items()},
+                    [fault_index[f] for f in survivors],
+                    width,
+                )
+        for fault, index in batch_detections.items():
+            if fault not in detections:
+                detections[fault] = index
+        stats.faults_dropped += len(live) - len(survivors)
+        live = survivors
         pattern_base += width
         batch_index += 1
+        if chaos is not None and chaos.aborts_after(batch_index - 1):
+            raise ChaosInterrupt(
+                f"chaos: run aborted after round {batch_index - 1}"
+            )
         if stop_when_complete and len(detections) == len(faults):
             break
 
@@ -327,8 +550,18 @@ def _simulate_parallel(
     drop_detected: bool,
     jobs: int,
     chunk_batches: int,
+    shard_timeout: Optional[float],
+    max_retries: int,
+    retry_backoff: float,
+    chaos: Optional[FaultInjector],
+    store: Optional[checkpoint_io.CheckpointStore],
 ) -> EngineResult:
-    """Fan fault shards out over a process pool, round by round."""
+    """Fan fault shards out over a process pool, round by round.
+
+    Every round is executed fault-tolerantly (see ``_execute_round``) and
+    journaled once complete; rounds present in the journal are replayed
+    without touching the pool at all.
+    """
     shards: Dict[int, List[Fault]] = {
         shard_id: faults[shard_id::jobs] for shard_id in range(jobs)
     }
@@ -338,55 +571,91 @@ def _simulate_parallel(
         for shard_id, flist in shards.items()
     }
     merged: Dict[Fault, int] = {}
+    fault_index = {fault: i for i, fault in enumerate(faults)}
+    journal = store.load() if store is not None else {}
     payload = pickle.dumps((netlist, batch_width))
+    pool = _WorkerPool(len(shards), payload)
+    degraded_simulator: Optional[FaultSimulator] = None
     pattern_base = 0
     batch_index = 0
-    with ProcessPoolExecutor(
-        max_workers=len(shards),
-        mp_context=_mp_context(),
-        initializer=_init_worker,
-        initargs=(payload,),
-    ) as executor:
+    round_index = 0
+    try:
         while pattern_base < max_patterns and any(shards.values()):
             widths = _plan_round(
                 pattern_base, max_patterns, batch_width, chunk_batches
             )
+            active = sorted(s for s, live in shards.items() if live)
+            need_golden = any(
+                (shard_id, round_index) not in journal for shard_id in active
+            )
             round_batches: List[Tuple[int, Dict[int, int]]] = []
-            for width in widths:
+            for offset, width in enumerate(widths):
                 mask = (1 << width) - 1
-                round_batches.append(
-                    (mask, _narrow(golden.golden_batch(batch_index), mask, batch_width))
+                if need_golden:
+                    round_batches.append((
+                        mask,
+                        _narrow(
+                            golden.golden_batch(batch_index + offset),
+                            mask, batch_width,
+                        ),
+                    ))
+            batch_index += len(widths)
+
+            # Replay journaled rounds; execute the rest fault-tolerantly.
+            results: Dict[int, Tuple[Dict[Fault, int], List[Fault], Optional[Dict]]] = {}
+            pending: Set[int] = set()
+            for shard_id in active:
+                record = journal.get((shard_id, round_index))
+                if record is not None:
+                    detections, survivors = _replay_record(record, faults)
+                    results[shard_id] = (detections, survivors, None)
+                    stats[shard_id].rounds_resumed += 1
+                else:
+                    pending.add(shard_id)
+            if pending:
+                degraded_simulator = _execute_round(
+                    pool, shards, stats, pending, round_batches, pattern_base,
+                    round_index, drop_detected, shard_timeout, max_retries,
+                    retry_backoff, chaos, results, netlist, batch_width,
+                    degraded_simulator,
                 )
-                batch_index += 1
-            futures = [
-                executor.submit(
-                    _run_shard_round,
-                    shard_id,
-                    live,
-                    round_batches,
-                    pattern_base,
-                    drop_detected,
-                )
-                for shard_id, live in shards.items()
-                if live
-            ]
-            for future in futures:
-                shard_id, detections, survivors, measured = future.result()
+
+            for shard_id in sorted(results):
+                detections, survivors, measured = results[shard_id]
                 for fault, index in detections.items():
                     if fault not in merged:  # rounds arrive in pattern order
                         merged[fault] = index
                 dropped = len(shards[shard_id]) - len(survivors)
+                if measured is not None:
+                    stats[shard_id].absorb(
+                        int(measured["events"]),
+                        int(measured["patterns"]),
+                        float(measured["wall"]),
+                        dropped if drop_detected else 0,
+                    )
+                    if store is not None:
+                        store.record(
+                            shard_id, round_index,
+                            {fault_index[f]: p for f, p in detections.items()},
+                            [fault_index[f] for f in survivors],
+                            sum(widths),
+                        )
+                else:
+                    stats[shard_id].faults_dropped += (
+                        dropped if drop_detected else 0
+                    )
                 if drop_detected:
                     shards[shard_id] = survivors
-                stats[shard_id].absorb(
-                    int(measured["events"]),
-                    int(measured["patterns"]),
-                    float(measured["wall"]),
-                    dropped if drop_detected else 0,
-                )
             pattern_base += sum(widths)
+            if chaos is not None and chaos.aborts_after(round_index):
+                raise ChaosInterrupt(
+                    f"chaos: run aborted after round {round_index}"
+                )
+            round_index += 1
             if stop_when_complete and len(merged) == len(faults):
                 break
+    finally:
+        pool.shutdown()
 
     n_patterns = _stopped_n_patterns(
         merged, len(faults), max_patterns, batch_width,
@@ -400,3 +669,107 @@ def _simulate_parallel(
         jobs=jobs,
         shards=[stats[shard_id] for shard_id in sorted(stats)],
     )
+
+
+def _execute_round(
+    pool: _WorkerPool,
+    shards: Dict[int, List[Fault]],
+    stats: Dict[int, ShardStats],
+    pending: Set[int],
+    round_batches: List[Tuple[int, Dict[int, int]]],
+    pattern_base: int,
+    round_index: int,
+    drop_detected: bool,
+    shard_timeout: Optional[float],
+    max_retries: int,
+    retry_backoff: float,
+    chaos: Optional[FaultInjector],
+    results: Dict[int, Tuple[Dict[Fault, int], List[Fault], Optional[Dict]]],
+    netlist: Netlist,
+    batch_width: int,
+    degraded_simulator: Optional[FaultSimulator],
+) -> Optional[FaultSimulator]:
+    """Run one round's pending shards to completion, whatever fails.
+
+    Retry waves: all pending shards are submitted together; any that fail
+    (worker crash, timeout, integrity mismatch) force a pool rebuild and
+    are resubmitted after exponential backoff, up to ``max_retries`` times
+    each.  A shard past its budget runs degraded — serially, in the parent
+    process — so this function always returns with every pending shard in
+    ``results``.  Returns the (lazily built) degraded-path simulator for
+    reuse across rounds.
+    """
+    attempts = {shard_id: 0 for shard_id in pending}
+    while pending:
+        futures = {
+            shard_id: pool.submit(
+                _run_shard_round,
+                shard_id,
+                shards[shard_id],
+                round_batches,
+                pattern_base,
+                drop_detected,
+                round_index,
+                attempts[shard_id],
+                chaos,
+            )
+            for shard_id in sorted(pending)
+        }
+        deadline = (
+            None if shard_timeout is None
+            else time.monotonic() + shard_timeout
+        )
+        failed: List[int] = []
+        for shard_id, future in futures.items():
+            try:
+                remaining = (
+                    None if deadline is None
+                    else max(deadline - time.monotonic(), 1e-3)
+                )
+                _, detections, survivors, measured, checksum = future.result(
+                    timeout=remaining
+                )
+                if checksum != _round_checksum(
+                    detections, survivors, int(measured["patterns"])
+                ):
+                    raise _CorruptShardRound(
+                        f"shard {shard_id} round {round_index}: "
+                        "integrity checksum mismatch"
+                    )
+            except FutureTimeoutError:
+                stats[shard_id].timeouts += 1
+                failed.append(shard_id)
+            except Exception:
+                # BrokenProcessPool, a worker-raised error, or corruption:
+                # all retried the same way.
+                stats[shard_id].failures += 1
+                failed.append(shard_id)
+            else:
+                results[shard_id] = (detections, survivors, measured)
+                pending.discard(shard_id)
+        if not failed:
+            break
+        # A dead or hung worker poisons the executor; rebuild it before
+        # the next wave (healthy shards already returned their results).
+        pool.restart()
+        for shard_id in failed:
+            attempts[shard_id] += 1
+            if attempts[shard_id] > max_retries:
+                if degraded_simulator is None:
+                    degraded_simulator = FaultSimulator(netlist, batch_width)
+                detections, survivors, measured = _consume_batches(
+                    degraded_simulator, shards[shard_id], round_batches,
+                    pattern_base, drop_detected,
+                )
+                results[shard_id] = (detections, survivors, measured)
+                stats[shard_id].degraded_reason = (
+                    f"retry budget exhausted after {attempts[shard_id]} "
+                    f"attempts at round {round_index}; ran in-process"
+                )
+                pending.discard(shard_id)
+            else:
+                stats[shard_id].retries += 1
+        if pending and retry_backoff > 0:
+            wave = min(attempts[shard_id] for shard_id in pending)
+            time.sleep(retry_backoff * (2 ** max(wave - 1, 0)))
+    return degraded_simulator

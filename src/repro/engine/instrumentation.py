@@ -10,7 +10,7 @@ propagation work did each shard do, and how quickly were faults dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -23,6 +23,11 @@ class ShardStats:
     events_propagated: int = 0     #: gate evaluations during fault propagation
     patterns_simulated: int = 0    #: patterns this shard actually consumed
     wall_time: float = 0.0         #: seconds spent inside the shard worker
+    retries: int = 0               #: rounds re-executed after a failure
+    timeouts: int = 0              #: attempts that exceeded the shard timeout
+    failures: int = 0              #: attempts lost to crashes/errors/corruption
+    rounds_resumed: int = 0        #: rounds replayed from a checkpoint journal
+    degraded_reason: Optional[str] = None  #: why the shard fell back in-process
 
     @property
     def patterns_per_second(self) -> float:
@@ -30,6 +35,12 @@ class ShardStats:
         if self.wall_time <= 0.0:
             return 0.0
         return self.patterns_simulated / self.wall_time
+
+    @property
+    def degraded(self) -> bool:
+        """True when the shard exhausted its retry budget and some of its
+        rounds ran serially in the parent process instead."""
+        return self.degraded_reason is not None
 
     def absorb(self, events: int, patterns: int, wall: float, dropped: int) -> None:
         """Fold one round's worker measurements into the totals."""
@@ -47,4 +58,9 @@ class ShardStats:
             "patterns_simulated": self.patterns_simulated,
             "wall_time": self.wall_time,
             "patterns_per_second": self.patterns_per_second,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "rounds_resumed": self.rounds_resumed,
+            "degraded_reason": self.degraded_reason,
         }

@@ -7,6 +7,12 @@ for a fast smoke pass; ``--jobs N`` shards fault simulation over N worker
 processes (bit-identical results, see ``docs/ENGINE.md``); ``--seed N``
 changes the random-pattern seed; ``--json`` additionally writes
 ``table1.json``/``table2.json`` machine-readable artifacts.
+
+Long Table 2 measurements are resumable: ``--checkpoint-dir DIR``
+journals completed fault-simulation shard rounds (default
+``<outdir>/checkpoints`` when ``--resume`` is given), and ``--resume``
+replays the journal so an interrupted run picks up from the last
+completed shard instead of restarting from zero.
 """
 
 from __future__ import annotations
@@ -40,10 +46,19 @@ def main(argv=None) -> int:
                         help="random-pattern seed for Table 2")
     parser.add_argument("--json", action="store_true",
                         help="also write table1.json / table2.json")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="journal completed fault-sim shard rounds "
+                             "under this directory (resumable runs)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay journaled shard rounds from the "
+                             "checkpoint directory instead of re-running")
     args = parser.parse_args(argv)
 
     outdir = pathlib.Path(args.outdir)
     outdir.mkdir(exist_ok=True)
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.resume:
+        checkpoint_dir = str(outdir / "checkpoints")
 
     def write(name: str, text: str) -> None:
         (outdir / name).write_text(text + "\n")
@@ -59,7 +74,7 @@ def main(argv=None) -> int:
     n_seeds = 1 if args.quick else 3
     columns = table2_columns(
         max_patterns=max_patterns, seed=args.seed, n_seeds=n_seeds,
-        jobs=args.jobs,
+        jobs=args.jobs, checkpoint_dir=checkpoint_dir, resume=args.resume,
     )
     write("table2_full.txt", render_table2(columns))
     if args.json:

@@ -73,12 +73,18 @@ def measure_circuit(
     n_seeds: int = 3,
     jobs: Optional[int] = None,
     cache: Optional["GoldenCache"] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    **engine_options,
 ) -> Table2Column:
     """Run the full Table 2 measurement for one circuit.
 
     ``jobs`` shards every kernel's fault simulation over worker processes;
     ``cache`` reuses golden batches between the BIBS and KA evaluations of
     a kernel (same netlist + stream) and across repeated measurements.
+    ``checkpoint_dir`` journals every kernel run's completed shard rounds,
+    and ``resume=True`` replays them — an interrupted Table 2 measurement
+    restarts from the last completed shard round instead of from zero.
     """
     compiled = all_filters()[name]
     comparison = compare_tdms(
@@ -89,6 +95,9 @@ def measure_circuit(
         n_seeds=n_seeds,
         jobs=jobs,
         cache=cache,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        **engine_options,
     )
     bibs, ka = comparison.bibs, comparison.ka
     return Table2Column(
@@ -112,13 +121,27 @@ def table2_columns(
     seed: int = 1994,
     n_seeds: int = 3,
     jobs: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    **engine_options,
 ) -> List[Table2Column]:
-    """Measure every circuit, sharing one golden-run cache across them."""
+    """Measure every circuit, sharing one golden-run cache across them.
+
+    The shared cache bounds per-entry golden-batch retention: a full-budget
+    run holds 2^17/256 = 512 batches of every-net packed values *per
+    kernel stream*, which across three circuits, two TDMs and three seeds
+    is the dominant memory cost of the sweep — so only a recent window is
+    kept (evicted batches recompute from the pure pattern stream on the
+    rare re-read).
+    """
     from repro.engine import GoldenCache
 
-    cache = GoldenCache(max_entries=16)
+    cache = GoldenCache(max_entries=16, max_batches_per_entry=64)
     return [
-        measure_circuit(c, max_patterns, seed, n_seeds, jobs=jobs, cache=cache)
+        measure_circuit(
+            c, max_patterns, seed, n_seeds, jobs=jobs, cache=cache,
+            checkpoint_dir=checkpoint_dir, resume=resume, **engine_options,
+        )
         for c in circuits
     ]
 

@@ -151,6 +151,9 @@ class FaultSimulator:
         drop_detected: bool = True,
         jobs: Optional[int] = None,
         cache: Optional["object"] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        **engine_options,
     ) -> FaultSimResult:
         """Simulate up to ``max_patterns`` patterns against the fault list.
 
@@ -164,7 +167,11 @@ class FaultSimulator:
         (see :func:`repro.engine.simulate`); results are bit-identical to
         the serial path.  ``cache`` optionally supplies a
         :class:`repro.engine.GoldenCache` so fault-free batch evaluations
-        are shared across shards and repeated runs.
+        are shared across shards and repeated runs.  ``checkpoint_dir`` /
+        ``resume`` journal completed shard rounds and replay them after an
+        interruption; remaining ``engine_options`` (``shard_timeout``,
+        ``max_retries``, ``retry_backoff``, ``chaos``) pass through to the
+        engine's fault-tolerance machinery.
         """
         from repro.engine import simulate
 
@@ -179,6 +186,9 @@ class FaultSimulator:
             stop_when_complete=stop_when_complete,
             drop_detected=drop_detected,
             simulator=self,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            **engine_options,
         )
 
     def detects(self, fault: Fault, pattern: Sequence[int]) -> bool:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 from typing import List, Tuple
 
@@ -9,6 +10,24 @@ import pytest
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
+
+try:  # pragma: no cover - hypothesis is in the [test] extra, but optional
+    from hypothesis import HealthCheck, settings
+
+    # CI pins a profile (plus --hypothesis-seed) for deterministic runs;
+    # the nightly profile searches much harder with a fresh seed.
+    settings.register_profile(
+        "ci", max_examples=40, deadline=None, derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "nightly", max_examples=400, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", max_examples=30, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover
+    pass
 
 
 def make_random_netlist(

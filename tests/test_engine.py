@@ -249,9 +249,89 @@ def test_cache_lru_bound():
     assert cache.counters()["batch_entries"] == 2
 
 
+def test_cache_hit_miss_eviction_counts():
+    """The LRU bound is enforced and observable: four distinct entries
+    through a 2-entry cache evict twice; a re-read of an evicted entry is
+    a miss (and a third eviction), a re-read of a live one is a hit."""
+    cache = GoldenCache(max_entries=2)
+    netlists = [make_random_netlist(4, 10, seed=s) for s in range(4)]
+    source = lambda: RandomPatternSource(4, seed=1)  # noqa: E731
+    for netlist in netlists:
+        simulate(netlist, None, source(), max_patterns=16,
+                 batch_width=16, cache=cache)
+    counters = cache.counters()
+    assert counters["misses"] == 4
+    assert counters["evictions"] == 2
+    assert counters["batch_entries"] == 2
+
+    # netlists[0] was evicted -> miss + another eviction.
+    simulate(netlists[0], None, source(), max_patterns=16,
+             batch_width=16, cache=cache)
+    assert cache.counters()["misses"] == 5
+    assert cache.counters()["evictions"] == 3
+    # netlists[0] is now resident -> hit, nothing evicted.
+    simulate(netlists[0], None, source(), max_patterns=16,
+             batch_width=16, cache=cache)
+    assert cache.counters()["hits"] == 1
+    assert cache.counters()["evictions"] == 3
+
+
+def test_cache_memo_bound_and_evictions():
+    cache = GoldenCache(max_entries=4, max_memo_entries=2)
+    for i in range(5):
+        cache.put(("memo", i), i)
+    assert cache.counters()["memo_entries"] == 2
+    assert cache.counters()["evictions"] == 3
+    assert cache.get(("memo", 4)) == 4
+    assert cache.get(("memo", 0)) is None  # evicted
+
+
+def test_golden_batches_window_bounds_memory():
+    """max_batches_per_entry keeps only a window of golden batches; evicted
+    batches recompute from the (pure) stream with identical values."""
+    from repro.engine import GoldenBatches
+    from repro.netlist.evaluate import Evaluator
+
+    netlist = make_random_netlist(4, 12, seed=5)
+    source = RandomPatternSource(4, seed=3)
+    unbounded = GoldenBatches(Evaluator(netlist), source, 16)
+    reference = [dict(unbounded.golden_batch(i)) for i in range(6)]
+
+    bounded = GoldenBatches(
+        Evaluator(netlist), RandomPatternSource(4, seed=3), 16,
+        max_cached_batches=2,
+    )
+    for index in range(6):
+        assert bounded.golden_batch(index) == reference[index]
+        assert bounded.n_cached_batches <= 2
+    assert bounded.evictions > 0
+    # Re-reading an evicted early batch restarts the stream, recomputes,
+    # and still agrees bit for bit.
+    assert bounded.golden_batch(0) == reference[0]
+    assert bounded.recomputes == 1
+    assert bounded.golden_batch(5) == reference[5]
+
+    with pytest.raises(ValueError):
+        GoldenBatches(Evaluator(netlist), source, 16, max_cached_batches=0)
+
+
+def test_bounded_cache_end_to_end_matches_unbounded():
+    netlist = make_random_netlist(5, 25, seed=6)
+    source = lambda: RandomPatternSource(5, seed=11)  # noqa: E731
+    plain = simulate(netlist, None, source(), max_patterns=128,
+                     batch_width=16, cache=GoldenCache())
+    bounded = simulate(netlist, None, source(), max_patterns=128,
+                       batch_width=16,
+                       cache=GoldenCache(max_batches_per_entry=2))
+    assert bounded.first_detection == plain.first_detection
+    assert bounded.n_patterns == plain.n_patterns
+
+
 def test_cache_rejects_nonpositive_bound():
     with pytest.raises(ValueError):
         GoldenCache(max_entries=0)
+    with pytest.raises(ValueError):
+        GoldenCache(max_memo_entries=0)
 
 
 # ------------------------------------------------------- instrumentation
@@ -288,7 +368,18 @@ def test_instrumentation_serial_and_parallel():
         assert set(shard) == {
             "shard", "n_faults", "faults_dropped", "events_propagated",
             "patterns_simulated", "wall_time", "patterns_per_second",
+            "retries", "timeouts", "failures", "rounds_resumed",
+            "degraded_reason",
         }
+        # A healthy run exercises none of the recovery machinery (unless
+        # ambient chaos is injecting failures on purpose — the recovery
+        # *results* are still checked above either way).
+        if not os.environ.get("REPRO_CHAOS"):
+            assert shard["retries"] == 0
+            assert shard["timeouts"] == 0
+            assert shard["failures"] == 0
+            assert shard["rounds_resumed"] == 0
+            assert shard["degraded_reason"] is None
 
 
 def test_sequence_source_round_trip_through_engine():

@@ -1,0 +1,255 @@
+"""Chaos suite: the parallel engine under injected worker failure.
+
+Every test drives :func:`repro.engine.simulate` with a deterministic
+:class:`FaultInjector` plan — crash a shard worker mid-round, hang it past
+the shard timeout, corrupt its result payload, exhaust its retry budget —
+and asserts the merged results are bit-identical to the serial ``jobs=1``
+run on the paper's bundled circuits (figure 4, figure 9, c3a2m).  The
+checkpoint tests interrupt a run mid-way with ``abort`` chaos and verify
+that ``resume=True`` replays the journal instead of re-running completed
+shard rounds (observed through ``ShardStats.rounds_resumed``).
+
+Run the whole engine suite under ambient chaos locally with e.g.::
+
+    REPRO_CHAOS=crash:1 PYTHONPATH=src python -m pytest tests/test_engine.py
+
+See ``docs/TESTING.md`` for the full spec grammar.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import (
+    ChaosError,
+    ChaosInterrupt,
+    FaultInjector,
+    simulate,
+)
+from repro.engine.chaos import CHAOS_ENV_VAR
+from repro.errors import SimulationError
+from repro.faultsim.collapse import collapse_faults
+from repro.faultsim.patterns import RandomPatternSource
+from tests.test_engine import (
+    JOBS,
+    assert_identical,
+    c3a2m_netlists,
+    figure4_netlists,
+    figure9_netlists,
+)
+
+CIRCUITS = [figure4_netlists, figure9_netlists, c3a2m_netlists]
+CIRCUIT_IDS = ["figure4", "figure9", "c3a2m"]
+
+
+def _kernel_run(netlist, *, jobs, max_patterns=1 << 9, **options):
+    faults, _ = collapse_faults(netlist)
+    if len(faults) > 120:
+        faults = faults[::7]
+    source = RandomPatternSource(len(netlist.primary_inputs), seed=7)
+    return simulate(
+        netlist, faults, source,
+        max_patterns=max_patterns, jobs=jobs, stop_when_complete=False,
+        **options,
+    )
+
+
+# --------------------------------------------------------- injector parsing
+
+def test_injector_parse_round_trips():
+    injector = FaultInjector.parse("delay:2:round=1:times=3:seconds=0.25")
+    assert injector == FaultInjector(
+        mode="delay", shard=2, round_index=1, times=3, seconds=0.25
+    )
+    assert FaultInjector.parse("crash:0") == FaultInjector(mode="crash", shard=0)
+
+
+def test_injector_parse_rejects_garbage():
+    with pytest.raises(SimulationError):
+        FaultInjector.parse("meltdown:0")
+    with pytest.raises(SimulationError):
+        FaultInjector.parse("crash")
+    with pytest.raises(SimulationError):
+        FaultInjector.parse("crash:0:bogus=1")
+
+
+def test_injector_from_env(monkeypatch):
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+    assert FaultInjector.from_env() is None
+    monkeypatch.setenv(CHAOS_ENV_VAR, "raise:1:times=2")
+    injector = FaultInjector.from_env()
+    assert injector.mode == "raise" and injector.shard == 1
+    assert injector.times == 2
+
+
+def test_injector_fires_only_on_target():
+    injector = FaultInjector(mode="raise", shard=1, round_index=2, times=2)
+    assert injector.fires(1, 2, 0) and injector.fires(1, 2, 1)
+    assert not injector.fires(1, 2, 2)  # retry budget: attempt 2 succeeds
+    assert not injector.fires(0, 2, 0)
+    assert not injector.fires(1, 1, 0)
+
+
+# ----------------------------------------- bit-identical under any failure
+
+@pytest.mark.parametrize("build", CIRCUITS, ids=CIRCUIT_IDS)
+@pytest.mark.parametrize("mode", ["crash", "raise", "corrupt"])
+def test_single_shard_failure_is_bit_identical_to_serial(build, mode):
+    """Acceptance: with chaos crashing any single shard, jobs=N results
+    equal serial on the bundled circuits."""
+    name, netlists = build()
+    assert netlists, f"{name}: no logic kernels"
+    netlist = netlists[0]
+    serial = _kernel_run(netlist, jobs=1)
+    chaotic = _kernel_run(
+        netlist, jobs=JOBS,
+        chaos=FaultInjector(mode=mode, shard=JOBS - 1),
+    )
+    assert_identical(serial, chaotic)
+    stats = chaotic.shards
+    assert sum(s.retries for s in stats) >= 1
+    assert sum(s.failures for s in stats) >= 1
+    assert all(not s.degraded for s in stats)
+
+
+@pytest.mark.parametrize("build", CIRCUITS, ids=CIRCUIT_IDS)
+def test_hung_shard_times_out_and_retries(build):
+    name, netlists = build()
+    netlist = netlists[0]
+    serial = _kernel_run(netlist, jobs=1)
+    chaotic = _kernel_run(
+        netlist, jobs=JOBS, shard_timeout=0.5,
+        chaos=FaultInjector(mode="delay", shard=0, seconds=5.0),
+    )
+    assert_identical(serial, chaotic)
+    stats = chaotic.shards
+    assert sum(s.timeouts for s in stats) >= 1
+    assert sum(s.retries for s in stats) >= 1
+
+
+def test_exhausted_retries_degrade_to_in_process_serial():
+    """A shard that fails on every attempt is re-run in-process; results
+    still match serial and the degradation is visible in the stats."""
+    _, netlists = figure4_netlists()
+    netlist = netlists[0]
+    serial = _kernel_run(netlist, jobs=1)
+    chaotic = _kernel_run(
+        netlist, jobs=JOBS, max_retries=2,
+        chaos=FaultInjector(mode="raise", shard=1, times=10),
+    )
+    assert_identical(serial, chaotic)
+    stats = chaotic.shards
+    degraded = [s for s in stats if s.degraded]
+    assert [s.shard for s in degraded] == [1]
+    assert degraded[0].degraded_reason is not None
+    assert chaotic.degraded_shards == [1]
+
+
+def test_corruption_is_detected_not_merged():
+    """A corrupted shard payload must never reach the merge: the checksum
+    rejects it, the retry succeeds, and results stay exact."""
+    _, netlists = figure9_netlists()
+    netlist = netlists[0]
+    serial = _kernel_run(netlist, jobs=1)
+    chaotic = _kernel_run(
+        netlist, jobs=2,
+        chaos=FaultInjector(mode="corrupt", shard=0),
+    )
+    assert_identical(serial, chaotic)
+    assert sum(s.failures for s in chaotic.shards) == 1
+
+
+def test_ambient_chaos_env_var(monkeypatch):
+    """REPRO_CHAOS drives injection without any code change."""
+    _, netlists = figure4_netlists()
+    netlist = netlists[0]
+    serial = _kernel_run(netlist, jobs=1)
+    monkeypatch.setenv(CHAOS_ENV_VAR, "raise:0")
+    chaotic = _kernel_run(netlist, jobs=2)
+    assert_identical(serial, chaotic)
+    assert sum(s.retries for s in chaotic.shards) == 1
+
+
+# --------------------------------------------------------- checkpoint/resume
+
+def test_interrupted_parallel_run_resumes_from_journal(tmp_path):
+    """Acceptance: an interrupted run re-invoked with resume=True completes
+    without re-running journaled shard rounds."""
+    _, netlists = figure4_netlists()
+    netlist = netlists[0]
+    ckpt = str(tmp_path / "journal")
+    options = dict(jobs=2, checkpoint_dir=ckpt, chunk_batches=1,
+                   max_patterns=1 << 10)
+
+    reference = _kernel_run(netlist, jobs=1, max_patterns=1 << 10)
+    with pytest.raises(ChaosInterrupt):
+        _kernel_run(
+            netlist, chaos=FaultInjector(mode="abort", shard=0), **options
+        )
+
+    resumed = _kernel_run(netlist, resume=True, **options)
+    assert_identical(reference, resumed)
+    stats = resumed.shards
+    # Both shards replay their journaled round-0 records without touching
+    # a worker; later rounds execute normally.
+    assert [s.rounds_resumed for s in stats] == [1, 1]
+    assert resumed.rounds_resumed == 2
+    assert sum(s.retries for s in stats) == 0
+
+
+def test_resume_false_clears_stale_journal(tmp_path):
+    _, netlists = figure4_netlists()
+    netlist = netlists[0]
+    ckpt = str(tmp_path / "journal")
+    options = dict(jobs=2, checkpoint_dir=ckpt, chunk_batches=1,
+                   max_patterns=1 << 10)
+    with pytest.raises(ChaosInterrupt):
+        _kernel_run(
+            netlist, chaos=FaultInjector(mode="abort", shard=0), **options
+        )
+    fresh = _kernel_run(netlist, resume=False, **options)
+    assert fresh.rounds_resumed == 0
+
+
+def test_interrupted_serial_run_resumes_from_journal(tmp_path):
+    _, netlists = figure9_netlists()
+    netlist = netlists[0]
+    ckpt = str(tmp_path / "journal")
+    options = dict(jobs=1, checkpoint_dir=ckpt, max_patterns=1 << 10)
+
+    reference = _kernel_run(netlist, jobs=1, max_patterns=1 << 10)
+    with pytest.raises(ChaosInterrupt):
+        _kernel_run(
+            netlist, chaos=FaultInjector(mode="abort", shard=1), **options
+        )
+    resumed = _kernel_run(netlist, resume=True, **options)
+    assert_identical(reference, resumed)
+    assert resumed.rounds_resumed >= 2
+
+
+def test_journal_is_keyed_by_run_parameters(tmp_path):
+    """A journal written for one pattern budget must not be replayed into
+    a run with a different one — the run key separates them."""
+    _, netlists = figure4_netlists()
+    netlist = netlists[0]
+    ckpt = str(tmp_path / "journal")
+    with pytest.raises(ChaosInterrupt):
+        _kernel_run(
+            netlist, jobs=2, checkpoint_dir=ckpt, chunk_batches=1,
+            max_patterns=1 << 10,
+            chaos=FaultInjector(mode="abort", shard=0),
+        )
+    other = _kernel_run(
+        netlist, jobs=2, checkpoint_dir=ckpt, chunk_batches=1,
+        max_patterns=1 << 9, resume=True,
+    )
+    assert other.rounds_resumed == 0
+    reference = _kernel_run(netlist, jobs=1, max_patterns=1 << 9)
+    assert_identical(reference, other)
+
+
+def test_chaos_error_is_a_simulation_error():
+    assert issubclass(ChaosError, SimulationError)
+    assert issubclass(ChaosInterrupt, RuntimeError)
