@@ -1,0 +1,170 @@
+"""Record engine benchmark numbers as a committed ``BENCH_engine.json``.
+
+``python benchmarks/record.py`` re-measures the engine's standing
+scenarios (currently the c3a2m multiplier kernel, serial and sharded),
+verifies the runs are bit-identical, and rewrites the snapshot at the
+repository root.  The file is committed so benchmark history travels with
+the code: every entry carries the ``git describe`` of the tree that
+produced it, and a reviewer can diff throughput claims the same way they
+diff code.
+
+Each entry is flat and stable by design::
+
+    {"scenario": "c3a2m_kernel", "jobs": 2, "wall_time": 1.23,
+     "patterns_per_second": 1660.0, "n_patterns": 2048,
+     "n_faults": 174, "coverage": 0.994, "git": "c4cfedf"}
+
+Absolute numbers are machine-dependent — compare entries recorded on one
+machine, or the serial/sharded ratio, not snapshots across hosts.  Run
+with ``REPRO_TELEMETRY=1`` (or pass ``--trace-out``) to also get a Chrome
+trace of the measured runs (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.core.flow import lower_kernel_to_netlist  # noqa: E402
+from repro.core.ka85 import make_ka_testable  # noqa: E402
+from repro.datapath.filters import c3a2m  # noqa: E402
+from repro.engine import GoldenCache, simulate  # noqa: E402
+from repro.faultsim.patterns import RandomPatternSource  # noqa: E402
+from repro.graph.build import build_circuit_graph  # noqa: E402
+
+BENCH_KIND = "bench-engine"
+BENCH_VERSION = 1
+
+
+def c3a2m_kernel_netlist():
+    """The c3a2m multiplier kernel, lowered — the standing scenario."""
+    compiled = c3a2m()
+    design = make_ka_testable(build_circuit_graph(compiled.circuit)).design
+    kernel = next(
+        k for k in design.kernels
+        if any(b.startswith("M") for b in k.logic_blocks)
+    )
+    return lower_kernel_to_netlist(compiled.circuit, kernel)
+
+
+SCENARIOS = {
+    "c3a2m_kernel": c3a2m_kernel_netlist,
+}
+
+
+def measure(
+    scenario: str,
+    netlist,
+    jobs: int,
+    max_patterns: int,
+    seed: int,
+    cache: Optional[GoldenCache] = None,
+) -> Dict[str, Any]:
+    """One benchmark entry: run the scenario at a job level and time it."""
+    source = RandomPatternSource(len(netlist.primary_inputs), seed=seed)
+    start = time.perf_counter()
+    result = simulate(
+        netlist, None, source,
+        max_patterns=max_patterns, jobs=jobs, cache=cache,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "scenario": scenario,
+        "jobs": jobs,
+        "wall_time": wall,
+        "patterns_per_second": result.n_patterns / wall if wall else None,
+        "n_patterns": result.n_patterns,
+        "n_faults": result.n_faults,
+        "coverage": result.coverage(),
+        "git": telemetry.git_describe(cwd=str(REPO_ROOT)),
+        "_result": result,  # stripped before writing; used for equivalence
+    }
+
+
+def record(
+    job_levels: List[int],
+    max_patterns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Measure every scenario at every job level; assert bit-identity."""
+    entries: List[Dict[str, Any]] = []
+    for scenario, build in sorted(SCENARIOS.items()):
+        netlist = build()
+        cache = GoldenCache()
+        baseline = None
+        for jobs in job_levels:
+            entry = measure(
+                scenario, netlist, jobs, max_patterns, seed, cache=cache
+            )
+            result = entry.pop("_result")
+            if baseline is None:
+                baseline = result
+            elif (result.first_detection != baseline.first_detection
+                  or result.n_patterns != baseline.n_patterns):
+                raise AssertionError(
+                    f"{scenario}: jobs={jobs} diverged from serial — "
+                    "refusing to record a broken engine"
+                )
+            entries.append(entry)
+    return {
+        "kind": BENCH_KIND,
+        "version": BENCH_VERSION,
+        "git": telemetry.git_describe(cwd=str(REPO_ROOT)),
+        "recorded": time.time(),
+        "config": {
+            "max_patterns": max_patterns,
+            "seed": seed,
+            "job_levels": job_levels,
+        },
+        "entries": entries,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/record.py",
+        description="record engine benchmark numbers as BENCH_engine.json",
+    )
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_engine.json"),
+                        help="snapshot path (default: repo root)")
+    parser.add_argument("--jobs", default="1,2",
+                        help="comma-separated job levels (default: 1,2)")
+    parser.add_argument("--max-patterns", type=int, default=2048)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="enable telemetry and write a Chrome trace of "
+                             "the measured runs")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress text")
+    args = parser.parse_args(argv)
+
+    if args.trace_out:
+        telemetry.enable()
+    job_levels = sorted({int(level) for level in args.jobs.split(",")})
+    payload = record(job_levels, args.max_patterns, args.seed)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if args.trace_out:
+        manifest = telemetry.RunManifest.collect(config=payload["config"])
+        telemetry.export.write_trace(args.trace_out, manifest=manifest)
+    if not args.quiet:
+        for entry in payload["entries"]:
+            pps = entry["patterns_per_second"]
+            rate = f" ({pps:,.0f} patterns/s)" if pps else ""
+            print(f"{entry['scenario']} jobs={entry['jobs']}: "
+                  f"{entry['wall_time']:.3f}s{rate}")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

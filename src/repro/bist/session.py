@@ -227,6 +227,17 @@ class BISTSession:
         cached = self.cache.get(key)
         if cached is not None:
             return dict(cached)
+        from repro import telemetry
+
+        with telemetry.span(
+            "session.golden_signatures",
+            kernel=self.kernel.name, cycles=cycles,
+        ):
+            return self._compute_golden_signatures(cycles, streams, key)
+
+    def _compute_golden_signatures(
+        self, cycles: int, streams: Dict[str, List[int]], key: Tuple
+    ) -> Dict[str, int]:
         pi_defaults = self._pi_defaults()
         tpg_registers = set(self.kernel.tpg_registers)
         misr_states = {name: 0 for name in self._misrs}
@@ -260,6 +271,20 @@ class BISTSession:
         The golden machine comes from the cached :meth:`golden_signatures`
         run, so every pass packs ``machines_per_pass`` *faulty* machines.
         """
+        from repro import telemetry
+
+        with telemetry.span(
+            "session.run",
+            kernel=self.kernel.name, cycles=cycles, n_faults=len(faults),
+        ):
+            return self._run(cycles, faults, machines_per_pass)
+
+    def _run(
+        self,
+        cycles: int,
+        faults: Sequence[Fault],
+        machines_per_pass: int,
+    ) -> SessionResult:
         streams = self.tpg.register_streams(cycles, seed=self.seed)
         pi_defaults = self._pi_defaults()
         tpg_registers = set(self.kernel.tpg_registers)
@@ -338,34 +363,43 @@ class BISTSession:
         ``engine_options`` (``shard_timeout``, ``max_retries``, ``chaos``,
         ...) reach the engine's fault-tolerance layer unchanged.
         """
+        from repro import telemetry
         from repro.core.flow import lower_kernel_to_netlist
         from repro.engine import simulate
         from repro.faultsim.patterns import SequencePatternSource
 
-        netlist = lower_kernel_to_netlist(self.circuit, self.kernel)
         n = max_patterns if max_patterns is not None else self.recommended_cycles()
-        streams = self.tpg.register_streams(n, seed=self.seed)
-        names = sorted(self.kernel.tpg_registers)
-        widths = [self.circuit.registers[name].width for name in names]
-        patterns = []
-        for t in range(n):
-            bits: List[int] = []
-            for name, width in zip(names, widths):
-                word = streams[name][t]
-                bits.extend((word >> position) & 1 for position in range(width))
-            patterns.append(tuple(bits))
-        source = SequencePatternSource(patterns)
-        return simulate(
-            netlist,
-            faults,
-            source,
+        with telemetry.span(
+            "session.pattern_coverage",
+            kernel=self.kernel.name,
             max_patterns=n,
-            jobs=jobs,
-            cache=cache if cache is not None else self.cache,
-            checkpoint_dir=checkpoint_dir,
-            resume=resume,
-            **engine_options,
-        )
+            jobs=jobs if jobs is not None else 1,
+        ):
+            netlist = lower_kernel_to_netlist(self.circuit, self.kernel)
+            streams = self.tpg.register_streams(n, seed=self.seed)
+            names = sorted(self.kernel.tpg_registers)
+            widths = [self.circuit.registers[name].width for name in names]
+            patterns = []
+            for t in range(n):
+                bits: List[int] = []
+                for name, width in zip(names, widths):
+                    word = streams[name][t]
+                    bits.extend(
+                        (word >> position) & 1 for position in range(width)
+                    )
+                patterns.append(tuple(bits))
+            source = SequencePatternSource(patterns)
+            return simulate(
+                netlist,
+                faults,
+                source,
+                max_patterns=n,
+                jobs=jobs,
+                cache=cache if cache is not None else self.cache,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                **engine_options,
+            )
 
     def aliasing_study(
         self, cycles: int, faults: Sequence[Fault]

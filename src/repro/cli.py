@@ -7,10 +7,12 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
     python -m repro bibs     circuit.json [--method exact|greedy|auto] [--json]
     python -m repro tpg      circuit.json [--kernel N] [--json]
     python -m repro selftest circuit.json [--cycles N] [--max-faults N]
-                             [--jobs N] [--seed N] [--json]
+                             [--jobs N] [--seed N] [--json] [--quiet]
                              [--checkpoint-dir DIR] [--resume]
                              [--shard-timeout S]
+                             [--trace-out FILE] [--metrics-out FILE]
     python -m repro export   {c5a2m,c3a2m,c4a4m,figure4,figure9,mac4} out.json
+    python -m repro telemetry view FILE [--quiet]
 
 ``export`` writes the built-in circuits so every other command has
 something to chew on out of the box.  Every subcommand accepts ``--json``
@@ -18,6 +20,14 @@ and then emits a single machine-readable object on stdout (results use the
 unified ``to_json()`` surface of :mod:`repro.results`).  ``selftest
 --jobs N`` shards the per-pattern engine run over N worker processes (see
 ``docs/ENGINE.md``); ``--seed`` sets the TPG seed.
+
+``--trace-out`` / ``--metrics-out`` enable :mod:`repro.telemetry` for the
+run and write a Chrome ``trace_event`` file (open in ``chrome://tracing``
+or Perfetto) and a Prometheus text-format metrics file.  ``telemetry
+view`` inspects and validates any artifact the suite writes — a trace, a
+run manifest, or a metrics file — and exits non-zero when the artifact is
+malformed (the CI telemetry job is built on this).  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -43,6 +53,26 @@ def _load(path: str):
 
 def _emit_json(payload: Dict[str, Any]) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _progress(args, text: str) -> None:
+    """Print progress text unless ``--quiet`` asked for silence."""
+    if not getattr(args, "quiet", False):
+        print(text)
+
+
+def _write_telemetry_artifacts(args, config: Dict[str, Any],
+                               shards: Optional[List[Dict[str, Any]]] = None) -> None:
+    """Write ``--trace-out`` / ``--metrics-out`` files for the current run."""
+    from repro import telemetry
+
+    manifest = telemetry.RunManifest.collect(config=config, shards=shards)
+    if args.trace_out:
+        telemetry.export.write_trace(args.trace_out, manifest=manifest)
+        _progress(args, f"wrote trace to {args.trace_out}")
+    if args.metrics_out:
+        telemetry.export.write_metrics(args.metrics_out)
+        _progress(args, f"wrote metrics to {args.metrics_out}")
 
 
 def cmd_analyze(args) -> int:
@@ -197,6 +227,10 @@ def cmd_selftest(args) -> int:
         print("error: --seed must be non-zero (an all-zero LFSR state "
               "never advances)", file=sys.stderr)
         return 2
+    if args.trace_out or args.metrics_out:
+        from repro import telemetry
+
+        telemetry.enable()
     circuit, graph = _load(args.circuit)
     design = make_bibs_testable(graph)
     kernel = next(k for k in design.kernels if k.logic_blocks)
@@ -220,6 +254,19 @@ def cmd_selftest(args) -> int:
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
             shard_timeout=args.shard_timeout,
         )
+    if args.trace_out or args.metrics_out:
+        shards = None
+        if pattern_result is not None:
+            shards = [shard.to_json() for shard in pattern_result.shards]
+        _write_telemetry_artifacts(
+            args,
+            config={
+                "command": "selftest", "circuit": circuit.name,
+                "kernel": kernel.name, "cycles": cycles, "seed": args.seed,
+                "jobs": args.jobs, "max_faults": args.max_faults,
+            },
+            shards=shards,
+        )
     if args.json:
         payload = result.to_json()
         payload["circuit"] = circuit.name
@@ -229,16 +276,16 @@ def cmd_selftest(args) -> int:
             payload["pattern_coverage"] = pattern_result.to_json()
         _emit_json(payload)
         return 0
-    print(f"session: {cycles} cycles, {len(faults)} kernel faults")
+    _progress(args, f"session: {cycles} cycles, {len(faults)} kernel faults")
     for name, signature in result.golden_signatures.items():
-        print(f"  golden signature {name}: {signature:#x}")
-    print(f"  detected {len(result.detected)} "
-          f"({100 * result.coverage:.1f}% of the fault cone)")
+        _progress(args, f"  golden signature {name}: {signature:#x}")
+    _progress(args, f"  detected {len(result.detected)} "
+                    f"({100 * result.coverage:.1f}% of the fault cone)")
     if pattern_result is not None:
-        print(f"  per-pattern (pre-MISR) coverage: "
-              f"{100 * pattern_result.coverage():.1f}% over "
-              f"{pattern_result.n_patterns} patterns "
-              f"[engine, jobs={args.jobs}]")
+        _progress(args, f"  per-pattern (pre-MISR) coverage: "
+                        f"{100 * pattern_result.coverage():.1f}% over "
+                        f"{pattern_result.n_patterns} patterns "
+                        f"[engine, jobs={args.jobs}]")
     return 0
 
 
@@ -263,6 +310,94 @@ def cmd_export(args) -> int:
         return 0
     print(f"wrote {args.name} to {args.output}")
     return 0
+
+
+def cmd_telemetry(args) -> int:
+    """Inspect and validate a telemetry artifact (``telemetry view``).
+
+    Detects the format from the content — a Chrome ``trace_event`` file, a
+    run manifest, or a Prometheus text-format metrics file — and emits one
+    JSON summary through :func:`_emit_json`.  Exits 1 when the artifact is
+    structurally invalid, which is what the CI telemetry job keys on.
+    """
+    from repro.telemetry import export as tele_export
+    from repro.telemetry.manifest import MANIFEST_KIND, RunManifest
+
+    try:
+        with open(args.file) as handle:
+            text = handle.read()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        doc: Any = json.loads(text)
+    except ValueError:
+        doc = None
+
+    payload: Dict[str, Any] = {"kind": "telemetry-view", "file": args.file}
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        errors = tele_export.validate_chrome_trace(doc)
+        events = doc.get("traceEvents", [])
+        spans = [e for e in events
+                 if isinstance(e, dict) and e.get("ph") == "X"]
+        names: Dict[str, int] = {}
+        for event in spans:
+            name = event.get("name", "?")
+            names[name] = names.get(name, 0) + 1
+        payload.update({
+            "format": "chrome-trace",
+            "valid": not errors,
+            "errors": errors,
+            "n_events": len(events),
+            "n_spans": len(spans),
+            "span_names": names,
+            "pids": sorted({e.get("pid") for e in spans
+                            if isinstance(e.get("pid"), int)}),
+            "manifest": doc.get("otherData", {}).get("manifest") is not None,
+        })
+    elif isinstance(doc, dict) and doc.get("kind") == MANIFEST_KIND:
+        try:
+            manifest = RunManifest.from_json(doc)
+        except (ValueError, TypeError) as error:
+            payload.update({
+                "format": "run-manifest", "valid": False,
+                "errors": [str(error)],
+            })
+        else:
+            payload.update({
+                "format": "run-manifest",
+                "valid": True,
+                "errors": [],
+                "config_fingerprint": manifest.fingerprint,
+                "git": manifest.git,
+                "n_spans": len(manifest.spans),
+                "n_shards": len(manifest.shards),
+                "counters": manifest.metrics.get("counters", {}),
+            })
+    elif doc is None:
+        try:
+            samples = tele_export.parse_prometheus_text(text)
+        except ValueError as error:
+            payload.update({
+                "format": "prometheus", "valid": False,
+                "errors": [str(error)],
+            })
+        else:
+            payload.update({
+                "format": "prometheus",
+                "valid": True,
+                "errors": [],
+                "n_samples": len(samples),
+                "samples": samples,
+            })
+    else:
+        payload.update({
+            "format": "unknown", "valid": False,
+            "errors": ["unrecognized telemetry artifact"],
+        })
+    if not getattr(args, "quiet", False):
+        _emit_json(payload)
+    return 0 if payload["valid"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -313,6 +448,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-timeout", type=float, default=None,
                    help="seconds before a shard round is declared hung "
                         "and retried on a fresh worker")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="enable telemetry and write a Chrome trace_event "
+                        "file (chrome://tracing / Perfetto)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="enable telemetry and write a Prometheus "
+                        "text-format metrics file")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress text (exit code still reports "
+                        "the outcome)")
     add_json_flag(p)
     p.set_defaults(func=cmd_selftest)
 
@@ -322,13 +466,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output")
     add_json_flag(p)
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="inspect/validate telemetry artifacts (traces, metrics, "
+             "manifests)",
+    )
+    tele_sub = p.add_subparsers(dest="telemetry_command", required=True)
+    p = tele_sub.add_parser("view", help="summarize and validate one "
+                                         "telemetry artifact")
+    p.add_argument("file")
+    p.add_argument("--quiet", action="store_true",
+                   help="validate only; no output, just the exit code")
+    p.set_defaults(func=cmd_telemetry)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into head); not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

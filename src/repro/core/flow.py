@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.core.bibs import BIBSDesign, make_bibs_testable
 from repro.core.ka85 import make_ka_testable
 from repro.core.kernels import Kernel
@@ -189,44 +190,54 @@ def evaluate_design(
     """
     evaluations: List[KernelEvaluation] = []
     for kernel in design.kernels:
-        netlist = lower_kernel_to_netlist(circuit, kernel)
-        simulator = FaultSimulator(netlist, batch_width=batch_width)
-        per_seed: List[Dict[float, Optional[int]]] = []
-        first_result: Optional[FaultSimResult] = None
-        for round_index in range(max(1, n_seeds)):
-            source = RandomPatternSource(
-                len(netlist.primary_inputs), seed=seed + 7919 * round_index
-            )
-            result = simulator.run(
-                source, max_patterns, jobs=jobs, cache=cache,
-                checkpoint_dir=checkpoint_dir, resume=resume,
-                **engine_options,
-            )
-            if classify_undetected and result.undetected:
-                from repro.atpg.podem import classify_faults
-
-                redundant, _tests, _aborted = classify_faults(
-                    netlist, result.undetected
+        with telemetry.span(
+            "flow.evaluate_kernel",
+            circuit=circuit.name, kernel=kernel.name, n_seeds=max(1, n_seeds),
+        ):
+            netlist = lower_kernel_to_netlist(circuit, kernel)
+            simulator = FaultSimulator(netlist, batch_width=batch_width)
+            per_seed: List[Dict[float, Optional[int]]] = []
+            first_result: Optional[FaultSimResult] = None
+            for round_index in range(max(1, n_seeds)):
+                source = RandomPatternSource(
+                    len(netlist.primary_inputs), seed=seed + 7919 * round_index
                 )
-                result.merge_undetectable(redundant)
-            if first_result is None:
-                first_result = result
-            per_seed.append(
-                {
-                    target: result.patterns_for_coverage(target, of_detectable=True)
-                    for target in targets
-                }
+                result = simulator.run(
+                    source, max_patterns, jobs=jobs, cache=cache,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                    **engine_options,
+                )
+                if classify_undetected and result.undetected:
+                    from repro.atpg.podem import classify_faults
+
+                    with telemetry.span(
+                        "flow.classify_undetected",
+                        kernel=kernel.name, n_faults=len(result.undetected),
+                    ):
+                        redundant, _tests, _aborted = classify_faults(
+                            netlist, result.undetected
+                        )
+                    result.merge_undetectable(redundant)
+                if first_result is None:
+                    first_result = result
+                per_seed.append(
+                    {
+                        target: result.patterns_for_coverage(
+                            target, of_detectable=True
+                        )
+                        for target in targets
+                    }
+                )
+            patterns_at: Dict[float, Optional[int]] = {}
+            for target in targets:
+                counts = [row[target] for row in per_seed]
+                patterns_at[target] = (
+                    None if any(c is None for c in counts) else _median(counts)
+                )
+            assert first_result is not None
+            evaluations.append(
+                KernelEvaluation(kernel, netlist, first_result, patterns_at)
             )
-        patterns_at: Dict[float, Optional[int]] = {}
-        for target in targets:
-            counts = [row[target] for row in per_seed]
-            patterns_at[target] = (
-                None if any(c is None for c in counts) else _median(counts)
-            )
-        assert first_result is not None
-        evaluations.append(
-            KernelEvaluation(kernel, netlist, first_result, patterns_at)
-        )
     return DesignEvaluation(design, evaluations, tuple(targets))
 
 
@@ -252,17 +263,24 @@ def compare_tdms(
     **engine_options,
 ) -> TDMComparison:
     """Run both TDMs end to end on one circuit."""
-    graph = build_circuit_graph(circuit)
-    bibs_design = make_bibs_testable(graph)
-    ka_design = make_ka_testable(graph).design
-    bibs_eval = evaluate_design(
-        circuit, bibs_design, targets, max_patterns, seed,
-        n_seeds=n_seeds, jobs=jobs, cache=cache,
-        checkpoint_dir=checkpoint_dir, resume=resume, **engine_options,
-    )
-    ka_eval = evaluate_design(
-        circuit, ka_design, targets, max_patterns, seed,
-        n_seeds=n_seeds, jobs=jobs, cache=cache,
-        checkpoint_dir=checkpoint_dir, resume=resume, **engine_options,
-    )
+    with telemetry.span("flow.compare_tdms", circuit=circuit.name):
+        graph = build_circuit_graph(circuit)
+        bibs_design = make_bibs_testable(graph)
+        ka_design = make_ka_testable(graph).design
+        with telemetry.span("flow.evaluate_design", circuit=circuit.name,
+                            tdm="bibs"):
+            bibs_eval = evaluate_design(
+                circuit, bibs_design, targets, max_patterns, seed,
+                n_seeds=n_seeds, jobs=jobs, cache=cache,
+                checkpoint_dir=checkpoint_dir, resume=resume,
+                **engine_options,
+            )
+        with telemetry.span("flow.evaluate_design", circuit=circuit.name,
+                            tdm="ka85"):
+            ka_eval = evaluate_design(
+                circuit, ka_design, targets, max_patterns, seed,
+                n_seeds=n_seeds, jobs=jobs, cache=cache,
+                checkpoint_dir=checkpoint_dir, resume=resume,
+                **engine_options,
+            )
     return TDMComparison(circuit.name, bibs_eval, ka_eval)

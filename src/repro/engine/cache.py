@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
+from repro import telemetry
 from repro.faultsim.patterns import PatternSource, source_fingerprint
 from repro.netlist.evaluate import Evaluator
 from repro.netlist.netlist import Netlist
@@ -103,6 +104,7 @@ class GoldenBatches:
             ):
                 self._golden.popitem(last=False)
                 self.evictions += 1
+                telemetry.count("cache.batch_evictions")
         return values
 
 
@@ -159,9 +161,11 @@ class GoldenCache:
         entry = self._batches.get(key)
         if entry is not None:
             self.hits += 1
+            telemetry.count("cache.hits")
             self._batches.move_to_end(key)
             return entry
         self.misses += 1
+        telemetry.count("cache.misses")
         entry = GoldenBatches(
             evaluator if evaluator is not None else Evaluator(netlist),
             source,
@@ -172,6 +176,7 @@ class GoldenCache:
         while len(self._batches) > self.max_entries:
             self._batches.popitem(last=False)
             self.evictions += 1
+            telemetry.count("cache.evictions")
         return entry
 
     # -------------------------------------------------------- generic memo
@@ -180,9 +185,11 @@ class GoldenCache:
         """Look up a memoized value (None on miss); counts hit/miss."""
         if key in self._memo:
             self.hits += 1
+            telemetry.count("cache.hits")
             self._memo.move_to_end(key)
             return self._memo[key]
         self.misses += 1
+        telemetry.count("cache.misses")
         return None
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -192,6 +199,7 @@ class GoldenCache:
         while len(self._memo) > self.max_memo_entries:
             self._memo.popitem(last=False)
             self.evictions += 1
+            telemetry.count("cache.evictions")
 
     # ------------------------------------------------------------ counters
 

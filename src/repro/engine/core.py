@@ -38,10 +38,11 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import telemetry
 from repro.engine import checkpoint as checkpoint_io
 from repro.engine.cache import GoldenBatches, GoldenCache
 from repro.engine.chaos import ChaosInterrupt, FaultInjector
-from repro.engine.instrumentation import ShardStats
+from repro.engine.instrumentation import ShardStats, publish_engine_metrics
 from repro.errors import SimulationError
 from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.faults import Fault
@@ -144,7 +145,14 @@ _WORKER_SIMULATOR: Optional[FaultSimulator] = None
 def _init_worker(payload: bytes) -> None:
     """Build this worker process's simulator from the pickled netlist."""
     global _WORKER_SIMULATOR
-    netlist, batch_width = pickle.loads(payload)
+    netlist, batch_width, telemetry_on = pickle.loads(payload)
+    # Forked workers inherit the parent's span buffer and metrics; wipe
+    # them or every drain() would ship the parent's records back and the
+    # join would duplicate them.  Spawn-started workers don't inherit the
+    # parent's enable() call either way, so the init payload carries it.
+    telemetry.get_telemetry().reset()
+    if telemetry_on:
+        telemetry.enable()
     _WORKER_SIMULATOR = FaultSimulator(netlist, batch_width)
 
 
@@ -193,14 +201,16 @@ def _run_shard_round(
     round_index: int = 0,
     attempt: int = 0,
     injector: Optional[FaultInjector] = None,
-) -> Tuple[int, Dict[Fault, int], List[Fault], Dict[str, float], str]:
+) -> Tuple[int, Dict[Fault, int], List[Fault], Dict[str, float], str, List]:
     """Simulate one round of batches for one shard inside a worker.
 
     ``golden_batches`` is a list of ``(mask, golden values)`` pairs; the
     batch width is recovered from the mask.  Returns the shard's new
     detections (absolute pattern indices), its surviving fault list, round
-    measurements and an integrity checksum (taken *before* any chaos
-    corruption, so tampering is detectable by the parent).
+    measurements, an integrity checksum (taken *before* any chaos
+    corruption, so tampering is detectable by the parent) and the spans
+    recorded in this worker since its last round — the worker-side half of
+    the telemetry merge (the parent absorbs them at shard join).
     """
     simulator = _WORKER_SIMULATOR
     assert simulator is not None, "worker used before initialization"
@@ -209,10 +219,17 @@ def _run_shard_round(
         if injector is not None
         else False
     )
-    detections, live, measurements = _consume_batches(
-        simulator, faults, golden_batches, pattern_base, drop_detected
-    )
+    with telemetry.span(
+        "engine.shard_round",
+        shard=shard_id, round=round_index, attempt=attempt,
+        n_faults=len(faults),
+    ):
+        detections, live, measurements = _consume_batches(
+            simulator, faults, golden_batches, pattern_base, drop_detected
+        )
     checksum = _round_checksum(detections, live, int(measurements["patterns"]))
+    tele = telemetry.get_telemetry()
+    spans = tele.tracer.drain() if tele.enabled else []
     if corrupt:
         if detections:
             first = next(iter(detections))
@@ -221,7 +238,7 @@ def _run_shard_round(
             detections[live[0]] = pattern_base
         else:
             measurements["patterns"] = int(measurements["patterns"]) + 1
-    return shard_id, detections, live, measurements, checksum
+    return shard_id, detections, live, measurements, checksum, spans
 
 
 # --------------------------------------------------------------- parent side
@@ -433,21 +450,32 @@ def simulate(
         max_patterns, 1 if serial else n_jobs, chunk_batches,
         stop_when_complete, drop_detected, resume,
     )
-    if serial:
-        result = _simulate_serial(
-            netlist, fault_list, golden, max_patterns, batch_width,
-            stop_when_complete, drop_detected, simulator, chaos, store,
-        )
-    else:
-        result = _simulate_parallel(
-            netlist, fault_list, golden, max_patterns, batch_width,
-            stop_when_complete, drop_detected, n_jobs, chunk_batches,
-            shard_timeout, max_retries, retry_backoff, chaos, store,
-        )
+    with telemetry.span(
+        "engine.simulate",
+        circuit=netlist.name, jobs=1 if serial else n_jobs,
+        n_faults=len(fault_list), max_patterns=max_patterns,
+    ) as run_span:
+        if serial:
+            result = _simulate_serial(
+                netlist, fault_list, golden, max_patterns, batch_width,
+                stop_when_complete, drop_detected, simulator, chaos, store,
+            )
+        else:
+            result = _simulate_parallel(
+                netlist, fault_list, golden, max_patterns, batch_width,
+                stop_when_complete, drop_detected, n_jobs, chunk_batches,
+                shard_timeout, max_retries, retry_backoff, chaos, store,
+            )
+        run_span.set_attribute("n_patterns", result.n_patterns)
     result.wall_time = time.perf_counter() - start
     if cache is not None:
         result.cache_hits = cache.hits - hits_before
         result.cache_misses = cache.misses - misses_before
+    tele = telemetry.get_telemetry()
+    if tele.enabled:
+        # ShardStats stays the single source of truth; the registry just
+        # accumulates the per-run sums (see docs/OBSERVABILITY.md).
+        publish_engine_metrics(result, tele.metrics)
     return result
 
 
@@ -520,6 +548,7 @@ def _simulate_serial(
         live = survivors
         pattern_base += width
         batch_index += 1
+        telemetry.count("engine.rounds")
         if chaos is not None and chaos.aborts_after(batch_index - 1):
             raise ChaosInterrupt(
                 f"chaos: run aborted after round {batch_index - 1}"
@@ -573,7 +602,7 @@ def _simulate_parallel(
     merged: Dict[Fault, int] = {}
     fault_index = {fault: i for i, fault in enumerate(faults)}
     journal = store.load() if store is not None else {}
-    payload = pickle.dumps((netlist, batch_width))
+    payload = pickle.dumps((netlist, batch_width, telemetry.enabled()))
     pool = _WorkerPool(len(shards), payload)
     degraded_simulator: Optional[FaultSimulator] = None
     pattern_base = 0
@@ -581,72 +610,83 @@ def _simulate_parallel(
     round_index = 0
     try:
         while pattern_base < max_patterns and any(shards.values()):
-            widths = _plan_round(
-                pattern_base, max_patterns, batch_width, chunk_batches
-            )
-            active = sorted(s for s, live in shards.items() if live)
-            need_golden = any(
-                (shard_id, round_index) not in journal for shard_id in active
-            )
-            round_batches: List[Tuple[int, Dict[int, int]]] = []
-            for offset, width in enumerate(widths):
-                mask = (1 << width) - 1
-                if need_golden:
-                    round_batches.append((
-                        mask,
-                        _narrow(
-                            golden.golden_batch(batch_index + offset),
-                            mask, batch_width,
-                        ),
-                    ))
-            batch_index += len(widths)
-
-            # Replay journaled rounds; execute the rest fault-tolerantly.
-            results: Dict[int, Tuple[Dict[Fault, int], List[Fault], Optional[Dict]]] = {}
-            pending: Set[int] = set()
-            for shard_id in active:
-                record = journal.get((shard_id, round_index))
-                if record is not None:
-                    detections, survivors = _replay_record(record, faults)
-                    results[shard_id] = (detections, survivors, None)
-                    stats[shard_id].rounds_resumed += 1
-                else:
-                    pending.add(shard_id)
-            if pending:
-                degraded_simulator = _execute_round(
-                    pool, shards, stats, pending, round_batches, pattern_base,
-                    round_index, drop_detected, shard_timeout, max_retries,
-                    retry_backoff, chaos, results, netlist, batch_width,
-                    degraded_simulator,
+            with telemetry.span(
+                "engine.round", round=round_index, pattern_base=pattern_base,
+            ) as round_span:
+                widths = _plan_round(
+                    pattern_base, max_patterns, batch_width, chunk_batches
                 )
+                active = sorted(s for s, live in shards.items() if live)
+                round_span.set_attribute("shards", len(active))
+                need_golden = any(
+                    (shard_id, round_index) not in journal
+                    for shard_id in active
+                )
+                round_batches: List[Tuple[int, Dict[int, int]]] = []
+                for offset, width in enumerate(widths):
+                    mask = (1 << width) - 1
+                    if need_golden:
+                        round_batches.append((
+                            mask,
+                            _narrow(
+                                golden.golden_batch(batch_index + offset),
+                                mask, batch_width,
+                            ),
+                        ))
+                batch_index += len(widths)
 
-            for shard_id in sorted(results):
-                detections, survivors, measured = results[shard_id]
-                for fault, index in detections.items():
-                    if fault not in merged:  # rounds arrive in pattern order
-                        merged[fault] = index
-                dropped = len(shards[shard_id]) - len(survivors)
-                if measured is not None:
-                    stats[shard_id].absorb(
-                        int(measured["events"]),
-                        int(measured["patterns"]),
-                        float(measured["wall"]),
-                        dropped if drop_detected else 0,
+                # Replay journaled rounds; execute the rest fault-tolerantly.
+                results: Dict[int, Tuple[Dict[Fault, int], List[Fault], Optional[Dict]]] = {}
+                pending: Set[int] = set()
+                for shard_id in active:
+                    record = journal.get((shard_id, round_index))
+                    if record is not None:
+                        detections, survivors = _replay_record(record, faults)
+                        results[shard_id] = (detections, survivors, None)
+                        stats[shard_id].rounds_resumed += 1
+                    else:
+                        pending.add(shard_id)
+                if pending:
+                    degraded_simulator = _execute_round(
+                        pool, shards, stats, pending, round_batches,
+                        pattern_base, round_index, drop_detected,
+                        shard_timeout, max_retries, retry_backoff, chaos,
+                        results, netlist, batch_width, degraded_simulator,
                     )
-                    if store is not None:
-                        store.record(
-                            shard_id, round_index,
-                            {fault_index[f]: p for f, p in detections.items()},
-                            [fault_index[f] for f in survivors],
-                            sum(widths),
-                        )
-                else:
-                    stats[shard_id].faults_dropped += (
-                        dropped if drop_detected else 0
-                    )
-                if drop_detected:
-                    shards[shard_id] = survivors
-            pattern_base += sum(widths)
+
+                with telemetry.span(
+                    "engine.merge", round=round_index, shards=len(results),
+                ):
+                    for shard_id in sorted(results):
+                        detections, survivors, measured = results[shard_id]
+                        for fault, index in detections.items():
+                            # Rounds arrive in pattern order.
+                            if fault not in merged:
+                                merged[fault] = index
+                        dropped = len(shards[shard_id]) - len(survivors)
+                        if measured is not None:
+                            stats[shard_id].absorb(
+                                int(measured["events"]),
+                                int(measured["patterns"]),
+                                float(measured["wall"]),
+                                dropped if drop_detected else 0,
+                            )
+                            if store is not None:
+                                store.record(
+                                    shard_id, round_index,
+                                    {fault_index[f]: p
+                                     for f, p in detections.items()},
+                                    [fault_index[f] for f in survivors],
+                                    sum(widths),
+                                )
+                        else:
+                            stats[shard_id].faults_dropped += (
+                                dropped if drop_detected else 0
+                            )
+                        if drop_detected:
+                            shards[shard_id] = survivors
+                pattern_base += sum(widths)
+                telemetry.count("engine.rounds")
             if chaos is not None and chaos.aborts_after(round_index):
                 raise ChaosInterrupt(
                     f"chaos: run aborted after round {round_index}"
@@ -726,9 +766,8 @@ def _execute_round(
                     None if deadline is None
                     else max(deadline - time.monotonic(), 1e-3)
                 )
-                _, detections, survivors, measured, checksum = future.result(
-                    timeout=remaining
-                )
+                (_, detections, survivors, measured, checksum,
+                 worker_spans) = future.result(timeout=remaining)
                 if checksum != _round_checksum(
                     detections, survivors, int(measured["patterns"])
                 ):
@@ -747,6 +786,8 @@ def _execute_round(
             else:
                 results[shard_id] = (detections, survivors, measured)
                 pending.discard(shard_id)
+                if worker_spans:
+                    telemetry.get_telemetry().tracer.absorb(worker_spans)
         if not failed:
             break
         # A dead or hung worker poisons the executor; rebuild it before
@@ -757,10 +798,15 @@ def _execute_round(
             if attempts[shard_id] > max_retries:
                 if degraded_simulator is None:
                     degraded_simulator = FaultSimulator(netlist, batch_width)
-                detections, survivors, measured = _consume_batches(
-                    degraded_simulator, shards[shard_id], round_batches,
-                    pattern_base, drop_detected,
-                )
+                with telemetry.span(
+                    "engine.shard_round.degraded",
+                    shard=shard_id, round=round_index,
+                    attempts=attempts[shard_id],
+                ):
+                    detections, survivors, measured = _consume_batches(
+                        degraded_simulator, shards[shard_id], round_batches,
+                        pattern_base, drop_detected,
+                    )
                 results[shard_id] = (detections, survivors, measured)
                 stats[shard_id].degraded_reason = (
                     f"retry budget exhausted after {attempts[shard_id]} "

@@ -13,6 +13,12 @@ journals completed fault-simulation shard rounds (default
 ``<outdir>/checkpoints`` when ``--resume`` is given), and ``--resume``
 replays the journal so an interrupted run picks up from the last
 completed shard instead of restarting from zero.
+
+``--trace-out FILE`` / ``--metrics-out FILE`` enable
+:mod:`repro.telemetry` for the sweep and write a Chrome ``trace_event``
+file and a Prometheus text-format metrics file describing where the wall
+time went (per circuit, per kernel, per engine round — see
+``docs/OBSERVABILITY.md``).  ``--quiet`` suppresses progress text.
 """
 
 from __future__ import annotations
@@ -52,7 +58,20 @@ def main(argv=None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="replay journaled shard rounds from the "
                              "checkpoint directory instead of re-running")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="enable telemetry and write a Chrome "
+                             "trace_event file for the sweep")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="enable telemetry and write a Prometheus "
+                             "text-format metrics file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress text")
     args = parser.parse_args(argv)
+
+    if args.trace_out or args.metrics_out:
+        from repro import telemetry
+
+        telemetry.enable()
 
     outdir = pathlib.Path(args.outdir)
     outdir.mkdir(exist_ok=True)
@@ -62,7 +81,8 @@ def main(argv=None) -> int:
 
     def write(name: str, text: str) -> None:
         (outdir / name).write_text(text + "\n")
-        print(f"wrote {outdir / name}")
+        if not args.quiet:
+            print(f"wrote {outdir / name}")
 
     start = time.time()
     rows = table1_rows()
@@ -86,7 +106,26 @@ def main(argv=None) -> int:
     write("figure9.txt", json.dumps(figure9_report(), indent=2))
     write("tpg_examples.txt", json.dumps(tpg_examples_report(), indent=2, default=str))
     write("pseudo_exhaustive.txt", json.dumps(pseudo_exhaustive_report(), indent=2))
-    print(f"done in {time.time() - start:.1f}s")
+
+    if args.trace_out or args.metrics_out:
+        from repro import telemetry
+
+        manifest = telemetry.RunManifest.collect(config={
+            "command": "experiments", "quick": args.quick,
+            "jobs": args.jobs, "seed": args.seed,
+            "max_patterns": max_patterns, "n_seeds": n_seeds,
+        })
+        if args.trace_out:
+            telemetry.export.write_trace(args.trace_out, manifest=manifest)
+            if not args.quiet:
+                print(f"wrote trace to {args.trace_out}")
+        if args.metrics_out:
+            telemetry.export.write_metrics(args.metrics_out)
+            if not args.quiet:
+                print(f"wrote metrics to {args.metrics_out}")
+
+    if not args.quiet:
+        print(f"done in {time.time() - start:.1f}s")
     return 0
 
 

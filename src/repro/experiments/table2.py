@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.core.flow import TDMComparison, compare_tdms
 from repro.datapath.filters import all_filters
 from repro.experiments.render import fmt, render_table
@@ -87,6 +88,21 @@ def measure_circuit(
     restarts from the last completed shard round instead of from zero.
     """
     compiled = all_filters()[name]
+    with telemetry.span(
+        "table2.measure_circuit",
+        circuit=name, max_patterns=max_patterns, n_seeds=n_seeds,
+        jobs=jobs if jobs is not None else 1,
+    ):
+        return _measure_circuit(
+            name, compiled, max_patterns, seed, n_seeds, jobs, cache,
+            checkpoint_dir, resume, engine_options,
+        )
+
+
+def _measure_circuit(
+    name, compiled, max_patterns, seed, n_seeds, jobs, cache,
+    checkpoint_dir, resume, engine_options,
+) -> Table2Column:
     comparison = compare_tdms(
         compiled.circuit,
         targets=(0.995, 1.0),

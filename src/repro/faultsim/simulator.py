@@ -173,23 +173,30 @@ class FaultSimulator:
         ``max_retries``, ``retry_backoff``, ``chaos``) pass through to the
         engine's fault-tolerance machinery.
         """
+        from repro import telemetry
         from repro.engine import simulate
 
-        return simulate(
-            self.netlist,
-            faults,
-            source,
+        with telemetry.span(
+            "faultsim.run",
+            circuit=self.netlist.name,
             max_patterns=max_patterns,
-            jobs=jobs,
-            cache=cache,
-            batch_width=self.batch_width,
-            stop_when_complete=stop_when_complete,
-            drop_detected=drop_detected,
-            simulator=self,
-            checkpoint_dir=checkpoint_dir,
-            resume=resume,
-            **engine_options,
-        )
+            jobs=jobs if jobs is not None else 1,
+        ):
+            return simulate(
+                self.netlist,
+                faults,
+                source,
+                max_patterns=max_patterns,
+                jobs=jobs,
+                cache=cache,
+                batch_width=self.batch_width,
+                stop_when_complete=stop_when_complete,
+                drop_detected=drop_detected,
+                simulator=self,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                **engine_options,
+            )
 
     def detects(self, fault: Fault, pattern: Sequence[int]) -> bool:
         """Check whether one explicit pattern detects one fault.

@@ -1,0 +1,258 @@
+"""Exporters: Chrome ``trace_event`` JSON and Prometheus text format.
+
+* :func:`to_chrome_trace` renders span records as complete (``"ph": "X"``)
+  trace events — the object form with a ``traceEvents`` list, loadable
+  directly in ``chrome://tracing`` and Perfetto.  Extra run context (the
+  manifest minus its span list) rides along under ``otherData``, which
+  both viewers ignore.
+* :func:`to_prometheus_text` renders a :meth:`~repro.telemetry.metrics.
+  MetricsRegistry.snapshot` in the Prometheus exposition format (names
+  sanitized, HELP/label escaping per spec, histograms with cumulative
+  ``le`` buckets plus ``_sum``/``_count``).
+
+Both directions ship with validators (:func:`validate_chrome_trace`,
+:func:`parse_prometheus_text`) used by ``python -m repro telemetry view``
+and the CI telemetry job, so a malformed artifact fails loudly instead of
+silently producing an unloadable file.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.trace import SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+    from repro.telemetry.manifest import RunManifest
+    from repro.telemetry.metrics import MetricsRegistry
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(\{[^}]*\})?"                          # optional label set
+    r"\s+"
+    r"(-?[0-9][0-9eE.+-]*|NaN|[+-]?Inf)$"    # value
+)
+
+
+# ------------------------------------------------------------ chrome trace
+
+def to_chrome_trace(
+    spans: Sequence[SpanRecord],
+    other_data: Optional[Dict[str, Any]] = None,
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """Span records -> the Chrome ``trace_event`` object format.
+
+    Timestamps are rebased to the earliest span (``ts`` is microseconds
+    from the start of the trace) so viewers open at t=0 instead of the
+    Unix epoch.
+    """
+    base = min((record.ts for record in spans), default=0.0)
+    events: List[Dict[str, Any]] = []
+    pids = sorted({record.pid for record in spans})
+    for pid in pids:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": process_name},
+        })
+    for record in spans:
+        events.append({
+            "name": record.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (record.ts - base) * 1e6,
+            "dur": record.duration * 1e6,
+            "pid": record.pid,
+            "tid": record.tid,
+            "args": {
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                **record.attributes,
+            },
+        })
+    payload: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if other_data:
+        payload["otherData"] = other_data
+    return payload
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Structural errors in a Chrome trace object ([] when loadable)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            errors.append(f"{where}: missing ph")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing name")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(f"{where}: {key} must be a number >= 0")
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    errors.append(f"{where}: {key} must be an integer")
+    return errors
+
+
+def write_trace(
+    path,
+    telemetry: Optional["Telemetry"] = None,
+    manifest: Optional["RunManifest"] = None,
+) -> Dict[str, Any]:
+    """Write the global (or given) tracer's spans as a Chrome trace file.
+
+    With a ``manifest``, its non-span content is embedded under
+    ``otherData.manifest`` so one file carries the full run context.
+    Returns the written payload.
+    """
+    if telemetry is None:
+        from repro.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
+    other: Optional[Dict[str, Any]] = None
+    if manifest is not None:
+        summary = manifest.to_json()
+        summary.pop("spans", None)  # the events ARE the spans
+        other = {"manifest": summary}
+    payload = to_chrome_trace(telemetry.tracer.snapshot(), other_data=other)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+# -------------------------------------------------------------- prometheus
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name into the Prometheus charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_help(text: str) -> str:
+    """HELP-line escaping: backslash and newline."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Label-value escaping: backslash, double quote, newline."""
+    return (
+        text.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+    )
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _format_le(le: Union[float, str]) -> str:
+    if isinstance(le, str):
+        return le
+    as_float = float(le)
+    if as_float == int(as_float):
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def to_prometheus_text(
+    snapshot: Dict[str, Any],
+    help_texts: Optional[Dict[str, str]] = None,
+) -> str:
+    """A metrics snapshot in the Prometheus text exposition format."""
+    help_texts = help_texts or {}
+    lines: List[str] = []
+
+    def emit_header(raw_name: str, name: str, kind: str) -> None:
+        help_text = help_texts.get(raw_name)
+        if help_text:
+            lines.append(f"# HELP {name} {escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for raw_name, value in snapshot.get("counters", {}).items():
+        name = prometheus_name(raw_name)
+        emit_header(raw_name, name, "counter")
+        lines.append(f"{name} {_format_value(value)}")
+    for raw_name, value in snapshot.get("gauges", {}).items():
+        name = prometheus_name(raw_name)
+        emit_header(raw_name, name, "gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    for raw_name, data in snapshot.get("histograms", {}).items():
+        name = prometheus_name(raw_name)
+        emit_header(raw_name, name, "histogram")
+        for le, count in data["buckets"]:
+            label = escape_label_value(_format_le(le))
+            lines.append(f'{name}_bucket{{le="{label}"}} {count}')
+        lines.append(f"{name}_sum {_format_value(data['sum'])}")
+        lines.append(f"{name}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse exposition-format text back into ``{sample name: value}``.
+
+    The sample name includes its label set verbatim (so histogram buckets
+    stay distinct).  Raises :class:`ValueError` on any malformed line —
+    this is the validator behind ``telemetry view`` and the CI check.
+    """
+    samples: Dict[str, float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            parts = stripped.split(None, 2)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(
+                    f"line {line_number}: malformed comment {line!r}"
+                )
+            continue
+        match = _SAMPLE_RE.match(stripped)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        name, labels, value = match.groups()
+        samples[name + (labels or "")] = float(value)
+    if not samples:
+        raise ValueError("no samples found")
+    return samples
+
+
+def write_metrics(
+    path,
+    telemetry: Optional["Telemetry"] = None,
+) -> str:
+    """Write the global (or given) registry as a Prometheus text file."""
+    if telemetry is None:
+        from repro.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
+    text = to_prometheus_text(
+        telemetry.metrics.snapshot(), telemetry.metrics.help_texts()
+    )
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,140 @@
+"""Run manifests: one JSON document describing how a run was executed.
+
+A :class:`RunManifest` snapshots everything needed to compare two runs
+credibly — the configuration (plus a stable fingerprint of it), the code
+version (``git describe``), the host, the collected spans, the metrics
+snapshot, and the engine's per-shard stats.  The experiment harness and
+the CLI write one next to their trace artifacts so a ``BENCH_*.json``
+number is always attributable to an exact configuration and commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+MANIFEST_KIND = "run-manifest"
+MANIFEST_VERSION = 1
+
+
+def config_fingerprint(config: Optional[Dict[str, Any]]) -> str:
+    """A stable sha256 over a configuration dict (key order irrelevant)."""
+    blob = json.dumps(config or {}, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def git_describe(cwd: Optional[str] = None) -> Optional[str]:
+    """``git describe --always --dirty``, or None outside a work tree."""
+    try:
+        process = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True, text=True, timeout=5.0, cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if process.returncode != 0:
+        return None
+    described = process.stdout.strip()
+    return described or None
+
+
+def host_info() -> Dict[str, Any]:
+    """JSON-safe facts about the machine the run executed on."""
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """The one-document observability record of a run."""
+
+    config: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
+    git: Optional[str] = None
+    host: Dict[str, Any] = field(default_factory=dict)
+    created: float = 0.0
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    shards: List[Dict[str, Any]] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        config: Optional[Dict[str, Any]] = None,
+        telemetry: Optional["Telemetry"] = None,
+        shards: Optional[List[Dict[str, Any]]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> "RunManifest":
+        """Assemble a manifest from the current process state.
+
+        ``telemetry`` defaults to the global instance; its span buffer and
+        metrics snapshot are copied, not drained.
+        """
+        if telemetry is None:
+            from repro.telemetry import get_telemetry
+
+            telemetry = get_telemetry()
+        config = dict(config or {})
+        return cls(
+            config=config,
+            fingerprint=config_fingerprint(config),
+            git=git_describe(),
+            host=host_info(),
+            created=time.time(),
+            spans=[record.to_json() for record in telemetry.tracer.snapshot()],
+            metrics=telemetry.metrics.snapshot(),
+            shards=list(shards or []),
+            extra=dict(extra or {}),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": MANIFEST_KIND,
+            "version": MANIFEST_VERSION,
+            "created": self.created,
+            "config": self.config,
+            "config_fingerprint": self.fingerprint,
+            "git": self.git,
+            "host": self.host,
+            "spans": self.spans,
+            "metrics": self.metrics,
+            "shards": self.shards,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RunManifest":
+        if payload.get("kind") != MANIFEST_KIND:
+            raise ValueError(f"not a {MANIFEST_KIND} document")
+        return cls(
+            config=dict(payload.get("config", {})),
+            fingerprint=payload.get("config_fingerprint", ""),
+            git=payload.get("git"),
+            host=dict(payload.get("host", {})),
+            created=float(payload.get("created", 0.0)),
+            spans=list(payload.get("spans", [])),
+            metrics=dict(payload.get("metrics", {})),
+            shards=list(payload.get("shards", [])),
+            extra=dict(payload.get("extra", {})),
+        )
+
+    def write(self, path) -> None:
+        """Write the manifest as indented, key-sorted JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,192 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instruments are created on first use (``registry.counter("engine.rounds")``)
+and keep running totals for the process lifetime; :meth:`MetricsRegistry.
+snapshot` renders everything into one JSON-safe dict that the exporters
+(:mod:`repro.telemetry.export`) turn into Prometheus text or feed into a
+:class:`~repro.telemetry.manifest.RunManifest`.
+
+Histograms use *fixed* bucket boundaries chosen at creation — cumulative
+``le`` semantics exactly as Prometheus defines them, so a value equal to a
+boundary lands in that boundary's bucket and every observation lands in the
+implicit ``+Inf`` bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Generic decade buckets, a sane default for counts and rates.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+
+#: Throughput buckets for ``patterns_per_second`` observations.
+THROUGHPUT_BUCKETS: Tuple[float, ...] = (
+    100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Observations over fixed bucket boundaries (Prometheus semantics)."""
+
+    __slots__ = ("name", "help", "boundaries", "_counts", "count", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ):
+        ordered = tuple(float(b) for b in boundaries)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram {name}: boundaries must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.boundaries = ordered
+        self._counts = [0] * len(ordered)  # per-boundary, non-cumulative
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        # bisect_left: a value equal to a boundary belongs to that le bucket.
+        index = bisect.bisect_left(self.boundaries, value)
+        if index < len(self._counts):
+            self._counts[index] += 1
+
+    def cumulative_buckets(self) -> List[Tuple[Union[float, str], int]]:
+        """``(le, cumulative count)`` pairs, ending with ``("+Inf", count)``."""
+        pairs: List[Tuple[Union[float, str], int]] = []
+        running = 0
+        for boundary, count in zip(self.boundaries, self._counts):
+            running += count
+            pairs.append((boundary, running))
+        pairs.append(("+Inf", self.count))
+        return pairs
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry with a JSON-safe snapshot."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: Dict[str, Any]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different type"
+                )
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name, self._counters)
+                instrument = self._counters[name] = Counter(name, help)
+            return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name, self._gauges)
+                instrument = self._gauges[name] = Gauge(name, help)
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_free(name, self._histograms)
+                instrument = self._histograms[name] = Histogram(
+                    name, boundaries if boundaries is not None else DEFAULT_BUCKETS,
+                    help,
+                )
+            return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every instrument's current state as one JSON-safe dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: gauge.value
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "buckets": [
+                            [le, count]
+                            for le, count in histogram.cumulative_buckets()
+                        ],
+                        "sum": histogram.sum,
+                        "count": histogram.count,
+                    }
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def help_texts(self) -> Dict[str, str]:
+        """Metric name -> help string, for the Prometheus exporter."""
+        with self._lock:
+            texts: Dict[str, str] = {}
+            for family in (self._counters, self._gauges, self._histograms):
+                for name, instrument in family.items():
+                    if instrument.help:
+                        texts[name] = instrument.help
+            return texts
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -1,0 +1,213 @@
+"""Zero-dependency tracer: nested spans over monotonic clocks.
+
+A :class:`Tracer` records :class:`SpanRecord` entries into a per-process
+buffer.  Spans nest through a thread-local stack (each record carries its
+parent's id), are timed with :func:`time.perf_counter` (monotonic), and
+are timestamped against a wall-clock anchor captured once per tracer so
+merged buffers from different processes line up on one timeline.
+
+The disabled path is a single ``enabled`` check returning one shared
+no-op span object — no allocation, no clock read, no lock — so leaving
+instrumentation compiled into hot paths costs (almost) nothing.  Worker
+processes :meth:`drain` their buffer at the end of each shard round and
+the parent :meth:`absorb`\\ s the records at shard join; records are plain
+picklable dataclasses for exactly that trip.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Buffer bound: past it new spans are dropped (and counted), never grown —
+#: a runaway loop must not turn observability into an OOM.
+MAX_RECORDS = 200_000
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: what ran, when, for how long, under what."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    ts: float                 #: wall-anchored start time (seconds, absolute)
+    duration: float           #: monotonic duration (seconds)
+    pid: int
+    tid: int
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "ts": self.ts,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """The shared span returned while tracing is disabled.
+
+    Stateless, so one instance serves every call site, arbitrarily nested.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """A live span: context manager pushing/popping the nesting stack."""
+
+    __slots__ = ("_tracer", "name", "attributes", "span_id", "_parent_id",
+                 "_start_perf", "_ts")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = next(tracer._ids)
+        self._parent_id: Optional[int] = None
+        self._start_perf = 0.0
+        self._ts = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._tracer._stack()
+        self._parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._ts = self._tracer._now()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        duration = time.perf_counter() - self._start_perf
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self._tracer._record(SpanRecord(
+            span_id=self.span_id,
+            parent_id=self._parent_id,
+            name=self.name,
+            ts=self._ts,
+            duration=duration,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attributes=self.attributes,
+        ))
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+
+class Tracer:
+    """Per-process span buffer with a single-flag disabled fast path."""
+
+    def __init__(self, max_records: int = MAX_RECORDS):
+        self.enabled = False
+        self.max_records = max_records
+        self.dropped = 0  #: spans discarded once the buffer bound was hit
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        # Wall anchor + monotonic origin: ts = anchor + (perf - origin), so
+        # timestamps are comparable across processes (CLOCK_MONOTONIC is
+        # system-wide on Linux; forked children share the anchor exactly).
+        self._origin_wall = time.time()
+        self._origin_perf = time.perf_counter()
+
+    # ------------------------------------------------------------- internals
+
+    def _now(self) -> float:
+        return self._origin_wall + (time.perf_counter() - self._origin_perf)
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) >= self.max_records:
+                self.dropped += 1
+                return
+            self._records.append(record)
+
+    # ----------------------------------------------------------- public API
+
+    def span(self, name: str, **attributes: Any):
+        """A context manager timing one named span (no-op when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _ActiveSpan(self, name, attributes)
+
+    def snapshot(self) -> List[SpanRecord]:
+        """A copy of every buffered record (oldest first)."""
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> List[SpanRecord]:
+        """Return and clear the buffer — the worker-side half of a merge."""
+        with self._lock:
+            records, self._records = self._records, []
+        return records
+
+    def absorb(self, records: List[SpanRecord]) -> None:
+        """Merge records drained from another process's tracer."""
+        with self._lock:
+            room = self.max_records - len(self._records)
+            if room < len(records):
+                self.dropped += len(records) - max(room, 0)
+                records = records[: max(room, 0)]
+            self._records.extend(records)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+
+def traced(name: Optional[str] = None, **attributes: Any) -> Callable:
+    """Decorator form of :meth:`Tracer.span` against the global tracer.
+
+    ``@traced()`` spans the wrapped callable under its qualified name;
+    ``@traced("custom.name", key=value)`` overrides name and attributes.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        label = name if name is not None else func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any):
+            from repro.telemetry import get_telemetry
+
+            tracer = get_telemetry().tracer
+            if not tracer.enabled:
+                return func(*args, **kwargs)
+            with tracer.span(label, **attributes):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -80,3 +80,83 @@ def test_module_entry_point(tmp_path):
     )
     assert process.returncode == 0
     assert path.exists()
+
+
+# ------------------------------------------------------- telemetry surface
+
+
+def _reset_global_telemetry():
+    from repro import telemetry
+
+    instance = telemetry.get_telemetry()
+    instance.reset()
+    instance.disable()
+
+
+def test_selftest_writes_validatable_telemetry_artifacts(
+    capsys, tmp_path, mac4_json
+):
+    import json
+
+    trace_path = tmp_path / "t.json"
+    metrics_path = tmp_path / "m.prom"
+    try:
+        assert main(["selftest", mac4_json, "--cycles", "300",
+                     "--max-faults", "30", "--jobs", "2",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+    finally:
+        _reset_global_telemetry()
+    out = capsys.readouterr().out
+    assert "wrote trace" in out and "wrote metrics" in out
+
+    # Both artifacts validate through the same path CI uses.
+    assert main(["telemetry", "view", str(trace_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format"] == "chrome-trace"
+    assert payload["valid"] and not payload["errors"]
+    assert payload["manifest"] is True
+    assert "engine.simulate" in payload["span_names"]
+
+    assert main(["telemetry", "view", str(metrics_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format"] == "prometheus"
+    assert payload["valid"]
+    assert payload["samples"]["engine_runs"] >= 1
+
+
+def test_selftest_quiet_suppresses_progress(capsys, mac4_json):
+    assert main(["selftest", mac4_json, "--cycles", "300",
+                 "--max-faults", "30", "--quiet"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_telemetry_view_manifest(capsys, tmp_path):
+    import json
+
+    from repro.telemetry.manifest import RunManifest
+
+    path = tmp_path / "manifest.json"
+    RunManifest.collect(config={"k": 1}).write(path)
+    assert main(["telemetry", "view", str(path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format"] == "run-manifest"
+    assert payload["valid"]
+
+
+def test_telemetry_view_rejects_malformed(capsys, tmp_path):
+    bad = tmp_path / "bad.prom"
+    bad.write_text("this is not } a metric\n")
+    assert main(["telemetry", "view", str(bad)]) == 1
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert not payload["valid"] and payload["errors"]
+
+    missing = tmp_path / "missing.json"
+    assert main(["telemetry", "view", str(missing)]) == 2
+
+    quiet_bad = tmp_path / "bad2.json"
+    quiet_bad.write_text('{"neither": "trace nor manifest"}')
+    assert main(["telemetry", "view", str(quiet_bad), "--quiet"]) == 1
+    assert capsys.readouterr().out == ""

@@ -391,3 +391,28 @@ def test_sequence_source_round_trip_through_engine():
     parallel = simulate(netlist, None, SequencePatternSource(patterns),
                         max_patterns=len(patterns), jobs=4, batch_width=16)
     assert_identical(serial, parallel)
+
+
+def test_equivalence_with_tracing_enabled():
+    """The telemetry layer must never perturb results: serial == parallel
+    bit-identically while spans and metrics are being recorded."""
+    from repro import telemetry
+
+    netlist = make_random_netlist(6, 40, seed=17)
+    instance = telemetry.get_telemetry()
+    baseline = simulate(netlist, None, RandomPatternSource(6, seed=9),
+                        max_patterns=128, jobs=1, batch_width=16)
+    instance.reset()
+    instance.enable()
+    try:
+        serial = simulate(netlist, None, RandomPatternSource(6, seed=9),
+                          max_patterns=128, jobs=1, batch_width=16)
+        parallel = simulate(netlist, None, RandomPatternSource(6, seed=9),
+                            max_patterns=128, jobs=JOBS, batch_width=16)
+        assert_identical(serial, parallel)
+        # Tracing on == tracing off, down to the detection indices.
+        assert serial.first_detection == baseline.first_detection
+        assert serial.n_patterns == baseline.n_patterns
+    finally:
+        instance.reset()
+        instance.disable()

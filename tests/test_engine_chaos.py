@@ -253,3 +253,38 @@ def test_journal_is_keyed_by_run_parameters(tmp_path):
 def test_chaos_error_is_a_simulation_error():
     assert issubclass(ChaosError, SimulationError)
     assert issubclass(ChaosInterrupt, RuntimeError)
+
+
+# ---------------------------------------------------- chaos + telemetry on
+
+
+def test_chaos_with_tracing_enabled_stays_bit_identical():
+    """Telemetry must not perturb the engine even while shards are being
+    crashed and retried: serial == chaotic-parallel with tracing on, and
+    the degraded fallback leaves a span behind."""
+    from repro import telemetry
+
+    _, netlists = figure4_netlists()
+    netlist = netlists[0]
+    serial = _kernel_run(netlist, jobs=1)
+    instance = telemetry.get_telemetry()
+    instance.reset()
+    instance.enable()
+    try:
+        chaotic = _kernel_run(
+            netlist, jobs=JOBS, max_retries=1,
+            chaos=FaultInjector(mode="crash", shard=0, times=10),
+        )
+        assert_identical(serial, chaotic)
+        degraded = [s.shard for s in chaotic.shards if s.degraded]
+        # Shard 0 must degrade; a crash can poison the shared pool and
+        # take co-scheduled shards past their budget with it.
+        assert 0 in degraded
+        names = {r.name for r in instance.tracer.snapshot()}
+        assert "engine.shard_round.degraded" in names
+        counters = instance.metrics.snapshot()["counters"]
+        assert counters["engine.degraded_shards"] == len(degraded)
+        assert counters["engine.failures"] >= 1
+    finally:
+        instance.reset()
+        instance.disable()

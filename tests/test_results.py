@@ -160,3 +160,38 @@ def test_top_level_exports():
     assert repro.FaultSimResult is FaultSimResult
     assert repro.SessionResult is SessionResult
     assert repro.CoverageResult is CoverageResult
+
+
+# ---------------------------------------------------- ShardStats round-trip
+
+
+def test_shard_stats_round_trip_through_engine_json():
+    """Failure-handling fields survive to_json()/from_json() exactly."""
+    from repro.engine.instrumentation import ShardStats
+
+    stats = ShardStats(
+        shard=3, n_faults=100, faults_dropped=40, events_propagated=1234,
+        patterns_simulated=512, wall_time=0.25, retries=2, timeouts=1,
+        failures=3, rounds_resumed=4,
+        degraded_reason="retry budget exhausted after 3 attempts",
+    )
+    restored = ShardStats.from_json(stats.to_json())
+    assert restored == stats
+    # Derived fields recompute rather than persist.
+    assert restored.patterns_per_second == stats.patterns_per_second
+    assert restored.degraded
+
+
+def test_shard_stats_round_trip_from_live_engine_result():
+    from repro.engine import simulate
+    from repro.engine.instrumentation import ShardStats
+    from tests.conftest import make_random_netlist
+
+    netlist = make_random_netlist(5, 25, seed=6)
+    result = simulate(
+        netlist, None, RandomPatternSource(5, seed=4),
+        max_patterns=64, jobs=2, batch_width=16,
+    )
+    payload = result.to_json()["engine"]["shards"]
+    restored = [ShardStats.from_json(entry) for entry in payload]
+    assert restored == result.shards
