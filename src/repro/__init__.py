@@ -19,6 +19,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * ``repro.datapath``  — the Table-1 filter datapaths
 * ``repro.library``   — the paper's figure circuits
 * ``repro.experiments`` — per-table/per-figure reproduction harness
+* ``repro.lint``      — static design-rule checks (netlist/structure/TPG)
 """
 
 from repro.analysis import classify, is_balanced
@@ -31,6 +32,15 @@ from repro.core import (
 from repro.engine import EngineResult, GoldenCache, simulate
 from repro.faultsim import FaultSimulator, RandomPatternSource
 from repro.graph import build_circuit_graph
+from repro.lint import (
+    Finding,
+    LintError,
+    LintReport,
+    lint_circuit,
+    lint_netlist,
+    lint_structure,
+    lint_tpg,
+)
 from repro.results import CoverageResult, FaultSimResult, SessionResult
 from repro.rtl import RTLCircuit
 from repro.tpg import KernelSpec, TPGDesign, mc_tpg, sc_tpg
@@ -58,5 +68,12 @@ __all__ = [
     "TPGDesign",
     "sc_tpg",
     "mc_tpg",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "lint_circuit",
+    "lint_netlist",
+    "lint_structure",
+    "lint_tpg",
     "__version__",
 ]

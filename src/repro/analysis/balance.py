@@ -17,7 +17,7 @@ witness, which the BIBS selection heuristics consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import BalanceError
 from repro.graph.model import CircuitGraph, Edge

@@ -9,7 +9,7 @@ SC_TPG/MC_TPG consume.  This module bridges the structural world
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import BalanceError
 from repro.graph.model import CircuitGraph, Edge

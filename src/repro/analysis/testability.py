@@ -15,7 +15,7 @@ k-step functionally testable for any bounded k and classify as ``None``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.graph.model import CircuitGraph
 from repro.graph.structures import find_urfs_witnesses, is_acyclic, URFSWitness

@@ -11,7 +11,7 @@ dictionary also reports its equivalence-class structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bist.session import BISTSession
 from repro.faultsim.faults import Fault

@@ -13,7 +13,7 @@ dozens of faulty signatures in a single sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.netlist.evaluate import Evaluator

@@ -54,6 +54,12 @@ class BISTSession:
         per-session cache so repeated :meth:`run` calls with the same
         cycle count reuse the golden machine.  Pass a shared
         :class:`~repro.engine.cache.GoldenCache` to pool across sessions.
+    check:
+        When True (the default) the kernel structure and the TPG design
+        are linted before anything is simulated, raising a structured
+        :class:`~repro.errors.LintError` on violations (cyclic kernel,
+        unbalanced paths, non-primitive polynomial, ...).  ``check=False``
+        skips the pre-flight; session results are identical either way.
     """
 
     def __init__(
@@ -63,11 +69,16 @@ class BISTSession:
         tpg: Optional[TPGDesign] = None,
         seed: int = 1,
         cache: Optional[GoldenCache] = None,
+        check: bool = True,
     ):
         self.circuit = circuit
         self.kernel = kernel
         self.spec = kernel.to_kernel_spec()
         self.tpg = tpg if tpg is not None else mc_tpg(self.spec)
+        if check:
+            from repro.lint.runner import preflight_session
+
+            preflight_session(kernel, self.tpg)
         self.seed = seed
         self.cache = cache if cache is not None else GoldenCache()
         self.simulator = SequentialGateSimulator(circuit)

@@ -12,6 +12,9 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
                              [--shard-timeout S]
                              [--trace-out FILE] [--metrics-out FILE]
     python -m repro export   {c5a2m,c3a2m,c4a4m,figure4,figure9,mac4} out.json
+    python -m repro lint     TARGET [TARGET ...] [--json] [--severity S]
+                             [--baseline FILE] [--update-baseline]
+                             [--bilbo R1,R2] [--polynomial INT]
     python -m repro telemetry view FILE [--quiet]
 
 ``export`` writes the built-in circuits so every other command has
@@ -20,6 +23,15 @@ and then emits a single machine-readable object on stdout (results use the
 unified ``to_json()`` surface of :mod:`repro.results`).  ``selftest
 --jobs N`` shards the per-pattern engine run over N worker processes (see
 ``docs/ENGINE.md``); ``--seed`` sets the TPG seed.
+
+``lint`` runs the static design-rule checker (:mod:`repro.lint`) over
+built-in designs (``figure1``..``figure4``, ``figure9``, ``c17``,
+``c5a2m``/``c3a2m``/``c4a4m``, ``mac4``, ``synth1``..``synth4``), group
+aliases (``figures``, ``ka_example``, ``iscas``, ``filters``, ``synth``),
+or ``.bench``/``.json`` files, and exits 1 when any error-severity finding
+is not suppressed by the ``--baseline`` file.  ``--bilbo``/``--polynomial``
+force a kernel cut / feedback polynomial so a *proposed* design can be
+vetted before it is built.  See ``docs/LINT.md``.
 
 ``--trace-out`` / ``--metrics-out`` enable :mod:`repro.telemetry` for the
 run and write a Chrome ``trace_event`` file (open in ``chrome://tracing``
@@ -312,6 +324,126 @@ def cmd_export(args) -> int:
     return 0
 
 
+def _lint_builders() -> Dict[str, Any]:
+    """Named lint targets: name -> ("circuit" | "netlist", builder)."""
+    from repro.datapath.compiler import Add, Mul, Var, compile_datapath
+    from repro.datapath.filters import all_filters
+    from repro.library.figures import figure1, figure2, figure3, figure4
+    from repro.library.iscas import c17
+    from repro.library.ka_example import figure9
+    from repro.library.synth import random_datapath
+
+    builders: Dict[str, Any] = {
+        "figure1": ("circuit", figure1),
+        "figure2": ("circuit", figure2),
+        "figure3": ("circuit", figure3),
+        "figure4": ("circuit", figure4),
+        "figure9": ("circuit", figure9),
+        "c17": ("netlist", c17),
+    }
+    for name in ("c5a2m", "c3a2m", "c4a4m"):
+        builders[name] = (
+            "circuit", lambda n=name: all_filters()[n].circuit)
+    builders["mac4"] = ("circuit", lambda: compile_datapath(
+        [("o", Add(Mul(Var("a"), Var("b")), Var("c")))], "mac4", width=4
+    ).circuit)
+    for seed in (1, 2, 3, 4):
+        builders[f"synth{seed}"] = (
+            "circuit", lambda s=seed: random_datapath(s).circuit)
+    return builders
+
+
+#: Group aliases expanding to several named targets (the CI lint sweep).
+LINT_GROUPS = {
+    "figures": ("figure1", "figure2", "figure3", "figure4"),
+    "ka_example": ("figure9",),
+    "iscas": ("c17",),
+    "filters": ("c5a2m", "c3a2m", "c4a4m"),
+    "synth": ("synth1", "synth2", "synth3", "synth4"),
+}
+
+
+def cmd_lint(args) -> int:
+    from repro.errors import ReproError
+    from repro.lint import (
+        lint_circuit,
+        lint_netlist,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.netlist import bench_io
+
+    builders = _lint_builders()
+    names: List[str] = []
+    for target in args.targets:
+        names.extend(LINT_GROUPS.get(target, (target,)))
+    bilbo = None
+    if args.bilbo:
+        bilbo = [r.strip() for r in args.bilbo.split(",") if r.strip()]
+    if (bilbo or args.polynomial is not None) and len(names) != 1:
+        print("error: --bilbo/--polynomial apply to exactly one target",
+              file=sys.stderr)
+        return 2
+
+    reports = []
+    for name in names:
+        try:
+            if name in builders:
+                kind, build = builders[name]
+                if kind == "netlist":
+                    report = lint_netlist(build())
+                else:
+                    report = lint_circuit(
+                        build(), bilbo=bilbo, polynomial=args.polynomial)
+            elif name.endswith(".bench"):
+                report = lint_netlist(bench_io.load(name, validate=False))
+            elif name.endswith(".json"):
+                report = lint_circuit(
+                    io_json.load(name), bilbo=bilbo,
+                    polynomial=args.polynomial)
+            else:
+                known = ", ".join(sorted([*builders, *LINT_GROUPS]))
+                print(f"error: unknown lint target {name!r} "
+                      f"(known: {known}; or a .bench/.json path)",
+                      file=sys.stderr)
+                return 2
+        except (OSError, ReproError) as error:
+            print(f"error: cannot lint {name}: {error}", file=sys.stderr)
+            return 2
+        if args.severity:
+            report = report.filtered(args.severity)
+        reports.append(report)
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        count = write_baseline(args.baseline, reports)
+        _progress(args, f"wrote baseline with {count} suppression(s) "
+                        f"to {args.baseline}")
+    if args.baseline:
+        try:
+            suppress = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        reports = [r.apply_baseline(suppress) for r in reports]
+
+    n_errors = sum(len(r.errors) for r in reports)
+    if args.json:
+        _emit_json({
+            "kind": "lint",
+            "targets": [r.target for r in reports],
+            "n_errors": n_errors,
+            "reports": [r.to_json() for r in reports],
+        })
+    else:
+        for report in reports:
+            print(report.render_text())
+    return 1 if n_errors else 0
+
+
 def cmd_telemetry(args) -> int:
     """Inspect and validate a telemetry artifact (``telemetry view``).
 
@@ -466,6 +598,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output")
     add_json_flag(p)
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "lint",
+        help="static design-rule checks (netlist/structure/TPG rules)",
+    )
+    p.add_argument("targets", nargs="+", metavar="TARGET",
+                   help="built-in design, group alias (figures, ka_example, "
+                        "iscas, filters, synth), or a .bench/.json file")
+    p.add_argument("--severity", default=None,
+                   choices=("error", "warning", "info"),
+                   help="report only findings at least this severe")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="suppress findings fingerprinted in this baseline "
+                        "file; exit 1 only on new errors")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline FILE accepting every current "
+                        "finding")
+    p.add_argument("--bilbo", default=None, metavar="R1,R2",
+                   help="force the kernel cut at these BILBO registers "
+                        "(single circuit target only)")
+    p.add_argument("--polynomial", type=lambda s: int(s, 0), default=None,
+                   help="force the LFSR feedback polynomial (int, any base) "
+                        "so lint vets a proposed TPG")
+    add_json_flag(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "telemetry",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.analysis.balance import is_balanced
 from repro.errors import SelectionError

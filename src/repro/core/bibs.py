@@ -15,10 +15,9 @@ register on both its TPG and SA side.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.balance import is_balanced
 from repro.bilbo.cost import BILBO_CELL_AREA, DFF_AREA
 from repro.core.kernels import Kernel, extract_kernels
 from repro.errors import SelectionError

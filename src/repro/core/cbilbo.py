@@ -12,10 +12,10 @@ and prices both options.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.bilbo.cost import BILBO_CELL_AREA, CBILBO_CELL_AREA, DFF_AREA
-from repro.graph.model import CircuitGraph, Edge
+from repro.graph.model import CircuitGraph
 from repro.graph.structures import cycle_register_edges, simple_cycles
 
 

@@ -13,7 +13,7 @@ BISTable kernels are 1-step functionally testable (Theorem 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
@@ -25,7 +25,6 @@ from repro.errors import SimulationError
 from repro.faultsim.patterns import RandomPatternSource
 from repro.faultsim.simulator import FaultSimResult, FaultSimulator
 from repro.graph.build import build_circuit_graph
-from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 from repro.rtl.circuit import RTLCircuit
 

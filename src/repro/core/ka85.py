@@ -19,13 +19,13 @@ datapaths each adder/multiplier comes out as its own kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.bibs import (
     BIBSDesign,
     mandatory_bilbo_registers,
 )
-from repro.core.kernels import Kernel, extract_kernels
+from repro.core.kernels import extract_kernels
 from repro.errors import SelectionError
 from repro.graph.model import CircuitGraph, Edge, VertexKind
 from repro.graph.structures import simple_cycles, cycle_register_edges

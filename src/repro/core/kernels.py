@@ -10,8 +10,8 @@ kernel by :meth:`Kernel.is_balanced_bistable`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List
 
 from repro.analysis.balance import is_balanced
 from repro.analysis.cones import kernel_spec_from_graph

@@ -19,8 +19,8 @@ sessions instead of 4,440 sequential patterns).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
 
 from repro.core.kernels import Kernel
 from repro.errors import ScheduleError

@@ -16,7 +16,7 @@ register, like (b+c) and (f+g) in c4a4m.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.datapath.modules import adder_spec, multiplier_spec

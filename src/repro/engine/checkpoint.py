@@ -34,6 +34,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.faultsim.faults import Fault
 from repro.faultsim.patterns import PatternSource, source_fingerprint
 from repro.netlist.netlist import Netlist
@@ -106,7 +107,12 @@ class CheckpointStore:
                     record = pickle.load(handle)
                 shard = int(record["shard"])
                 round_index = int(record["round"])
-            except Exception:
+            except (OSError, EOFError, pickle.UnpicklingError, KeyError,
+                    IndexError, ValueError, TypeError, AttributeError,
+                    ImportError):
+                # Half-written or foreign record: unpickling garbage can
+                # surface as almost any of these.  The round just re-runs.
+                telemetry.count("engine.swallowed_errors")
                 continue
             records[(shard, round_index)] = record
         return records

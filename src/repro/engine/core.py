@@ -33,7 +33,7 @@ import hashlib
 import multiprocessing
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -43,7 +43,7 @@ from repro.engine import checkpoint as checkpoint_io
 from repro.engine.cache import GoldenBatches, GoldenCache
 from repro.engine.chaos import ChaosInterrupt, FaultInjector
 from repro.engine.instrumentation import ShardStats, publish_engine_metrics
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.faults import Fault
 from repro.faultsim.patterns import PatternSource
@@ -335,8 +335,10 @@ class _WorkerPool:
         for process in processes:
             try:
                 process.terminate()
-            except Exception:
-                pass
+            except (OSError, ValueError, AttributeError):
+                # Already exited/closed (or reaped by the executor between
+                # our snapshot and the terminate); nothing left to kill.
+                telemetry.count("engine.swallowed_errors")
 
 
 def simulate(
@@ -358,6 +360,7 @@ def simulate(
     chaos: Optional[FaultInjector] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    check: bool = True,
 ) -> EngineResult:
     """Fault-simulate ``patterns`` against ``faults``, optionally in parallel.
 
@@ -404,6 +407,12 @@ def simulate(
         Replay rounds already journaled under ``checkpoint_dir`` instead
         of re-executing them; ``False`` clears any prior journal for this
         exact run.
+    check:
+        Run the :mod:`repro.lint` netlist rules as a pre-flight and raise
+        :class:`~repro.errors.LintError` on error-severity findings (a
+        combinational cycle, a floating net...) before any worker is
+        spawned.  ``check=False`` skips the pre-flight entirely; results
+        are bit-identical either way since lint never touches the run.
     """
     if batch_width < 1:
         raise SimulationError("batch width must be positive")
@@ -411,6 +420,12 @@ def simulate(
         raise SimulationError("chunk_batches must be positive")
     if max_retries < 0:
         raise SimulationError("max_retries must be >= 0")
+    if check:
+        # Fail fast with witnesses, before faults are collapsed, golden
+        # batches are computed, or any shard process exists.
+        from repro.lint.runner import preflight_netlist
+
+        preflight_netlist(netlist)
     if faults is None:
         faults, _ = collapse_faults(netlist)
     if patterns is None:
@@ -778,10 +793,14 @@ def _execute_round(
             except FutureTimeoutError:
                 stats[shard_id].timeouts += 1
                 failed.append(shard_id)
-            except Exception:
-                # BrokenProcessPool, a worker-raised error, or corruption:
-                # all retried the same way.
+            except (BrokenExecutor, ReproError, pickle.PickleError, OSError):
+                # A dead worker (BrokenProcessPool), a worker-raised library
+                # error (ChaosError, SimulationError), a corrupted payload
+                # (_CorruptShardRound), or an IPC/pickling failure: all
+                # retried the same way.  Anything else — a genuine bug —
+                # propagates instead of being silently retried.
                 stats[shard_id].failures += 1
+                telemetry.count("engine.swallowed_errors")
                 failed.append(shard_id)
             else:
                 results[shard_id] = (detections, survivors, measured)

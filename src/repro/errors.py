@@ -39,3 +39,17 @@ class ScheduleError(ReproError):
 
 class SimulationError(ReproError):
     """Fault simulation was asked to do something impossible."""
+
+
+class LintError(ReproError):
+    """Static design-rule checking found error-severity findings.
+
+    Raised by the :mod:`repro.lint` pre-flight hooks (``engine.simulate``
+    and ``BISTSession`` with ``check=True``).  ``findings`` carries the
+    offending :class:`repro.lint.Finding` records, witnesses included, so
+    callers can render or triage them without re-running the analysis.
+    """
+
+    def __init__(self, message: str, findings=()):
+        super().__init__(message)
+        self.findings = list(findings)

@@ -26,7 +26,6 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import sys
 import time
 
 from repro.experiments.figures import (

@@ -16,7 +16,6 @@ from repro.core.ballast import make_balanced_by_scan
 from repro.core.bibs import make_bibs_testable
 from repro.core.ka85 import make_ka_testable
 from repro.core.schedule import ScheduledKernel, schedule_kernels
-from repro.experiments.render import render_table
 from repro.graph.build import build_circuit_graph
 from repro.graph.model import VertexKind
 from repro.graph.structures import find_urfs_witnesses, simple_cycles

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro import telemetry
-from repro.core.flow import TDMComparison, compare_tdms
+from repro.core.flow import compare_tdms
 from repro.datapath.filters import all_filters
 from repro.experiments.render import fmt, render_table
 

@@ -15,7 +15,7 @@ source; ``cop_weights`` derives the per-input probabilities.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.cop import estimate_detection_probabilities

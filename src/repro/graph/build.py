@@ -13,7 +13,6 @@ Derivation rules, matching the paper's Figure 3 example:
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.errors import GraphError
 from repro.graph.model import CircuitGraph, EdgeKind, VertexKind

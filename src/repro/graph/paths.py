@@ -9,10 +9,10 @@ delay* of a BISTable design counts BILBO registers along PI-to-PO paths
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.errors import GraphError
-from repro.graph.model import CircuitGraph, VertexKind
+from repro.graph.model import CircuitGraph
 from repro.graph.structures import topological_order
 
 

@@ -8,7 +8,7 @@ paths with differing numbers of register edges.  Both are produced here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import GraphError
 from repro.graph.model import CircuitGraph, Edge

@@ -1,0 +1,63 @@
+"""repro.lint — static design-rule checking for the BIBS flow.
+
+A rule-based analyzer over the three object families the paper's
+guarantees depend on:
+
+* **netlist** (``NL0xx``): combinational cycles, floating and
+  multiply-driven nets, dead logic, illegal gate fan-in;
+* **structure** (``ST0xx``): Definition 1 — acyclic, balanced kernels
+  with no TPG/SA register conflict — plus test-session schedule clashes;
+* **TPG** (``TP0xx``): primitive feedback polynomials, degree vs. stage
+  count, cone windows vs. LFSR size, fanout-stem sharing legality, LFSR
+  period vs. required test length.
+
+Every violation is a :class:`Finding` with a machine-checkable witness
+(the actual cycle, the unequal-length path pair, the colliding cells).
+``repro-bist lint`` runs the analyzer from the CLI; ``engine.simulate``
+and :class:`repro.bist.BISTSession` run the relevant families as an
+opt-out pre-flight (``check=False`` skips), raising
+:class:`~repro.errors.LintError` before any worker spawns.  See
+``docs/LINT.md`` for the rule catalog and the baseline workflow.
+"""
+
+from repro.errors import LintError
+from repro.lint.baseline import (
+    baseline_entries,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.model import Finding, LintReport, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, rule, rules_for
+from repro.lint.runner import (
+    ensure_clean,
+    lint_circuit,
+    lint_netlist,
+    lint_structure,
+    lint_tpg,
+    preflight_netlist,
+    preflight_session,
+)
+from repro.lint.structure_rules import StructureTarget
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "StructureTarget",
+    "all_rules",
+    "baseline_entries",
+    "ensure_clean",
+    "get_rule",
+    "lint_circuit",
+    "lint_netlist",
+    "lint_structure",
+    "lint_tpg",
+    "load_baseline",
+    "preflight_netlist",
+    "preflight_session",
+    "rule",
+    "rules_for",
+    "write_baseline",
+]

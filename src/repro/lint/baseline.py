@@ -1,0 +1,83 @@
+"""Baseline files: suppress known findings so CI fails only on *new* ones.
+
+The baseline is a JSON document listing finding fingerprints (see
+:meth:`~repro.lint.model.Finding.fingerprint`) with enough context to
+audit each suppression by hand::
+
+    {
+      "kind": "lint-baseline",
+      "version": 1,
+      "suppress": [
+        {"fingerprint": "...", "rule": "ST002", "target": "figure4",
+         "location": "kernel1:C1->C3"}
+      ]
+    }
+
+``repro-bist lint --baseline FILE`` moves matching findings out of the
+failing set; ``--update-baseline`` rewrites the file from the current
+findings (the reviewed way to accept a known violation).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Set
+
+from repro.lint.model import LintReport
+
+BASELINE_KIND = "lint-baseline"
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints suppressed by the baseline file at ``path``."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or doc.get("kind") != BASELINE_KIND:
+        raise ValueError(f"{path}: not a lint baseline file")
+    entries = doc.get("suppress", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'suppress' must be a list")
+    fingerprints: Set[str] = set()
+    for entry in entries:
+        if isinstance(entry, str):
+            fingerprints.add(entry)
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            fingerprints.add(str(entry["fingerprint"]))
+        else:
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+    return fingerprints
+
+
+def baseline_entries(reports: Iterable[LintReport]) -> List[Dict[str, Any]]:
+    """Audit-friendly suppression entries for every current finding."""
+    entries: List[Dict[str, Any]] = []
+    seen: Set[str] = set()
+    for report in reports:
+        for finding in list(report.findings) + list(report.suppressed):
+            fingerprint = finding.fingerprint(report.target)
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            entries.append({
+                "fingerprint": fingerprint,
+                "rule": finding.rule,
+                "target": report.target,
+                "location": finding.location,
+            })
+    entries.sort(key=lambda e: (e["target"], e["rule"], e["location"]))
+    return entries
+
+
+def write_baseline(path: str, reports: Iterable[LintReport]) -> int:
+    """Write a baseline accepting every current finding; returns the count."""
+    entries = baseline_entries(reports)
+    doc = {
+        "kind": BASELINE_KIND,
+        "version": BASELINE_VERSION,
+        "suppress": entries,
+    }
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

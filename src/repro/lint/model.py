@@ -1,0 +1,198 @@
+"""Data model of the static design-rule checker: findings and reports.
+
+A :class:`Finding` is one rule violation: the rule id, a severity, a
+*location* (a path into the netlist/graph/TPG object that was linted), a
+human-readable message, and a machine-checkable *witness* — the actual
+combinational cycle, the two unequal-length paths, the offending register
+pair — so downstream tooling (and the test suite) can verify the claim
+instead of trusting the prose.
+
+A :class:`LintReport` aggregates findings for one lint target and renders
+them as text or JSON; :func:`repro.lint.baseline` suppresses known
+findings by their stable fingerprints.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+
+class Severity(enum.Enum):
+    """Severity of a finding; ``ERROR`` gates pre-flight and CI."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Lower is more severe (error=0, warning=1, info=2)."""
+        return _SEVERITY_RANK[self]
+
+    @classmethod
+    def parse(cls, value: "str | Severity") -> "Severity":
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(s.value for s in cls)
+            raise ValueError(
+                f"unknown severity {value!r} (choose from {choices})"
+            ) from None
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.ERROR: 0,
+    Severity.WARNING: 1,
+    Severity.INFO: 2,
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, witness included."""
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    witness: Mapping[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self, target: str = "") -> str:
+        """Stable id used by baseline files to suppress known findings.
+
+        Deliberately excludes the witness and message: a baseline entry
+        should survive cosmetic rewording and small renumberings as long
+        as the rule still fires at the same place.
+        """
+        blob = f"{target}|{self.rule}|{self.location}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def to_json(self, target: str = "") -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+            "witness": dict(self.witness),
+            "fingerprint": self.fingerprint(target),
+        }
+
+    def render(self) -> str:
+        text = f"[{self.severity.value}] {self.rule} {self.location}: {self.message}"
+        if self.witness:
+            witness = json.dumps(dict(self.witness), sort_keys=True, default=str)
+            text += f"  witness={witness}"
+        return text
+
+
+def _sort_key(finding: Finding):
+    return (finding.severity.rank, finding.rule, finding.location)
+
+
+@dataclass
+class LintReport:
+    """All findings for one lint target."""
+
+    target: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.findings = sorted(self.findings, key=_sort_key)
+
+    # ------------------------------------------------------------- selection
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {s.value: 0 for s in Severity}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        return counts
+
+    def filtered(self, min_severity: "str | Severity") -> "LintReport":
+        """Keep findings at least as severe as ``min_severity``."""
+        threshold = Severity.parse(min_severity).rank
+        kept = [f for f in self.findings if f.severity.rank <= threshold]
+        return LintReport(self.target, kept, list(self.suppressed))
+
+    def with_prefix(self, prefix: str) -> "LintReport":
+        """Re-anchor finding locations under ``prefix`` (for merged reports)."""
+        findings = [
+            Finding(f.rule, f.severity, f"{prefix}:{f.location}",
+                    f.message, f.witness)
+            for f in self.findings
+        ]
+        return LintReport(self.target, findings, list(self.suppressed))
+
+    def apply_baseline(self, fingerprints: Iterable[str]) -> "LintReport":
+        """Move findings whose fingerprint is baselined into ``suppressed``."""
+        known = set(fingerprints)
+        kept: List[Finding] = []
+        suppressed = list(self.suppressed)
+        for finding in self.findings:
+            if finding.fingerprint(self.target) in known:
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        return LintReport(self.target, kept, suppressed)
+
+    # ------------------------------------------------------------- rendering
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": "lint-report",
+            "target": self.target,
+            "counts": self.counts(),
+            "n_suppressed": len(self.suppressed),
+            "findings": [f.to_json(self.target) for f in self.findings],
+            "suppressed": [f.to_json(self.target) for f in self.suppressed],
+        }
+
+    def render_text(self) -> str:
+        counts = self.counts()
+        lines = [
+            f"lint {self.target}: {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info"
+            + (f", {len(self.suppressed)} baselined" if self.suppressed else "")
+        ]
+        for finding in self.findings:
+            lines.append(f"  {finding.render()}")
+        if not self.findings:
+            lines.append("  clean")
+        return "\n".join(lines)
+
+    @staticmethod
+    def merge(reports: Iterable["LintReport"],
+              target: Optional[str] = None) -> "LintReport":
+        """Combine per-object reports into one (locations left as-is)."""
+        reports = list(reports)
+        findings: List[Finding] = []
+        suppressed: List[Finding] = []
+        for report in reports:
+            findings.extend(report.findings)
+            suppressed.extend(report.suppressed)
+        name = target if target is not None else (
+            reports[0].target if reports else "lint"
+        )
+        return LintReport(name, findings, suppressed)

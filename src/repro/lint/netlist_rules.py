@@ -1,0 +1,211 @@
+"""Netlist design rules (``NL0xx``): structural sanity of gate-level netlists.
+
+These mirror what :meth:`repro.netlist.Netlist.validate` enforces — plus
+checks ``add_gate`` makes unconstructable through the API but which still
+appear in hand-edited or deserialized netlists — and, unlike ``validate``,
+report *every* violation with a machine-checkable witness instead of
+raising on the first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from repro.errors import NetlistError
+from repro.lint.registry import Draft, rule
+from repro.netlist.gates import validate_fanin
+from repro.netlist.netlist import Netlist
+
+
+def _gate_label(netlist: Netlist, index: int) -> str:
+    gate = netlist.gates[index]
+    return gate.name or f"{gate.gtype.value}#{index}"
+
+
+def _gate_successors(netlist: Netlist) -> Dict[int, List[int]]:
+    """Gate index -> indices of gates reading its output net."""
+    fanout = netlist.fanout_map()
+    return {
+        index: fanout.get(gate.output, [])
+        for index, gate in enumerate(netlist.gates)
+    }
+
+
+def _cyclic_sccs(successors: Dict[int, List[int]]) -> List[List[int]]:
+    """Strongly connected components with a cycle (size > 1 or a self-loop)."""
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = [0]
+
+    for root in successors:
+        if root in index_of:
+            continue
+        work = [(root, iter(successors[root]))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in successors.get(node, []):
+                    sccs.append(sorted(component))
+    return sccs
+
+
+def _one_cycle(successors: Dict[int, List[int]], component: List[int]) -> List[int]:
+    """One concrete cycle inside a cyclic SCC, as an ordered gate list."""
+    members = set(component)
+    start = component[0]
+    path = [start]
+    on_path = {start}
+    work = [(start, iter(successors[start]))]
+    while work:
+        node, it = work[-1]
+        advanced = False
+        for succ in it:
+            if succ == start:
+                return list(path)
+            if succ in members and succ not in on_path:
+                path.append(succ)
+                on_path.add(succ)
+                work.append((succ, iter(successors[succ])))
+                advanced = True
+                break
+        if not advanced:
+            work.pop()
+            on_path.discard(path.pop())
+    return [start]
+
+
+@rule("NL001", "error", "netlist")
+def combinational_cycle(netlist: Netlist) -> Iterator[Draft]:
+    """Combinational cycle: the netlist cannot be levelized."""
+    successors = _gate_successors(netlist)
+    for component in _cyclic_sccs(successors):
+        cycle = _one_cycle(successors, component)
+        nets = [netlist.net_name(netlist.gates[g].output) for g in cycle]
+        loop = " -> ".join(nets + nets[:1])
+        yield (
+            f"net:{nets[0]}",
+            f"combinational cycle through {loop}",
+            {
+                "cycle_nets": nets,
+                "cycle_gates": [_gate_label(netlist, g) for g in cycle],
+            },
+        )
+
+
+@rule("NL002", "error", "netlist")
+def floating_net(netlist: Netlist) -> Iterator[Draft]:
+    """Floating net: read by a gate or primary output but never driven."""
+    driven = set(netlist.primary_inputs)
+    driven.update(gate.output for gate in netlist.gates)
+    readers: Dict[int, List[int]] = {}
+    for index, gate in enumerate(netlist.gates):
+        for net in gate.inputs:
+            if net not in driven:
+                readers.setdefault(net, []).append(index)
+    for net in sorted(readers):
+        names = [_gate_label(netlist, g) for g in readers[net]]
+        yield (
+            f"net:{netlist.net_name(net)}",
+            f"floating net read by gate(s) {', '.join(names)}",
+            {"net": netlist.net_name(net), "readers": names,
+             "primary_output": net in netlist.primary_outputs},
+        )
+    for net in netlist.primary_outputs:
+        if net in driven or net in readers:
+            continue
+        yield (
+            f"net:{netlist.net_name(net)}",
+            "primary output is floating (no driver)",
+            {"net": netlist.net_name(net), "readers": [],
+             "primary_output": True},
+        )
+
+
+@rule("NL003", "error", "netlist")
+def multiple_drivers(netlist: Netlist) -> Iterator[Draft]:
+    """Multiply-driven net: more than one gate drives the same net."""
+    drivers: Dict[int, List[int]] = {}
+    for index, gate in enumerate(netlist.gates):
+        drivers.setdefault(gate.output, []).append(index)
+    for net, gate_indices in sorted(drivers.items()):
+        conflict = list(gate_indices)
+        if net in netlist.primary_inputs:
+            # A driven primary input is a driver conflict too.
+            conflict = ["<primary input>"] + conflict
+        if len(conflict) < 2:
+            continue
+        names = [
+            g if isinstance(g, str) else _gate_label(netlist, g)
+            for g in conflict
+        ]
+        yield (
+            f"net:{netlist.net_name(net)}",
+            f"net driven by {len(names)} sources: {', '.join(names)}",
+            {"net": netlist.net_name(net), "drivers": names},
+        )
+
+
+@rule("NL004", "warning", "netlist")
+def dangling_output(netlist: Netlist) -> Iterator[Draft]:
+    """Unused gate: its output is read by nothing and is not a primary output."""
+    fanout = netlist.fanout_map()
+    pos = set(netlist.primary_outputs)
+    for index, gate in enumerate(netlist.gates):
+        if gate.output in pos or fanout.get(gate.output):
+            continue
+        yield (
+            f"gate:{_gate_label(netlist, index)}",
+            f"gate output {netlist.net_name(gate.output)} drives nothing "
+            "(dead logic)",
+            {"gate": _gate_label(netlist, index),
+             "net": netlist.net_name(gate.output)},
+        )
+
+
+@rule("NL005", "error", "netlist")
+def fanin_arity(netlist: Netlist) -> Iterator[Draft]:
+    """Width mismatch: a gate's fan-in is illegal for its type."""
+    for index, gate in enumerate(netlist.gates):
+        try:
+            validate_fanin(gate.gtype, len(gate.inputs))
+        except NetlistError as error:
+            yield (
+                f"gate:{_gate_label(netlist, index)}",
+                str(error),
+                {"gate": _gate_label(netlist, index),
+                 "gtype": gate.gtype.value,
+                 "fanin": len(gate.inputs),
+                 "min_fanin": gate.gtype.min_fanin},
+            )

@@ -1,0 +1,95 @@
+"""The rule registry: ``@rule(id, severity, target)`` and the dispatcher.
+
+A rule is a generator taking the target object and yielding
+``(location, message, witness)`` drafts; the registry stamps each draft
+with the rule's id and severity to produce :class:`~repro.lint.model.Finding`
+records.  Rules are grouped by *target family* — ``"netlist"`` checks a
+:class:`repro.netlist.Netlist`, ``"structure"`` a
+:class:`~repro.lint.structure_rules.StructureTarget` (graph + kernels +
+schedule), ``"tpg"`` a :class:`repro.tpg.TPGDesign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple,
+)
+
+from repro.lint.model import Finding, Severity
+
+Draft = Tuple[str, str, Mapping[str, Any]]
+RuleFunc = Callable[[Any], Iterator[Draft]]
+
+TARGET_FAMILIES = ("netlist", "structure", "tpg")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered design rule."""
+
+    id: str
+    severity: Severity
+    target: str
+    func: RuleFunc
+    title: str
+
+    def run(self, obj: Any) -> List[Finding]:
+        return [
+            Finding(self.id, self.severity, location, message, dict(witness))
+            for location, message, witness in self.func(obj)
+        ]
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: str, target: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a design rule.
+
+    ``severity`` is one of ``error``/``warning``/``info``; ``target`` names
+    the family whose lint entry point will run this rule.
+    """
+    if target not in TARGET_FAMILIES:
+        raise ValueError(
+            f"unknown rule target {target!r} (choose from {TARGET_FAMILIES})"
+        )
+
+    def decorate(func: RuleFunc) -> RuleFunc:
+        if rule_id in _RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        title = (func.__doc__ or "").strip().splitlines()[0] if func.__doc__ else ""
+        _RULES[rule_id] = Rule(rule_id, Severity.parse(severity), target, func, title)
+        return func
+
+    return decorate
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(f"no rule registered as {rule_id!r}") from None
+
+
+def all_rules() -> List[Rule]:
+    return sorted(_RULES.values(), key=lambda r: r.id)
+
+
+def rules_for(target: str) -> List[Rule]:
+    return [r for r in all_rules() if r.target == target]
+
+
+def run_rules(
+    target: str,
+    obj: Any,
+    only: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run every rule of the family (or the ``only`` subset) against ``obj``."""
+    wanted = set(only) if only is not None else None
+    findings: List[Finding] = []
+    for r in rules_for(target):
+        if wanted is not None and r.id not in wanted:
+            continue
+        findings.extend(r.run(obj))
+    return findings

@@ -1,0 +1,170 @@
+"""Lint entry points: run rule families and gate on error findings.
+
+``lint_netlist`` / ``lint_structure`` / ``lint_tpg`` run one family each;
+``lint_circuit`` chains the whole static pipeline for an RTL circuit
+(graph -> kernels -> per-kernel TPG).  ``preflight_netlist`` and
+``preflight_session`` are the engine/BIST hooks: they raise a structured
+:class:`~repro.errors.LintError` when error-severity findings exist, and
+publish ``lint.*`` counters/spans through :mod:`repro.telemetry` so run
+manifests record what was checked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro import telemetry
+from repro.errors import (
+    BalanceError,
+    GraphError,
+    LintError,
+    SelectionError,
+    TPGError,
+)
+from repro.lint.model import LintReport
+from repro.lint.registry import run_rules
+from repro.lint.structure_rules import StructureTarget
+
+# Importing the rule modules is what populates the registry.
+from repro.lint import netlist_rules as _netlist_rules  # noqa: F401
+from repro.lint import tpg_rules as _tpg_rules          # noqa: F401
+
+
+def _publish(report: LintReport) -> LintReport:
+    telemetry.count("lint.findings", len(report.findings))
+    telemetry.count("lint.errors", len(report.errors))
+    return report
+
+
+def lint_netlist(netlist, *, name: Optional[str] = None) -> LintReport:
+    """Run the netlist rule family against a :class:`repro.netlist.Netlist`."""
+    target = name or getattr(netlist, "name", "netlist")
+    with telemetry.span("lint.netlist", target=target,
+                        n_gates=len(netlist.gates)):
+        findings = run_rules("netlist", netlist)
+    return _publish(LintReport(target, findings))
+
+
+def lint_structure(
+    graph=None,
+    kernels: Sequence = (),
+    schedule=None,
+    *,
+    name: Optional[str] = None,
+) -> LintReport:
+    """Run the structure rule family (Definition 1, schedule conflicts)."""
+    target = name or (graph.name if graph is not None else "structure")
+    obj = StructureTarget(graph=graph, kernels=tuple(kernels),
+                          schedule=schedule, name=target)
+    with telemetry.span("lint.structure", target=target,
+                        n_kernels=len(obj.kernels)):
+        findings = run_rules("structure", obj)
+    return _publish(LintReport(target, findings))
+
+
+def lint_tpg(design, *, name: Optional[str] = None) -> LintReport:
+    """Run the TPG rule family against a :class:`repro.tpg.TPGDesign`."""
+    target = name or f"tpg:{design.kernel.name}"
+    with telemetry.span("lint.tpg", target=target,
+                        lfsr_stages=design.lfsr_stages):
+        findings = run_rules("tpg", design)
+    return _publish(LintReport(target, findings))
+
+
+def lint_circuit(
+    circuit,
+    *,
+    bilbo: Optional[Iterable[str]] = None,
+    polynomial: Optional[int] = None,
+    name: Optional[str] = None,
+) -> LintReport:
+    """Full static pipeline for an RTL circuit.
+
+    Builds the circuit graph, cuts kernels (at ``bilbo`` if given, else the
+    BIBS selection), runs the structure rules, then designs an MC_TPG per
+    logic kernel (``polynomial`` overrides the feedback choice — the knob
+    that lets lint vet a *proposed* polynomial) and runs the TPG rules.
+    Kernels whose structure violations prevent TPG construction are
+    reported by the structure rules alone.
+    """
+    from repro.core.bibs import make_bibs_testable
+    from repro.core.kernels import extract_kernels
+    from repro.graph.build import build_circuit_graph
+    from repro.tpg.mc_tpg import mc_tpg
+
+    target = name or circuit.name
+    with telemetry.span("lint.circuit", target=target):
+        graph = build_circuit_graph(circuit)
+        kernels: List = []
+        if bilbo:
+            kernels = extract_kernels(graph, bilbo)
+        else:
+            try:
+                kernels = list(make_bibs_testable(graph).kernels)
+            except SelectionError:
+                kernels = []
+        reports = [
+            lint_structure(graph=graph, kernels=kernels, name=target)
+        ]
+        for kernel in kernels:
+            if not kernel.logic_blocks:
+                continue
+            try:
+                design = mc_tpg(kernel.to_kernel_spec(), polynomial=polynomial)
+            except (TPGError, BalanceError, GraphError):
+                # The structure rules already explain why no TPG exists
+                # (cyclic or unbalanced kernel); nothing further to lint.
+                continue
+            reports.append(
+                lint_tpg(design, name=target).with_prefix(kernel.name)
+            )
+    # The per-family calls above already published their lint.* counters.
+    return LintReport.merge(reports, target=target)
+
+
+# ------------------------------------------------------------------ pre-flight
+
+
+def _error_summary(report: LintReport, limit: int = 5) -> str:
+    parts = [
+        f"{f.rule} {f.location}: {f.message}" for f in report.errors[:limit]
+    ]
+    more = len(report.errors) - limit
+    if more > 0:
+        parts.append(f"... and {more} more")
+    return "; ".join(parts)
+
+
+def ensure_clean(report: LintReport, context: str) -> LintReport:
+    """Raise :class:`LintError` when the report has error findings."""
+    if report.has_errors:
+        telemetry.count("lint.preflight_failures")
+        raise LintError(
+            f"{context} failed for {report.target}: "
+            f"{_error_summary(report)}",
+            findings=report.errors,
+        )
+    return report
+
+
+def preflight_netlist(netlist, *, name: Optional[str] = None) -> LintReport:
+    """Engine pre-flight: lint the netlist, raise before any shard spawns."""
+    with telemetry.span("lint.preflight", target=name or netlist.name):
+        telemetry.count("lint.preflight_runs")
+        report = lint_netlist(netlist, name=name)
+    return ensure_clean(report, "pre-flight lint")
+
+
+def preflight_session(kernel, design, *, name: Optional[str] = None) -> LintReport:
+    """BIST-session pre-flight: lint the kernel structure and its TPG."""
+    target = name or kernel.name
+    with telemetry.span("lint.preflight", target=target):
+        telemetry.count("lint.preflight_runs")
+        report = LintReport.merge(
+            [
+                lint_structure(kernels=[kernel], name=target),
+                lint_tpg(design, name=target).with_prefix("tpg"),
+            ],
+            target=target,
+        )
+    return ensure_clean(report, "pre-flight lint")

@@ -1,0 +1,162 @@
+"""Structure design rules (``ST0xx``): Definition 1 and session scheduling.
+
+These check the BIBS-side preconditions of the paper on a
+:class:`StructureTarget` — the circuit graph, the kernels cut out of it,
+and (optionally) a proposed test schedule:
+
+* every kernel must be a *balanced BISTable* structure (Definition 1):
+  acyclic, every vertex pair's paths of equal sequential length, and no
+  register acting as TPG and SA at once;
+* kernels sharing a test session must not conflict on registers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.kernels import Kernel
+from repro.core.schedule import Schedule, kernels_conflict
+from repro.graph.model import CircuitGraph
+from repro.graph.structures import (
+    cyclic_vertices,
+    find_urfs_witnesses,
+    is_acyclic,
+    simple_cycles,
+)
+from repro.lint.registry import Draft, rule
+
+# Unbalanced kernels can have quadratically many URFS witness pairs; a
+# handful is enough to localize the problem.
+MAX_WITNESSES_PER_KERNEL = 8
+
+
+@dataclass
+class StructureTarget:
+    """What the structure family lints: graph, kernels, optional schedule."""
+
+    graph: Optional[CircuitGraph] = None
+    kernels: Sequence[Kernel] = field(default_factory=tuple)
+    schedule: Optional[Schedule] = None
+    name: str = "structure"
+
+
+def _shortest_cycle(graph: CircuitGraph) -> List[str]:
+    cycles = simple_cycles(graph, limit=200)
+    if cycles:
+        return min(cycles, key=len)
+    return sorted(cyclic_vertices(graph))
+
+
+@rule("ST001", "error", "structure")
+def kernel_cyclic(target: StructureTarget) -> Iterator[Draft]:
+    """Non-acyclic kernel: Definition 1 requires kernels without cycles."""
+    for kernel in target.kernels:
+        if is_acyclic(kernel.graph):
+            continue
+        cycle = _shortest_cycle(kernel.graph)
+        loop = " -> ".join(cycle + cycle[:1])
+        yield (
+            kernel.name,
+            f"kernel contains a directed cycle: {loop}",
+            {"kernel": kernel.name, "cycle": cycle},
+        )
+
+
+@rule("ST002", "error", "structure")
+def kernel_unbalanced(target: StructureTarget) -> Iterator[Draft]:
+    """Unbalanced kernel: two paths between a vertex pair differ in
+    sequential length (Definition 1 balance violation)."""
+    for kernel in target.kernels:
+        if not is_acyclic(kernel.graph):
+            continue  # ST001 reports the cycle; path lengths are undefined
+        witnesses = find_urfs_witnesses(kernel.graph)
+        for witness in witnesses[:MAX_WITNESSES_PER_KERNEL]:
+            yield (
+                f"{kernel.name}:{witness.source}->{witness.target}",
+                f"paths from {witness.source} to {witness.target} have "
+                f"sequential lengths {witness.min_length} and "
+                f"{witness.max_length} (imbalance {witness.imbalance})",
+                {
+                    "kernel": kernel.name,
+                    "source": witness.source,
+                    "target": witness.target,
+                    "min_length": witness.min_length,
+                    "max_length": witness.max_length,
+                    "imbalance": witness.imbalance,
+                },
+            )
+        if len(witnesses) > MAX_WITNESSES_PER_KERNEL:
+            yield (
+                kernel.name,
+                f"{len(witnesses) - MAX_WITNESSES_PER_KERNEL} further "
+                "unbalanced vertex pairs omitted",
+                {"kernel": kernel.name, "omitted":
+                    len(witnesses) - MAX_WITNESSES_PER_KERNEL},
+            )
+
+
+@rule("ST003", "error", "structure")
+def bilbo_port_conflict(target: StructureTarget) -> Iterator[Draft]:
+    """BILBO port conflict: a register would generate patterns and compress
+    responses for the same kernel at once."""
+    for kernel in target.kernels:
+        shared = sorted(set(kernel.tpg_registers) & set(kernel.sa_registers))
+        internal = sorted(
+            e.register for e in kernel.internal_bilbo_edges if e.register
+        )
+        if not shared and not internal:
+            continue
+        offenders = sorted(set(shared) | set(internal))
+        yield (
+            kernel.name,
+            f"register(s) {', '.join(offenders)} are both TPG and SA for "
+            "the kernel (Definition 1 forbids a shared driver/driven "
+            "register)",
+            {"kernel": kernel.name, "registers": offenders,
+             "internal_bilbo_edges": internal},
+        )
+
+
+@rule("ST004", "error", "structure")
+def session_conflict(target: StructureTarget) -> Iterator[Draft]:
+    """Session schedule conflict: two kernels in one session clash on a
+    register resource."""
+    if target.schedule is None:
+        return
+    for session_index, session in enumerate(target.schedule.sessions):
+        for a, b in itertools.combinations(session, 2):
+            if not kernels_conflict(a.kernel, b.kernel):
+                continue
+            a_tpg, a_sa = set(a.kernel.tpg_registers), set(a.kernel.sa_registers)
+            b_tpg, b_sa = set(b.kernel.tpg_registers), set(b.kernel.sa_registers)
+            tpg_vs_sa = sorted((a_tpg & b_sa) | (a_sa & b_tpg))
+            shared_sa = sorted(a_sa & b_sa)
+            yield (
+                f"session{session_index + 1}:{a.name}+{b.name}",
+                f"kernels {a.name} and {b.name} cannot share a session "
+                f"(TPG/SA clash on {tpg_vs_sa or shared_sa})",
+                {
+                    "session": session_index + 1,
+                    "kernels": [a.name, b.name],
+                    "tpg_vs_sa": tpg_vs_sa,
+                    "shared_sa": shared_sa,
+                },
+            )
+
+
+@rule("ST005", "info", "structure")
+def graph_cyclic(target: StructureTarget) -> Iterator[Draft]:
+    """Cyclic circuit graph: fine for operation, but BIBS must cut every
+    cycle with BILBO registers before kernels exist."""
+    if target.graph is None or is_acyclic(target.graph):
+        return
+    cycle = _shortest_cycle(target.graph)
+    loop = " -> ".join(cycle + cycle[:1])
+    yield (
+        target.graph.name,
+        f"circuit graph contains a directed cycle ({loop}); BILBO "
+        "selection must cut it",
+        {"cycle": cycle},
+    )

@@ -1,0 +1,223 @@
+"""TPG design rules (``TP0xx``): the paper's SC_TPG/MC_TPG preconditions.
+
+Theorem 4/7 exhaustiveness only holds when the feedback polynomial is
+primitive, its degree matches the LFSR stage count, every cone's
+bit-stream window fits inside the LFSR, no two register cells of a cone
+observe the same stream position (illegal fanout-stem sharing), and the
+LFSR period covers the required ``2^w - 1`` patterns of the widest cone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.registry import Draft, rule
+from repro.tpg.design import TPGDesign
+from repro.tpg.gf2 import (
+    degree,
+    exponents_of,
+    is_irreducible,
+    is_primitive,
+    poly_mod,
+    poly_mul_mod,
+)
+
+# Bound on brute-force period computation for non-primitive polynomials.
+MAX_PERIOD_SEARCH_DEGREE = 22
+
+
+def _poly_str(poly: int) -> str:
+    terms = []
+    for exponent in exponents_of(poly):
+        if exponent == 0:
+            terms.append("1")
+        elif exponent == 1:
+            terms.append("x")
+        else:
+            terms.append(f"x^{exponent}")
+    return " + ".join(terms) if terms else "0"
+
+
+@dataclass
+class _ConeWindow:
+    """Stream positions one cone observes under the design's assignment."""
+
+    cone: str
+    logical_span: Optional[int]       # None when cells collide
+    collisions: List[Dict[str, Any]]  # position + the two colliding cells
+
+
+def _cone_windows(design: TPGDesign) -> List[_ConeWindow]:
+    """Per-cone stream windows, tolerating (and reporting) collisions.
+
+    A cell labelled ``L`` of a register at sequential length ``d`` observes
+    feedback stream bit ``b(t - (L - 1) - d)`` — the same position algebra
+    as :func:`repro.tpg.mc_tpg.cone_spans`, but collected instead of
+    raised so lint can report every offending pair.
+    """
+    kernel = design.kernel
+    windows: List[_ConeWindow] = []
+    for cone in kernel.cones:
+        positions: Dict[int, Tuple[str, int]] = {}
+        collisions: List[Dict[str, Any]] = []
+        for register in kernel.registers:
+            if not cone.depends_on(register.name):
+                continue
+            depth = cone.depths[register.name]
+            for cell in range(1, register.width + 1):
+                label = design.cell_labels[(register.name, cell)]
+                position = (label - 1) + depth
+                if position in positions:
+                    other = positions[position]
+                    collisions.append({
+                        "position": position,
+                        "cells": [
+                            {"register": other[0], "label": other[1]},
+                            {"register": register.name, "label": label},
+                        ],
+                    })
+                else:
+                    positions[position] = (register.name, label)
+        span: Optional[int] = None
+        if positions and not collisions:
+            span = max(positions) - min(positions) + 1
+        windows.append(_ConeWindow(cone.name, span, collisions))
+    return windows
+
+
+def lfsr_period(polynomial: int, stages: int) -> Optional[int]:
+    """Best-case cycle length of a type-1 LFSR with this feedback.
+
+    ``2^M - 1`` for a primitive polynomial; the multiplicative order of
+    ``x`` modulo the polynomial otherwise (the longest state cycle any
+    nonzero seed can reach).  ``0`` for singular feedback (no constant
+    term: states leak to zero).  ``None`` when the degree is too large to
+    brute-force and the polynomial is not primitive.
+    """
+    if polynomial & 1 == 0:
+        return 0
+    if is_primitive(polynomial):
+        return (1 << degree(polynomial)) - 1
+    if degree(polynomial) > MAX_PERIOD_SEARCH_DEGREE:
+        return None
+    limit = (1 << degree(polynomial)) - 1
+    acc = poly_mod(2, polynomial)
+    for exponent in range(1, limit + 1):
+        if acc == 1:
+            return exponent
+        acc = poly_mul_mod(acc, 2, polynomial)
+    return 0
+
+
+@rule("TP001", "error", "tpg")
+def nonprimitive_polynomial(design: TPGDesign) -> Iterator[Draft]:
+    """Non-primitive feedback polynomial: the LFSR cannot sweep all
+    2^M - 1 nonzero states (Theorem 4's premise)."""
+    poly = design.polynomial
+    if is_primitive(poly):
+        return
+    irreducible = is_irreducible(poly)
+    kind = "irreducible but non-primitive" if irreducible else "reducible"
+    yield (
+        "polynomial",
+        f"feedback polynomial {_poly_str(poly)} is {kind}; the TPG "
+        "constructions require a primitive polynomial",
+        {
+            "polynomial": poly,
+            "exponents": exponents_of(poly),
+            "degree": degree(poly),
+            "irreducible": irreducible,
+        },
+    )
+
+
+@rule("TP002", "error", "tpg")
+def polynomial_degree_mismatch(design: TPGDesign) -> Iterator[Draft]:
+    """Polynomial degree differs from the LFSR stage count."""
+    deg = degree(design.polynomial)
+    if deg == design.lfsr_stages:
+        return
+    yield (
+        "polynomial",
+        f"feedback polynomial has degree {deg} but the LFSR has "
+        f"{design.lfsr_stages} stages",
+        {
+            "degree": deg,
+            "lfsr_stages": design.lfsr_stages,
+            "polynomial": design.polynomial,
+        },
+    )
+
+
+@rule("TP003", "error", "tpg")
+def window_exceeds_lfsr(design: TPGDesign) -> Iterator[Draft]:
+    """Cone window wider than the LFSR: Theorem 7 requires every cone's
+    logical span to fit within the M LFSR stages."""
+    for window in _cone_windows(design):
+        if window.logical_span is None:
+            continue  # TP004 reports the collision
+        if window.logical_span <= design.lfsr_stages:
+            continue
+        yield (
+            f"cone:{window.cone}",
+            f"cone {window.cone} observes a bit-stream window of "
+            f"{window.logical_span} positions but the LFSR has only "
+            f"{design.lfsr_stages} stages",
+            {
+                "cone": window.cone,
+                "logical_span": window.logical_span,
+                "lfsr_stages": design.lfsr_stages,
+            },
+        )
+
+
+@rule("TP004", "error", "tpg")
+def shared_stem_collision(design: TPGDesign) -> Iterator[Draft]:
+    """Illegal fanout-stem sharing: two cells of one cone observe the same
+    stream position, so the cone can never see independent values there."""
+    for window in _cone_windows(design):
+        for collision in window.collisions:
+            cells = collision["cells"]
+            pair = " and ".join(
+                f"{cell['register']}[label {cell['label']}]" for cell in cells
+            )
+            yield (
+                f"cone:{window.cone}",
+                f"cone {window.cone}: cells {pair} observe the same "
+                f"stream position {collision['position']}",
+                {"cone": window.cone, **collision},
+            )
+
+
+@rule("TP005", "error", "tpg")
+def period_too_short(design: TPGDesign) -> Iterator[Draft]:
+    """LFSR period shorter than the required functionally exhaustive test
+    length for the widest cone."""
+    width = design.kernel.max_cone_width
+    if width <= 0:
+        return
+    required = (1 << width) - 1
+    period = lfsr_period(design.polynomial, design.lfsr_stages)
+    if period is None:
+        # Too large to brute-force; a non-primitive polynomial of degree M
+        # caps the period strictly below 2^M - 1, which only falls short
+        # when the widest cone needs the full sweep.
+        if degree(design.polynomial) <= width:
+            yield (
+                "polynomial",
+                f"non-primitive feedback cannot reach the {required} "
+                f"patterns the widest cone (w={width}) requires",
+                {"period": None, "required": required, "cone_width": width,
+                 "lfsr_stages": design.lfsr_stages},
+            )
+        return
+    if period >= required:
+        return
+    yield (
+        "polynomial",
+        f"LFSR period {period} is shorter than the {required} patterns "
+        f"required to exhaust the widest cone (w={width})",
+        {"period": period, "required": required, "cone_width": width,
+         "lfsr_stages": design.lfsr_stages},
+    )

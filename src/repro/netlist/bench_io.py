@@ -42,8 +42,14 @@ _NAME_TO_TYPE = {
 }
 
 
-def loads(text: str, name: str = "bench") -> Netlist:
-    """Parse ``.bench`` text into a :class:`Netlist`."""
+def loads(text: str, name: str = "bench", validate: bool = True) -> Netlist:
+    """Parse ``.bench`` text into a :class:`Netlist`.
+
+    ``validate=False`` skips the final :meth:`Netlist.validate` pass so
+    structurally broken files (combinational cycles, floating outputs) can
+    still be loaded — that is what lets ``repro-bist lint`` report *every*
+    violation in a bad file instead of dying on the first.
+    """
     netlist = Netlist(name)
     nets: Dict[str, int] = {}
     outputs: List[str] = []
@@ -79,10 +85,11 @@ def loads(text: str, name: str = "bench") -> Netlist:
     for target, gtype, args in gate_lines:
         netlist.add_gate(gtype, [net_of(a) for a in args], net_of(target), name=target)
     for token in outputs:
-        if token not in nets:
+        if token not in nets and validate:
             raise NetlistError(f"OUTPUT({token}) never defined")
-        netlist.mark_output(nets[token])
-    netlist.validate()
+        netlist.mark_output(net_of(token))
+    if validate:
+        netlist.validate()
     return netlist
 
 
@@ -99,10 +106,10 @@ def dumps(netlist: Netlist) -> str:
     return "\n".join(lines) + "\n"
 
 
-def load(path, name: str = "") -> Netlist:
+def load(path, name: str = "", validate: bool = True) -> Netlist:
     """Read a ``.bench`` file from disk."""
     with open(path) as handle:
-        return loads(handle.read(), name or str(path))
+        return loads(handle.read(), name or str(path), validate=validate)
 
 
 def dump(netlist: Netlist, path) -> None:

@@ -10,7 +10,7 @@ preserves per-pattern behaviour exactly, which is the substance of the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import NetlistError

@@ -8,7 +8,7 @@ a block's input/output ports are its ordered net connections.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import RTLError
 from repro.rtl.components import CombBlock, GateExpander, Net, RTLRegister, WordFunction

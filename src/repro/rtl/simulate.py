@@ -10,7 +10,7 @@ content of 1-step functional testability.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.errors import RTLError
 from repro.rtl.circuit import RTLCircuit

@@ -17,7 +17,7 @@ m-sequence, which is how :meth:`TPGDesign.register_streams` simulates it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import TPGError

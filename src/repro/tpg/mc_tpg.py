@@ -15,10 +15,10 @@ Complexity is O(m * n^2) for m cones and n registers, as the paper states.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import TPGError
-from repro.tpg.design import Cone, KernelSpec, Slot, TPGDesign, normalize_labels
+from repro.tpg.design import KernelSpec, Slot, TPGDesign, normalize_labels
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.errors import TPGError
-from repro.tpg.design import Cone, KernelSpec, TPGDesign
+from repro.tpg.design import Cone, TPGDesign
 
 
 @dataclass(frozen=True)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 import random
-from typing import List, Tuple
+from typing import List
 
 import pytest
 

@@ -1,0 +1,228 @@
+"""Lint-rule fixtures: one positive and one clean target per rule.
+
+``POSITIVE[rule_id]`` builds an object the rule must flag; ``CLEAN[rule_id]``
+builds a near-identical object it must not.  Builders return what the rule's
+family lints — a :class:`~repro.netlist.Netlist` for ``NL*`` rules, keyword
+arguments for :func:`repro.lint.lint_structure` for ``ST*`` rules, and a
+:class:`~repro.tpg.TPGDesign` for ``TP*`` rules.
+
+Several positives are *unconstructable through the public builder API*
+(multiple drivers, illegal fan-in) — exactly the hand-edited/deserialized
+shapes lint exists for — so they append :class:`~repro.netlist.gates.Gate`
+records directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.core.bibs import make_bibs_testable
+from repro.core.kernels import extract_kernels
+from repro.core.schedule import Schedule, ScheduledKernel
+from repro.graph.build import build_circuit_graph
+from repro.library.figures import figure3, figure4
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Gate, Netlist
+from repro.tpg.design import Cone, InputRegister, KernelSpec, Slot, TPGDesign
+from repro.tpg.mc_tpg import mc_tpg
+
+from tests.conftest import tiny_and_or
+
+# --------------------------------------------------------------- NL* targets
+
+
+def cyclic_netlist() -> Netlist:
+    """x = AND(a, loop); loop = BUF(x) — a two-gate combinational cycle."""
+    netlist = Netlist("cyclic")
+    a = netlist.new_input("a")
+    x = netlist.add_net("x")
+    loop = netlist.add_net("loop")
+    netlist.add_gate(GateType.AND, [a, loop], x, name="gx")
+    netlist.add_gate(GateType.BUF, [x], loop, name="gloop")
+    netlist.mark_output(x)
+    return netlist
+
+
+def floating_net_netlist() -> Netlist:
+    netlist = Netlist("floating")
+    a = netlist.new_input("a")
+    ghost = netlist.add_net("ghost")  # read below, never driven
+    y = netlist.add_net("y")
+    netlist.add_gate(GateType.AND, [a, ghost], y, name="gy")
+    netlist.mark_output(y)
+    return netlist
+
+
+def multi_driver_netlist() -> Netlist:
+    netlist = Netlist("multidriver")
+    a = netlist.new_input("a")
+    b = netlist.new_input("b")
+    y = netlist.add_net("y")
+    netlist.add_gate(GateType.BUF, [a], y, name="g0")
+    # add_gate refuses a second driver; hand-append like a bad deserializer.
+    netlist.gates.append(Gate(GateType.BUF, (b,), y, "g1"))
+    netlist.mark_output(y)
+    return netlist
+
+
+def dangling_output_netlist() -> Netlist:
+    netlist = tiny_and_or()
+    a = netlist.find_net("a")
+    dead = netlist.add_net("dead")
+    netlist.add_gate(GateType.NOT, [a], dead, name="gdead")
+    return netlist
+
+
+def bad_fanin_netlist() -> Netlist:
+    netlist = Netlist("badfanin")
+    a = netlist.new_input("a")
+    y = netlist.add_net("y")
+    # AND needs >= 2 inputs; validate_fanin in add_gate would refuse.
+    netlist.gates.append(Gate(GateType.AND, (a,), y, "gy"))
+    netlist.mark_output(y)
+    return netlist
+
+
+# --------------------------------------------------------------- ST* targets
+
+
+def _structure(circuit, bilbo=None, schedule=None) -> Dict[str, Any]:
+    graph = build_circuit_graph(circuit)
+    if bilbo is not None:
+        kernels = extract_kernels(graph, bilbo)
+    else:
+        kernels = list(make_bibs_testable(graph).kernels)
+    return {"graph": graph, "kernels": kernels, "schedule": schedule,
+            "name": circuit.name}
+
+
+def cyclic_kernel_structure() -> Dict[str, Any]:
+    """figure3 cut at R1/R9 only: the F<->H cycle stays inside a kernel."""
+    return _structure(figure3(), bilbo=["R1", "R9"])
+
+
+def unbalanced_kernel_structure() -> Dict[str, Any]:
+    """figure4 cut at R1/R6: C1->C3 keeps paths of lengths 1 and 3."""
+    return _structure(figure4(), bilbo=["R1", "R6"])
+
+
+def port_conflict_structure() -> Dict[str, Any]:
+    """figure3 cut at R7 alone: R7 must both generate and compress."""
+    return _structure(figure3(), bilbo=["R7"])
+
+
+def conflicting_schedule_structure() -> Dict[str, Any]:
+    """Two resource-sharing figure4 BIBS kernels forced into one session."""
+    structure = _structure(figure4())
+    kernels = structure["kernels"]
+    structure["schedule"] = Schedule([
+        [ScheduledKernel(k, 100) for k in kernels]
+    ])
+    return structure
+
+
+def cyclic_graph_structure() -> Dict[str, Any]:
+    """figure3's raw graph (F -> H -> F) before any BILBO cut."""
+    graph = build_circuit_graph(figure3())
+    return {"graph": graph, "kernels": (), "schedule": None,
+            "name": graph.name}
+
+
+def clean_structure() -> Dict[str, Any]:
+    """figure4 with its proper BIBS selection and a conflict-free schedule."""
+    structure = _structure(figure4())
+    structure["schedule"] = Schedule([
+        [ScheduledKernel(k, 100)] for k in structure["kernels"]
+    ])
+    return structure
+
+
+# --------------------------------------------------------------- TP* targets
+
+
+def _spec(name: str = "k") -> KernelSpec:
+    return KernelSpec.single_cone([("R1", 4, 0)], name=name)
+
+
+def reducible_polynomial_tpg() -> TPGDesign:
+    """x^4 + x^2 + 1 = (x^2 + x + 1)^2 — reducible feedback."""
+    return mc_tpg(_spec(), polynomial=0b10101)
+
+
+def degree_mismatch_tpg() -> TPGDesign:
+    """Primitive degree-2 feedback on a 4-stage LFSR."""
+    good = mc_tpg(_spec())
+    return TPGDesign(good.kernel, good.slots, good.lfsr_stages,
+                     polynomial=0b111)
+
+
+def wide_window_tpg() -> TPGDesign:
+    """A depth-5 register pushes its cone window far past the 4 stages."""
+    spec = KernelSpec.single_cone([("A", 2, 0), ("B", 2, 5)], name="wide")
+    slots = [
+        Slot(1, ("A", 1)), Slot(2, ("A", 2)),
+        Slot(3, ("B", 1)), Slot(4, ("B", 2)),
+    ]
+    return TPGDesign(spec, slots, lfsr_stages=4)
+
+
+def shared_stem_tpg() -> TPGDesign:
+    """Two cells of one cone land on stream position 1: R1[1] at depth 1
+    and S1[1] labelled 2 at depth 0 both observe b(t - 1)."""
+    spec = KernelSpec(
+        registers=(InputRegister("R1", 1), InputRegister("S1", 1)),
+        cones=(Cone("cone", {"R1": 1, "S1": 0}),),
+        name="stem",
+    )
+    slots = [Slot(1, ("R1", 1)), Slot(2, ("S1", 1))]
+    return TPGDesign(spec, slots, lfsr_stages=2)
+
+
+def short_period_tpg() -> TPGDesign:
+    """A 3-wide cone fed from a 2-stage LFSR: period 3 < the 7 required."""
+    spec = KernelSpec.single_cone([("R1", 3, 0)], name="short")
+    slots = [Slot(1, ("R1", 1)), Slot(2, ("R1", 2)), Slot(3, ("R1", 3))]
+    return TPGDesign(spec, slots, lfsr_stages=2)
+
+
+def clean_tpg() -> TPGDesign:
+    return mc_tpg(_spec())
+
+
+# ------------------------------------------------------------------ catalogs
+
+POSITIVE: Dict[str, Callable[[], Any]] = {
+    "NL001": cyclic_netlist,
+    "NL002": floating_net_netlist,
+    "NL003": multi_driver_netlist,
+    "NL004": dangling_output_netlist,
+    "NL005": bad_fanin_netlist,
+    "ST001": cyclic_kernel_structure,
+    "ST002": unbalanced_kernel_structure,
+    "ST003": port_conflict_structure,
+    "ST004": conflicting_schedule_structure,
+    "ST005": cyclic_graph_structure,
+    "TP001": reducible_polynomial_tpg,
+    "TP002": degree_mismatch_tpg,
+    "TP003": wide_window_tpg,
+    "TP004": shared_stem_tpg,
+    "TP005": short_period_tpg,
+}
+
+CLEAN: Dict[str, Callable[[], Any]] = {
+    "NL001": tiny_and_or,
+    "NL002": tiny_and_or,
+    "NL003": tiny_and_or,
+    "NL004": tiny_and_or,
+    "NL005": tiny_and_or,
+    "ST001": clean_structure,
+    "ST002": clean_structure,
+    "ST003": clean_structure,
+    "ST004": clean_structure,
+    "ST005": clean_structure,
+    "TP001": clean_tpg,
+    "TP002": clean_tpg,
+    "TP003": clean_tpg,
+    "TP004": clean_tpg,
+    "TP005": clean_tpg,
+}

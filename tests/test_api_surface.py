@@ -1,6 +1,5 @@
 """Smaller API corners across packages."""
 
-import pytest
 
 from repro.bist.session import SessionResult
 from repro.experiments.table1 import full_gate_count
@@ -55,6 +54,33 @@ def test_cli_export_every_builtin(tmp_path):
         path = tmp_path / f"{name}.json"
         assert main(["export", name, str(path)]) == 0
         assert path.stat().st_size > 100
+
+
+def test_lint_surface_exports():
+    import repro
+    import repro.lint as lint
+
+    # The convenience names are importable from both levels.
+    for name in ("Finding", "LintError", "LintReport", "lint_circuit",
+                 "lint_netlist", "lint_structure", "lint_tpg"):
+        assert getattr(repro, name) is getattr(lint, name)
+    for name in lint.__all__:
+        assert getattr(lint, name) is not None
+    # The registry holds the documented five-per-family catalog.
+    by_family = {"netlist": 0, "structure": 0, "tpg": 0}
+    for r in lint.all_rules():
+        by_family[r.target] += 1
+    assert by_family == {"netlist": 5, "structure": 5, "tpg": 5}
+
+
+def test_lint_report_merge_keeps_target_name():
+    from repro.lint import LintReport
+
+    merged = LintReport.merge(
+        [LintReport("a"), LintReport("b")], target="combined"
+    )
+    assert merged.target == "combined"
+    assert not merged.has_errors
 
 
 def test_kernel_spec_from_session_roundtrips_registers():

@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.atpg.podem import PodemStatus, classify_faults, podem
@@ -13,7 +12,7 @@ from repro.netlist.builders import ripple_adder
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 
-from tests.conftest import make_random_netlist, tiny_and_or
+from tests.conftest import make_random_netlist
 
 
 def redundant_or_circuit():

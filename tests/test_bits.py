@@ -5,7 +5,7 @@ import pytest
 from repro.bilbo.register import BILBOMode
 from repro.bits import io_json
 from repro.bits.controller import Phase, BISTController
-from repro.bits.design_space import explore_design_space, pareto_front
+from repro.bits.design_space import explore_design_space
 from repro.core.bibs import make_bibs_testable
 from repro.core.cbilbo import find_single_register_cycles, recommend
 from repro.core.schedule import ScheduledKernel, schedule_kernels

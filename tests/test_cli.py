@@ -82,6 +82,63 @@ def test_module_entry_point(tmp_path):
     assert path.exists()
 
 
+# ------------------------------------------------------------ lint surface
+
+
+def test_lint_builtin_targets_clean(capsys):
+    assert main(["lint", "figure4", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "lint figure4" in out and "clean" in out
+
+
+def test_lint_forced_bad_cut_fails_with_witness(capsys):
+    import json
+
+    assert main(["lint", "figure4", "--bilbo", "R1,R6", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "lint" and payload["n_errors"] > 0
+    findings = [f for r in payload["reports"] for f in r["findings"]]
+    assert {f["rule"] for f in findings} == {"ST002"}
+    assert all(f["witness"] for f in findings)
+
+
+def test_lint_forced_bad_polynomial_fails(capsys):
+    assert main(["lint", "mac4", "--polynomial", "0b10101"]) == 1
+    out = capsys.readouterr().out
+    assert "TP001" in out and "reducible" in out
+
+
+def test_lint_baseline_workflow(capsys, tmp_path):
+    baseline = tmp_path / "bl.json"
+    assert main(["lint", "figure4", "--bilbo", "R1,R6",
+                 "--baseline", str(baseline), "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "figure4", "--bilbo", "R1,R6",
+                 "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_lint_bench_file(capsys, tmp_path):
+    bench = tmp_path / "broken.bench"
+    bench.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+    assert main(["lint", str(bench)]) == 1
+    assert "NL002" in capsys.readouterr().out
+
+
+def test_lint_rejects_unknown_target(capsys):
+    assert main(["lint", "nonsense"]) == 2
+    assert "unknown lint target" in capsys.readouterr().err
+
+
+def test_lint_listed_in_module_help():
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True,
+    )
+    assert process.returncode == 0
+    assert "lint" in process.stdout
+
+
 # ------------------------------------------------------- telemetry surface
 
 

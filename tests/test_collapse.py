@@ -5,7 +5,6 @@ import itertools
 from hypothesis import given, settings, strategies as st
 
 from repro.faultsim.collapse import collapse_faults, collapse_ratio
-from repro.faultsim.faults import full_fault_universe
 from repro.faultsim.simulator import FaultSimulator
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist

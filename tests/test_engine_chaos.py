@@ -18,7 +18,6 @@ See ``docs/TESTING.md`` for the full spec grammar.
 
 from __future__ import annotations
 
-import os
 
 import pytest
 

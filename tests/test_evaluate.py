@@ -10,8 +10,6 @@ from repro.netlist.evaluate import (
     pack_patterns,
     unpack_patterns,
 )
-from repro.netlist.gates import GateType
-from repro.netlist.netlist import Netlist
 
 from tests.conftest import make_random_netlist, tiny_and_or
 

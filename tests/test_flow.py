@@ -1,6 +1,5 @@
 """End-to-end flow: kernel lowering and TDM evaluation."""
 
-import pytest
 
 from repro.core.bibs import make_bibs_testable
 from repro.core.flow import (

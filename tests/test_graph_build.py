@@ -1,7 +1,7 @@
 """RTL -> circuit graph construction (Section 3.1 modelling rules)."""
 
 from repro.graph.build import build_circuit_graph
-from repro.graph.model import EdgeKind, VertexKind
+from repro.graph.model import VertexKind
 from repro.library.figures import figure1, figure3
 from repro.rtl.circuit import RTLCircuit
 

@@ -1,6 +1,5 @@
 """c17 reference facts and the random-datapath end-to-end property."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.balance import is_balanced

@@ -1,6 +1,5 @@
 """Pattern sources."""
 
-import itertools
 
 from repro.faultsim.patterns import (
     ExhaustivePatternSource,

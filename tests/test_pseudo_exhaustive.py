@@ -1,6 +1,5 @@
 """Functionally pseudo-exhaustive testing (Examples 7-8)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.library.kernels import example7_kernel

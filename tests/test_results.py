@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.faults import Fault

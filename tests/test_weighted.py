@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.patterns import RandomPatternSource
 from repro.faultsim.simulator import FaultSimulator
 from repro.faultsim.weighted import (
