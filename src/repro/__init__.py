@@ -20,6 +20,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * ``repro.library``   — the paper's figure circuits
 * ``repro.experiments`` — per-table/per-figure reproduction harness
 * ``repro.lint``      — static design-rule checks (netlist/structure/TPG)
+* ``repro.guard``     — run governance: deadlines, memory, cancellation
 """
 
 from repro.analysis import classify, is_balanced
@@ -32,6 +33,7 @@ from repro.core import (
 from repro.engine import EngineResult, GoldenCache, simulate
 from repro.faultsim import FaultSimulator, RandomPatternSource
 from repro.graph import build_circuit_graph
+from repro.guard import Budget, CancelToken, exit_code, signal_scope
 from repro.lint import (
     Finding,
     LintError,
@@ -61,6 +63,10 @@ __all__ = [
     "simulate",
     "EngineResult",
     "GoldenCache",
+    "Budget",
+    "CancelToken",
+    "signal_scope",
+    "exit_code",
     "CoverageResult",
     "FaultSimResult",
     "SessionResult",

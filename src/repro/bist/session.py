@@ -20,7 +20,7 @@ lives in :mod:`repro.results`; the import here is a compatibility shim.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.bilbo.misr import MISR
 from repro.bist.gatesim import MachineFault, SequentialGateSimulator
@@ -33,6 +33,10 @@ from repro.results import SessionResult  # noqa: F401  (compatibility shim)
 from repro.rtl.circuit import RTLCircuit
 from repro.tpg.design import TPGDesign
 from repro.tpg.mc_tpg import mc_tpg
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guard.budget import Budget
+    from repro.guard.cancel import CancelToken
 
 
 class BISTSession:
@@ -276,11 +280,20 @@ class BISTSession:
         cycles: int,
         faults: Sequence[Fault] = (),
         machines_per_pass: int = 64,
+        budget: Optional["Budget"] = None,
+        cancel: Optional["CancelToken"] = None,
     ) -> SessionResult:
         """Run the session against a fault list.
 
         The golden machine comes from the cached :meth:`golden_signatures`
         run, so every pass packs ``machines_per_pass`` *faulty* machines.
+
+        ``budget`` / ``cancel`` (see :mod:`repro.guard`) bound the run
+        cooperatively at machine-pass boundaries: a tripped deadline or
+        cancellation stops after the current pass and returns a
+        ``partial=True`` result covering the faults simulated so far, with
+        a structured ``stop_reason``.  A ``max_patterns`` budget caps the
+        session's cycle count up front.
         """
         from repro import telemetry
 
@@ -288,14 +301,23 @@ class BISTSession:
             "session.run",
             kernel=self.kernel.name, cycles=cycles, n_faults=len(faults),
         ):
-            return self._run(cycles, faults, machines_per_pass)
+            return self._run(cycles, faults, machines_per_pass, budget, cancel)
 
     def _run(
         self,
         cycles: int,
         faults: Sequence[Fault],
         machines_per_pass: int,
+        budget: Optional["Budget"] = None,
+        cancel: Optional["CancelToken"] = None,
     ) -> SessionResult:
+        from repro.guard import STOP_PATTERNS, RunGuard
+
+        guard = RunGuard.create(budget, cancel)
+        capped = False
+        if budget is not None and budget.max_patterns is not None:
+            capped = budget.max_patterns < cycles
+            cycles = min(cycles, budget.max_patterns)
         streams = self.tpg.register_streams(cycles, seed=self.seed)
         pi_defaults = self._pi_defaults()
         tpg_registers = set(self.kernel.tpg_registers)
@@ -309,7 +331,15 @@ class BISTSession:
         golden = self._golden_signatures(cycles, streams)
         fault_signatures: Dict[Fault, Dict[str, int]] = {}
         pending = list(faults)
+        stop_reason: Optional[str] = None
         while pending:
+            if guard is not None:
+                # Deadline / cancellation are checked between machine
+                # passes; the pattern budget was applied to ``cycles``
+                # up front, so it never fires here.
+                stop_reason = guard.should_stop(0, 0)
+                if stop_reason is not None:
+                    break
             chunk = pending[:machines_per_pass]
             pending = pending[machines_per_pass:]
             machine_faults = [
@@ -342,7 +372,17 @@ class BISTSession:
                     name: misr_states[name][i] for name in self._misrs
                 }
 
-        result = SessionResult(cycles, golden, fault_signatures)
+        if stop_reason is None and capped:
+            # The pattern budget clipped the session length: every fault
+            # was processed, but over fewer cycles than requested.
+            stop_reason = STOP_PATTERNS
+        result = SessionResult(
+            cycles,
+            golden,
+            fault_signatures,
+            partial=stop_reason is not None,
+            stop_reason=stop_reason,
+        )
         for fault, signatures in fault_signatures.items():
             if signatures != golden:
                 result.detected.append(fault)
@@ -358,6 +398,8 @@ class BISTSession:
         cache: Optional[GoldenCache] = None,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        budget: Optional["Budget"] = None,
+        cancel: Optional["CancelToken"] = None,
         **engine_options,
     ):
         """Per-pattern kernel fault coverage under the session's stimulus.
@@ -373,6 +415,11 @@ class BISTSession:
         an interrupted measurement picks up where it stopped, and other
         ``engine_options`` (``shard_timeout``, ``max_retries``, ``chaos``,
         ...) reach the engine's fault-tolerance layer unchanged.
+
+        ``budget`` / ``cancel`` (see :mod:`repro.guard`) bound the run at
+        shard-round boundaries; a tripped limit yields a ``partial=True``
+        result with a structured ``stop_reason``, resumable bit-identically
+        via ``checkpoint_dir`` / ``resume``.
         """
         from repro import telemetry
         from repro.core.flow import lower_kernel_to_netlist
@@ -409,6 +456,8 @@ class BISTSession:
                 cache=cache if cache is not None else self.cache,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                budget=budget,
+                cancel=cancel,
                 **engine_options,
             )
 

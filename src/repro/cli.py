@@ -9,7 +9,8 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
     python -m repro selftest circuit.json [--cycles N] [--max-faults N]
                              [--jobs N] [--seed N] [--json] [--quiet]
                              [--checkpoint-dir DIR] [--resume]
-                             [--shard-timeout S]
+                             [--shard-timeout S] [--deadline S]
+                             [--max-memory SIZE] [--max-patterns N]
                              [--trace-out FILE] [--metrics-out FILE]
     python -m repro export   {c5a2m,c3a2m,c4a4m,figure4,figure9,mac4} out.json
     python -m repro lint     TARGET [TARGET ...] [--json] [--severity S]
@@ -22,7 +23,12 @@ something to chew on out of the box.  Every subcommand accepts ``--json``
 and then emits a single machine-readable object on stdout (results use the
 unified ``to_json()`` surface of :mod:`repro.results`).  ``selftest
 --jobs N`` shards the per-pattern engine run over N worker processes (see
-``docs/ENGINE.md``); ``--seed`` sets the TPG seed.
+``docs/ENGINE.md``); ``--seed`` sets the TPG seed.  ``--deadline`` /
+``--max-memory`` / ``--max-patterns`` bound the run through
+:mod:`repro.guard` (see ``docs/ROBUSTNESS.md``): a tripped limit — or
+Ctrl-C / SIGTERM — stops at the next round boundary, flushes any
+checkpoint journal, reports ``partial`` results, and exits 130/143
+without a traceback.
 
 ``lint`` runs the static design-rule checker (:mod:`repro.lint`) over
 built-in designs (``figure1``..``figure4``, ``figure9``, ``c17``,
@@ -74,11 +80,13 @@ def _progress(args, text: str) -> None:
 
 
 def _write_telemetry_artifacts(args, config: Dict[str, Any],
-                               shards: Optional[List[Dict[str, Any]]] = None) -> None:
+                               shards: Optional[List[Dict[str, Any]]] = None,
+                               guard: Optional[Dict[str, Any]] = None) -> None:
     """Write ``--trace-out`` / ``--metrics-out`` files for the current run."""
     from repro import telemetry
 
-    manifest = telemetry.RunManifest.collect(config=config, shards=shards)
+    manifest = telemetry.RunManifest.collect(config=config, shards=shards,
+                                             guard=guard)
     if args.trace_out:
         telemetry.export.write_trace(args.trace_out, manifest=manifest)
         _progress(args, f"wrote trace to {args.trace_out}")
@@ -232,12 +240,24 @@ def cmd_tpg(args) -> int:
 
 def cmd_selftest(args) -> int:
     from repro.bist.session import BISTSession
-
     from repro.errors import SimulationError
+    from repro.guard import (
+        Budget,
+        CancelToken,
+        exit_code,
+        guard_summary,
+        signal_scope,
+    )
 
     if args.seed == 0:
         print("error: --seed must be non-zero (an all-zero LFSR state "
               "never advances)", file=sys.stderr)
+        return 2
+    try:
+        budget = Budget.from_cli(args.deadline, args.max_memory,
+                                 args.max_patterns)
+    except SimulationError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     if args.trace_out or args.metrics_out:
         from repro import telemetry
@@ -258,14 +278,32 @@ def cmd_selftest(args) -> int:
     faults = session.kernel_fault_universe()
     if args.max_faults and len(faults) > args.max_faults:
         faults = faults[: args.max_faults]
-    result = session.run(cycles, faults=faults)
-    pattern_result = None
-    if args.jobs is not None:
-        pattern_result = session.pattern_coverage(
-            max_patterns=cycles, jobs=args.jobs,
-            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-            shard_timeout=args.shard_timeout,
-        )
+    if budget is not None:
+        budget.arm()  # the deadline spans both measurements below
+    token = CancelToken()
+    with signal_scope(token):
+        result = session.run(cycles, faults=faults,
+                             budget=budget, cancel=token)
+        pattern_result = None
+        if args.jobs is not None and not token.cancelled:
+            # Align the run length with the pattern budget up front (the
+            # engine's cap only stops at round boundaries, so a cap far
+            # below the requested cycles would otherwise stop at 0).
+            pattern_cap = cycles
+            if budget is not None and budget.max_patterns is not None:
+                pattern_cap = min(cycles, budget.max_patterns)
+            pattern_result = session.pattern_coverage(
+                max_patterns=pattern_cap, jobs=args.jobs,
+                checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+                shard_timeout=args.shard_timeout,
+                budget=budget, cancel=token,
+            )
+    stop_reason = result.stop_reason
+    if stop_reason is None and pattern_result is not None:
+        stop_reason = pattern_result.stop_reason
+    partial = result.partial or bool(pattern_result and pattern_result.partial)
+    guard = guard_summary(budget, token, stop_reason=stop_reason,
+                          partial=partial)
     if args.trace_out or args.metrics_out:
         shards = None
         if pattern_result is not None:
@@ -278,16 +316,18 @@ def cmd_selftest(args) -> int:
                 "jobs": args.jobs, "max_faults": args.max_faults,
             },
             shards=shards,
+            guard=guard,
         )
     if args.json:
         payload = result.to_json()
         payload["circuit"] = circuit.name
         payload["kernel"] = kernel.name
         payload["seed"] = args.seed
+        payload["guard"] = guard
         if pattern_result is not None:
             payload["pattern_coverage"] = pattern_result.to_json()
         _emit_json(payload)
-        return 0
+        return exit_code(token)
     _progress(args, f"session: {cycles} cycles, {len(faults)} kernel faults")
     for name, signature in result.golden_signatures.items():
         _progress(args, f"  golden signature {name}: {signature:#x}")
@@ -298,7 +338,13 @@ def cmd_selftest(args) -> int:
                         f"{100 * pattern_result.coverage():.1f}% over "
                         f"{pattern_result.n_patterns} patterns "
                         f"[engine, jobs={args.jobs}]")
-    return 0
+    if partial:
+        _progress(args, f"  partial run (stopped: {stop_reason})")
+    if token.cancelled:
+        where = (f", checkpoint saved to {args.checkpoint_dir}"
+                 if args.checkpoint_dir else "")
+        print(f"interrupted{where}", file=sys.stderr)
+    return exit_code(token)
 
 
 def cmd_export(args) -> int:
@@ -580,6 +626,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-timeout", type=float, default=None,
                    help="seconds before a shard round is declared hung "
                         "and retried on a fresh worker")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; on expiry the run stops at the "
+                        "next round boundary with partial results")
+    p.add_argument("--max-memory", default=None, metavar="SIZE",
+                   help="resident-memory ceiling (e.g. 2g, 512m); the "
+                        "engine sheds parallelism under pressure before "
+                        "stopping")
+    p.add_argument("--max-patterns", type=int, default=None, metavar="N",
+                   help="pattern budget: caps the session's cycle count "
+                        "and stops the engine run at a round boundary")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="enable telemetry and write a Chrome trace_event "
                         "file (chrome://tracing / Perfetto)")
@@ -644,6 +700,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C outside a guard's signal_scope (simulating commands catch
+        # it there and drain cleanly): one line, conventional exit code,
+        # never a traceback.
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        where = f", checkpoint saved to {checkpoint_dir}" if checkpoint_dir else ""
+        print(f"interrupted{where}", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # stdout was closed early (e.g. piped into head); not an error.
         try:

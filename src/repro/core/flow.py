@@ -185,7 +185,12 @@ def evaluate_design(
     shard rounds (keyed per kernel/stream, so one directory serves the
     whole sweep) and replay them after an interruption; further
     ``engine_options`` (``shard_timeout``, ``max_retries``, ``chaos``,
-    ...) pass through to the engine.
+    ``budget``, ``cancel``, ...) pass through to the engine.
+
+    A run stopped early by a :mod:`repro.guard` limit (``result.partial``)
+    skips ATPG classification — faults left undetected by a truncated
+    pattern stream are not candidates for redundancy proofs — and its
+    unreached targets simply report ``patterns_at[target] = None``.
     """
     evaluations: List[KernelEvaluation] = []
     for kernel in design.kernels:
@@ -206,7 +211,7 @@ def evaluate_design(
                     checkpoint_dir=checkpoint_dir, resume=resume,
                     **engine_options,
                 )
-                if classify_undetected and result.undetected:
+                if classify_undetected and result.undetected and not result.partial:
                     from repro.atpg.podem import classify_faults
 
                     with telemetry.span(

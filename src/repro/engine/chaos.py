@@ -32,6 +32,17 @@ Failure modes
     given round, emulating a mid-run interruption (SIGKILL between rounds)
     for checkpoint/resume tests.  For this mode the spec's shard field is
     interpreted as the *round* to abort after.
+``sigterm``
+    Parent-side: trips the run's :class:`~repro.guard.cancel.CancelToken`
+    after merging the given round, emulating a delivered SIGTERM at a
+    deterministic point — the run then stops *cleanly* with a
+    ``partial=True`` result (contrast ``abort``, which raises).  The shard
+    field is the round to cancel after.
+``oom``
+    Parent-side: forces the guard's memory watchdog to report pressure on
+    rounds ``shard .. shard+times-1``, driving the adaptation ladder
+    (halve the batch count, degrade to serial) without exhausting real
+    memory.  The shard field is the first pressured round.
 
 Specs parse from strings so the hook is reachable from the environment
 (``REPRO_CHAOS=crash:1``) as well as from code::
@@ -58,7 +69,10 @@ from repro.errors import SimulationError
 #: not pass an explicit injector.  Unset (or empty) means no chaos.
 CHAOS_ENV_VAR = "REPRO_CHAOS"
 
-_MODES = ("crash", "raise", "delay", "corrupt", "abort")
+_MODES = ("crash", "raise", "delay", "corrupt", "abort", "sigterm", "oom")
+
+#: Modes handled in the parent at round boundaries, never inside a worker.
+_PARENT_MODES = ("abort", "sigterm", "oom")
 
 
 class ChaosError(SimulationError):
@@ -76,10 +90,11 @@ class FaultInjector:
     Attributes
     ----------
     mode:
-        One of ``crash``, ``raise``, ``delay``, ``corrupt``, ``abort``.
+        One of ``crash``, ``raise``, ``delay``, ``corrupt``, ``abort``,
+        ``sigterm``, ``oom``.
     shard:
-        The shard the injection targets (for ``abort``: the round to
-        abort after).
+        The shard the injection targets (for the parent-side ``abort`` /
+        ``sigterm`` / ``oom`` modes: the round it acts on).
     round_index:
         The fan-out round the injection targets (default 0).
     times:
@@ -143,8 +158,8 @@ class FaultInjector:
 
     def fires(self, shard: int, round_index: int, attempt: int) -> bool:
         """True when this (shard, round, attempt) should misbehave."""
-        if self.mode == "abort":
-            return False  # parent-side, see aborts_after()
+        if self.mode in _PARENT_MODES:
+            return False  # see aborts_after() / cancels_after() / oom_pressure()
         return (
             shard == self.shard
             and round_index == self.round_index
@@ -154,6 +169,18 @@ class FaultInjector:
     def aborts_after(self, round_index: int) -> bool:
         """Parent-side: abort the run after merging this round?"""
         return self.mode == "abort" and round_index == self.shard
+
+    def cancels_after(self, round_index: int) -> bool:
+        """Parent-side: trip the cancel token after merging this round?"""
+        return self.mode == "sigterm" and round_index == self.shard
+
+    def oom_pressure(self, round_index: int) -> bool:
+        """Parent-side: force memory pressure on this round?  ``times``
+        widens the pressured window (rounds ``shard .. shard+times-1``)."""
+        return (
+            self.mode == "oom"
+            and self.shard <= round_index < self.shard + self.times
+        )
 
     # --------------------------------------------------------- worker side
 
@@ -179,8 +206,10 @@ class FaultInjector:
         return self.mode == "corrupt"
 
     def describe(self) -> str:
-        if self.mode == "abort":
-            return f"abort:after-round-{self.shard}"
+        if self.mode in ("abort", "sigterm"):
+            return f"{self.mode}:after-round-{self.shard}"
+        if self.mode == "oom":
+            return f"oom:rounds-{self.shard}..{self.shard + self.times - 1}"
         extra = f":seconds={self.seconds}" if self.mode == "delay" else ""
         return (
             f"{self.mode}:shard={self.shard}:round={self.round_index}"

@@ -14,9 +14,12 @@ Layout::
 
     <checkpoint root>/<run key (sha256 prefix)>/shard0003_round0012.rec
 
-Records are pickled dicts written atomically (temp file + ``os.replace``)
-so an interruption can never leave a half-written record behind; a record
-that fails to unpickle is simply treated as never written.  The run key
+Records are pickled dicts written atomically (temp file, ``fsync``, then
+``os.replace``) so an interruption — including a SIGKILL mid-flush — can
+never leave a half-written record behind under the final name; stale
+``*.tmp`` files from a killed writer are swept on the next ``load()`` /
+``clear()``, and a record that fails to unpickle is simply treated as
+never written.  The run key
 covers the netlist fingerprint, the pattern-source fingerprint, the fault
 list, and (batch width, max patterns, jobs, chunk size, stop/drop
 semantics) — any change to those invalidates the journal wholesale, the
@@ -101,6 +104,7 @@ class CheckpointStore:
         records: Dict[Tuple[int, int], Dict[str, Any]] = {}
         if not self.directory.is_dir():
             return records
+        self._sweep_stale_tmp()
         for path in sorted(self.directory.glob("shard*_round*.rec")):
             try:
                 with open(path, "rb") as handle:
@@ -121,7 +125,21 @@ class CheckpointStore:
         """Drop every record of this run (a fresh, non-resumed start)."""
         if not self.directory.is_dir():
             return
+        self._sweep_stale_tmp()
         for path in self.directory.glob("shard*_round*.rec"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files a killed writer left behind.
+
+        A record is only ever visible under its final name (the ``.tmp``
+        to final rename is atomic), so any surviving ``*.tmp`` is garbage
+        from a writer that died mid-flush — never a live record.
+        """
+        for path in self.directory.glob("*.tmp"):
             try:
                 path.unlink()
             except OSError:
@@ -156,6 +174,13 @@ class CheckpointStore:
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 pickle.dump(payload, handle)
+                handle.flush()
+                # Durability, not just atomicity: without the fsync a
+                # crash shortly after the rename can still surface a
+                # zero-length file under the final name on some
+                # filesystems — exactly the poisoned-journal case the
+                # guard's signal path must never create.
+                os.fsync(handle.fileno())
             os.replace(temp_name, self._record_path(shard, round_index))
         except BaseException:
             try:

@@ -48,6 +48,9 @@ from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.faults import Fault
 from repro.faultsim.patterns import PatternSource
 from repro.faultsim.simulator import FaultSimulator
+from repro.guard.budget import Budget
+from repro.guard.cancel import CancelToken
+from repro.guard.runner import RunGuard
 from repro.netlist.netlist import Netlist
 from repro.results import FaultSimResult
 
@@ -95,6 +98,11 @@ class EngineResult(FaultSimResult):
     def degraded_shards(self) -> List[int]:
         """Shards that fell back to in-process execution."""
         return [shard.shard for shard in self.shards if shard.degraded]
+
+    @property
+    def memory_adaptations(self) -> int:
+        """Guard memory-ladder steps applied during the run, summed."""
+        return sum(shard.memory_adaptations for shard in self.shards)
 
     def to_json(self, include_faults: bool = False) -> Dict:
         payload = super().to_json(include_faults)
@@ -267,6 +275,31 @@ def _plan_round(
     return widths
 
 
+def _widths_from_patterns(
+    pattern_base: int, round_patterns: int, batch_width: int, max_patterns: int
+) -> List[int]:
+    """Reconstruct a journaled round's batch widths from its pattern count.
+
+    A resumed run must execute every round with the geometry the *writing*
+    run used — which may differ from a fresh plan when the writer's guard
+    halved ``chunk_batches`` under memory pressure mid-run.  Each record
+    stores the round's total patterns; decomposing that total greedily at
+    ``batch_width`` reproduces the writer's widths exactly (the writer
+    planned the same way).
+    """
+    widths: List[int] = []
+    base = pattern_base
+    remaining = round_patterns
+    while remaining > 0:
+        width = min(batch_width, max_patterns - base, remaining)
+        if width <= 0:  # corrupt/foreign count; let the caller re-plan
+            return []
+        widths.append(width)
+        base += width
+        remaining -= width
+    return widths
+
+
 def _stopped_n_patterns(
     first_detection: Dict[Fault, int],
     n_faults: int,
@@ -324,6 +357,16 @@ class _WorkerPool:
         self.shutdown()
         self.restarts += 1
 
+    def worker_pids(self) -> Tuple[int, ...]:
+        """PIDs of the live worker processes (for RSS sampling)."""
+        if self._executor is None:
+            return ()
+        processes = getattr(self._executor, "_processes", {}) or {}
+        return tuple(
+            process.pid for process in list(processes.values())
+            if process is not None and process.pid is not None
+        )
+
     def shutdown(self) -> None:
         executor, self._executor = self._executor, None
         if executor is None:
@@ -361,6 +404,8 @@ def simulate(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     check: bool = True,
+    budget: Optional[Budget] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> EngineResult:
     """Fault-simulate ``patterns`` against ``faults``, optionally in parallel.
 
@@ -413,6 +458,17 @@ def simulate(
         combinational cycle, a floating net...) before any worker is
         spawned.  ``check=False`` skips the pre-flight entirely; results
         are bit-identical either way since lint never touches the run.
+    budget:
+        Optional :class:`~repro.guard.budget.Budget` (wall-clock deadline,
+        pattern cap, RSS ceiling) checked cooperatively at round
+        boundaries.  A tripped limit stops the run cleanly — checkpoint
+        flushed, ``partial=True``, structured ``stop_reason`` — instead of
+        raising; a checkpointed partial run resumed later completes
+        bit-identically.  See ``docs/ROBUSTNESS.md``.
+    cancel:
+        Optional :class:`~repro.guard.cancel.CancelToken`; once tripped
+        (by a signal handler via ``guard.signal_scope``, or in code) the
+        run drains its in-flight round and returns a partial result.
     """
     if batch_width < 1:
         raise SimulationError("batch width must be positive")
@@ -458,6 +514,7 @@ def simulate(
         golden = GoldenBatches(evaluator, patterns, batch_width)
 
     start = time.perf_counter()
+    guard = RunGuard.create(budget, cancel, chaos)
     n_jobs = 1 if jobs is None else max(1, int(jobs))
     serial = n_jobs == 1 or len(fault_list) <= 1
     store = checkpoint_io.open_store(
@@ -474,14 +531,19 @@ def simulate(
             result = _simulate_serial(
                 netlist, fault_list, golden, max_patterns, batch_width,
                 stop_when_complete, drop_detected, simulator, chaos, store,
+                guard,
             )
         else:
             result = _simulate_parallel(
                 netlist, fault_list, golden, max_patterns, batch_width,
                 stop_when_complete, drop_detected, n_jobs, chunk_batches,
                 shard_timeout, max_retries, retry_backoff, chaos, store,
+                guard,
             )
         run_span.set_attribute("n_patterns", result.n_patterns)
+        if result.partial:
+            run_span.set_attribute("partial", True)
+            run_span.set_attribute("stop_reason", result.stop_reason)
     result.wall_time = time.perf_counter() - start
     if cache is not None:
         result.cache_hits = cache.hits - hits_before
@@ -517,12 +579,15 @@ def _simulate_serial(
     simulator: Optional[FaultSimulator],
     chaos: Optional[FaultInjector],
     store: Optional[checkpoint_io.CheckpointStore],
+    guard: Optional[RunGuard] = None,
 ) -> EngineResult:
     """The historical serial loop, driven through the golden provider.
 
     With a checkpoint store each batch is one journaled round (shard 0);
     chaos injection does not apply in-process (there is no worker to kill)
-    except for the parent-side ``abort`` mode.
+    except for the parent-side ``abort``/``sigterm``/``oom`` modes.  A
+    tripped :class:`~repro.guard.runner.RunGuard` limit breaks the loop at
+    the next batch boundary and flags the result partial.
     """
     if simulator is None or simulator.batch_width != batch_width:
         simulator = FaultSimulator(netlist, batch_width)
@@ -534,10 +599,15 @@ def _simulate_serial(
 
     detections: Dict[Fault, int] = {}
     live = list(faults)
+    stop_reason: Optional[str] = None
     pattern_base = 0
     batch_index = 0
     while pattern_base < max_patterns and live:
         width = min(batch_width, max_patterns - pattern_base)
+        if guard is not None:
+            stop_reason = guard.should_stop(pattern_base, width)
+            if stop_reason is not None:
+                break
         record = journal.get((0, batch_index))
         if record is not None:
             batch_detections, survivors = _replay_record(record, faults)
@@ -568,17 +638,28 @@ def _simulate_serial(
             raise ChaosInterrupt(
                 f"chaos: run aborted after round {batch_index - 1}"
             )
+        if guard is not None:
+            guard.after_round(batch_index - 1)
+            action = guard.memory_action(batch_index - 1, (), 1, True)
+            if action == "stop" and pattern_base < max_patterns and live:
+                # Only a stop that actually cuts work short is a stop; on
+                # the final batch the run just completed normally.
+                stop_reason = guard.stop_reason
+                break
         if stop_when_complete and len(detections) == len(faults):
             break
 
     stats.events_propagated = simulator.events_propagated - events_before
     stats.patterns_simulated = pattern_base
     stats.wall_time = time.perf_counter() - shard_start
+    stats.stop_reason = stop_reason
     return EngineResult(
         netlist=netlist,
         faults=faults,
         first_detection=detections,
         n_patterns=pattern_base,
+        partial=stop_reason is not None,
+        stop_reason=stop_reason,
         jobs=1,
         shards=[stats],
     )
@@ -599,12 +680,16 @@ def _simulate_parallel(
     retry_backoff: float,
     chaos: Optional[FaultInjector],
     store: Optional[checkpoint_io.CheckpointStore],
+    guard: Optional[RunGuard] = None,
 ) -> EngineResult:
     """Fan fault shards out over a process pool, round by round.
 
     Every round is executed fault-tolerantly (see ``_execute_round``) and
     journaled once complete; rounds present in the journal are replayed
-    without touching the pool at all.
+    without touching the pool at all.  The guard is consulted at every
+    round boundary: before a round for cancellation/deadline/pattern-cap
+    stops, after it for chaos cancellation and the memory ladder (halve
+    ``chunk_batches``, then run rounds in-process, then stop).
     """
     shards: Dict[int, List[Fault]] = {
         shard_id: faults[shard_id::jobs] for shard_id in range(jobs)
@@ -620,17 +705,36 @@ def _simulate_parallel(
     payload = pickle.dumps((netlist, batch_width, telemetry.enabled()))
     pool = _WorkerPool(len(shards), payload)
     degraded_simulator: Optional[FaultSimulator] = None
+    stop_reason: Optional[str] = None
+    force_serial = False
     pattern_base = 0
     batch_index = 0
     round_index = 0
     try:
         while pattern_base < max_patterns and any(shards.values()):
-            with telemetry.span(
-                "engine.round", round=round_index, pattern_base=pattern_base,
-            ) as round_span:
+            # A journaled record pins this round's geometry (the writing
+            # run may have halved its chunk size mid-run under memory
+            # pressure); otherwise plan from the current chunk setting.
+            widths: List[int] = []
+            for shard_id in sorted(shards):
+                record = journal.get((shard_id, round_index))
+                if record is not None:
+                    widths = _widths_from_patterns(
+                        pattern_base, int(record["patterns"]),
+                        batch_width, max_patterns,
+                    )
+                    break
+            if not widths:
                 widths = _plan_round(
                     pattern_base, max_patterns, batch_width, chunk_batches
                 )
+            if guard is not None:
+                stop_reason = guard.should_stop(pattern_base, sum(widths))
+                if stop_reason is not None:
+                    break
+            with telemetry.span(
+                "engine.round", round=round_index, pattern_base=pattern_base,
+            ) as round_span:
                 active = sorted(s for s, live in shards.items() if live)
                 round_span.set_attribute("shards", len(active))
                 need_golden = any(
@@ -661,7 +765,13 @@ def _simulate_parallel(
                         stats[shard_id].rounds_resumed += 1
                     else:
                         pending.add(shard_id)
-                if pending:
+                if pending and force_serial:
+                    degraded_simulator = _run_round_in_process(
+                        shards, pending, round_batches, pattern_base,
+                        round_index, drop_detected, results, netlist,
+                        batch_width, degraded_simulator,
+                    )
+                elif pending:
                     degraded_simulator = _execute_round(
                         pool, shards, stats, pending, round_batches,
                         pattern_base, round_index, drop_detected,
@@ -706,21 +816,58 @@ def _simulate_parallel(
                 raise ChaosInterrupt(
                     f"chaos: run aborted after round {round_index}"
                 )
+            if guard is not None:
+                guard.after_round(round_index)
+                action = guard.memory_action(
+                    round_index, pool.worker_pids(), chunk_batches,
+                    force_serial,
+                )
+                if action is not None:
+                    for shard_id, live in shards.items():
+                        if live:
+                            stats[shard_id].memory_adaptations += 1
+                    if action == "halve":
+                        chunk_batches = max(1, chunk_batches // 2)
+                    elif action == "serial":
+                        force_serial = True
+                        pool.shutdown()
+                        for shard_id, live in shards.items():
+                            if live and stats[shard_id].degraded_reason is None:
+                                stats[shard_id].degraded_reason = (
+                                    f"memory pressure at round {round_index};"
+                                    " degraded to in-process serial"
+                                )
+                    elif action == "stop" and pattern_base < max_patterns \
+                            and any(shards.values()):
+                        # A vacuous stop on the final round is not a stop.
+                        stop_reason = guard.stop_reason
+                        round_index += 1
+                        break
             round_index += 1
             if stop_when_complete and len(merged) == len(faults):
                 break
     finally:
         pool.shutdown()
 
-    n_patterns = _stopped_n_patterns(
-        merged, len(faults), max_patterns, batch_width,
-        stop_when_complete, drop_detected,
-    )
+    if stop_reason is not None:
+        # Guard stop: patterns actually applied, reason stamped on every
+        # shard that still had live faults when the run was cut short.
+        n_patterns = pattern_base
+        for shard_id, live in shards.items():
+            if live:
+                stats[shard_id].stop_reason = stop_reason
+    else:
+        n_patterns = _stopped_n_patterns(
+            merged, len(faults), max_patterns, batch_width,
+            stop_when_complete, drop_detected,
+        )
     return EngineResult(
         netlist=netlist,
         faults=faults,
         first_detection=merged,
         n_patterns=n_patterns,
+        partial=stop_reason is not None,
+        stop_reason=stop_reason,
         jobs=jobs,
         shards=[stats[shard_id] for shard_id in sorted(stats)],
     )
@@ -837,4 +984,39 @@ def _execute_round(
         if pending and retry_backoff > 0:
             wave = min(attempts[shard_id] for shard_id in pending)
             time.sleep(retry_backoff * (2 ** max(wave - 1, 0)))
+    return degraded_simulator
+
+
+def _run_round_in_process(
+    shards: Dict[int, List[Fault]],
+    pending: Set[int],
+    round_batches: List[Tuple[int, Dict[int, int]]],
+    pattern_base: int,
+    round_index: int,
+    drop_detected: bool,
+    results: Dict[int, Tuple[Dict[Fault, int], List[Fault], Optional[Dict]]],
+    netlist: Netlist,
+    batch_width: int,
+    degraded_simulator: Optional[FaultSimulator],
+) -> Optional[FaultSimulator]:
+    """Run one round's pending shards serially in the parent.
+
+    The memory guard's last rung before stopping: the worker pool is gone,
+    so every shard round goes through the same ``_consume_batches``
+    primitive the workers use — results (and journal records) stay
+    bit-identical, only the peak memory drops.
+    """
+    if degraded_simulator is None:
+        degraded_simulator = FaultSimulator(netlist, batch_width)
+    for shard_id in sorted(pending):
+        with telemetry.span(
+            "engine.shard_round.degraded",
+            shard=shard_id, round=round_index, reason="memory",
+        ):
+            detections, survivors, measured = _consume_batches(
+                degraded_simulator, shards[shard_id], round_batches,
+                pattern_base, drop_detected,
+            )
+        results[shard_id] = (detections, survivors, measured)
+    pending.clear()
     return degraded_simulator

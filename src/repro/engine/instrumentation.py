@@ -39,6 +39,8 @@ class ShardStats:
     failures: int = 0              #: attempts lost to crashes/errors/corruption
     rounds_resumed: int = 0        #: rounds replayed from a checkpoint journal
     degraded_reason: Optional[str] = None  #: why the shard fell back in-process
+    memory_adaptations: int = 0    #: guard ladder steps applied while active
+    stop_reason: Optional[str] = None  #: guard stop reason for a partial run
 
     @property
     def patterns_per_second(self) -> float:
@@ -74,6 +76,8 @@ class ShardStats:
             "failures": self.failures,
             "rounds_resumed": self.rounds_resumed,
             "degraded_reason": self.degraded_reason,
+            "memory_adaptations": self.memory_adaptations,
+            "stop_reason": self.stop_reason,
         }
 
     @classmethod
@@ -91,6 +95,8 @@ class ShardStats:
             failures=int(payload["failures"]),
             rounds_resumed=int(payload["rounds_resumed"]),
             degraded_reason=payload["degraded_reason"],
+            memory_adaptations=int(payload.get("memory_adaptations", 0)),
+            stop_reason=payload.get("stop_reason"),
         )
 
 
@@ -126,6 +132,14 @@ def publish_engine_metrics(
         "engine.degraded_shards",
         help="shards that fell back to in-process serial execution",
     ).inc(len(result.degraded_shards))
+    metrics.counter(
+        "engine.partial_runs",
+        help="runs stopped early by the guard (budget/cancel/memory)",
+    ).inc(1 if result.partial else 0)
+    metrics.counter(
+        "guard.memory_adaptations",
+        help="memory-ladder steps applied, summed over shards",
+    ).inc(sum(s.memory_adaptations for s in result.shards))
     metrics.counter(
         "engine.faults_dropped", help="faults removed after first detection"
     ).inc(sum(s.faults_dropped for s in result.shards))

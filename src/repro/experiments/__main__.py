@@ -14,6 +14,14 @@ journals completed fault-simulation shard rounds (default
 replays the journal so an interrupted run picks up from the last
 completed shard instead of restarting from zero.
 
+The sweep is governed by :mod:`repro.guard` (see ``docs/ROBUSTNESS.md``):
+``--deadline SECONDS`` bounds the whole run's wall clock, ``--max-memory
+SIZE`` caps resident memory (e.g. ``2g``), ``--max-patterns N`` caps each
+kernel run's pattern budget, and Ctrl-C / SIGTERM stop the sweep at the
+next shard-round boundary — flushing the checkpoint journal and exiting
+130/143 with a one-line notice instead of a traceback.  A re-run with
+``--resume`` completes the measurement bit-identically.
+
 ``--trace-out FILE`` / ``--metrics-out FILE`` enable
 :mod:`repro.telemetry` for the sweep and write a Chrome ``trace_event``
 file and a Prometheus text-format metrics file describing where the wall
@@ -26,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import sys
 import time
 
 from repro.experiments.figures import (
@@ -38,6 +47,25 @@ from repro.experiments.figures import (
 )
 from repro.experiments.table1 import render_table1, table1_json, table1_rows
 from repro.experiments.table2 import render_table2, table2_columns, table2_json
+from repro.guard import (
+    STOP_DEADLINE,
+    Budget,
+    CancelToken,
+    exit_code,
+    guard_summary,
+    signal_scope,
+)
+
+
+def _announce_interrupt(checkpoint_dir, quiet: bool) -> None:
+    """The whole user-facing story of an interrupted sweep: one line."""
+    if quiet:
+        return
+    if checkpoint_dir:
+        print(f"interrupted, checkpoint saved to {checkpoint_dir}",
+              file=sys.stderr)
+    else:
+        print("interrupted", file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -57,6 +85,19 @@ def main(argv=None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="replay journaled shard rounds from the "
                              "checkpoint directory instead of re-running")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the whole sweep; on "
+                             "expiry runs stop at the next round boundary "
+                             "and report partial results")
+    parser.add_argument("--max-memory", default=None, metavar="SIZE",
+                        help="resident-memory ceiling for the sweep "
+                             "(e.g. 2g, 512m); under pressure the engine "
+                             "sheds parallelism before stopping")
+    parser.add_argument("--max-patterns", type=int, default=None,
+                        metavar="N",
+                        help="pattern budget per kernel run (stops each "
+                             "run at a round boundary once reached)")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="enable telemetry and write a Chrome "
                              "trace_event file for the sweep")
@@ -67,16 +108,36 @@ def main(argv=None) -> int:
                         help="suppress progress text")
     args = parser.parse_args(argv)
 
+    outdir = pathlib.Path(args.outdir)
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.resume:
+        checkpoint_dir = str(outdir / "checkpoints")
+
+    budget = Budget.from_cli(args.deadline, args.max_memory, args.max_patterns)
+    token = CancelToken()
+    try:
+        with signal_scope(token):
+            code = _run_sweep(args, outdir, checkpoint_dir, budget, token)
+    except KeyboardInterrupt:
+        # Signals outside signal_scope (argument errors aside, only the
+        # narrow windows before/after the sweep) still exit cleanly.
+        _announce_interrupt(checkpoint_dir, args.quiet)
+        return 130
+    if token.cancelled:
+        _announce_interrupt(checkpoint_dir, args.quiet)
+        return exit_code(token)
+    return code
+
+
+def _run_sweep(args, outdir, checkpoint_dir, budget, token) -> int:
     if args.trace_out or args.metrics_out:
         from repro import telemetry
 
         telemetry.enable()
 
-    outdir = pathlib.Path(args.outdir)
     outdir.mkdir(exist_ok=True)
-    checkpoint_dir = args.checkpoint_dir
-    if checkpoint_dir is None and args.resume:
-        checkpoint_dir = str(outdir / "checkpoints")
+    if budget is not None:
+        budget.arm()
 
     def write(name: str, text: str) -> None:
         (outdir / name).write_text(text + "\n")
@@ -94,26 +155,42 @@ def main(argv=None) -> int:
     columns = table2_columns(
         max_patterns=max_patterns, seed=args.seed, n_seeds=n_seeds,
         jobs=args.jobs, checkpoint_dir=checkpoint_dir, resume=args.resume,
+        budget=budget, cancel=token,
     )
     write("table2_full.txt", render_table2(columns))
     if args.json:
         write("table2.json", json.dumps(table2_json(columns), indent=2))
 
-    write("figures_1_2.txt", json.dumps(figures_1_2_report(), indent=2, default=str))
-    write("figure3.txt", json.dumps(figure3_report(), indent=2, default=str))
-    write("example1.txt", json.dumps(example1_report(), indent=2, default=str))
-    write("figure9.txt", json.dumps(figure9_report(), indent=2))
-    write("tpg_examples.txt", json.dumps(tpg_examples_report(), indent=2, default=str))
-    write("pseudo_exhaustive.txt", json.dumps(pseudo_exhaustive_report(), indent=2))
+    stop_reason = None
+    if token.cancelled:
+        stop_reason = token.reason
+    elif budget is not None and budget.expired():
+        stop_reason = STOP_DEADLINE
+    if stop_reason is None:
+        # The figure reports are cheap but not guard-aware; skip them when
+        # the sweep was cut so a deadline overrun stays an overrun of
+        # seconds, not of report generation.
+        write("figures_1_2.txt",
+              json.dumps(figures_1_2_report(), indent=2, default=str))
+        write("figure3.txt", json.dumps(figure3_report(), indent=2, default=str))
+        write("example1.txt", json.dumps(example1_report(), indent=2, default=str))
+        write("figure9.txt", json.dumps(figure9_report(), indent=2))
+        write("tpg_examples.txt",
+              json.dumps(tpg_examples_report(), indent=2, default=str))
+        write("pseudo_exhaustive.txt",
+              json.dumps(pseudo_exhaustive_report(), indent=2))
 
     if args.trace_out or args.metrics_out:
         from repro import telemetry
 
-        manifest = telemetry.RunManifest.collect(config={
-            "command": "experiments", "quick": args.quick,
-            "jobs": args.jobs, "seed": args.seed,
-            "max_patterns": max_patterns, "n_seeds": n_seeds,
-        })
+        manifest = telemetry.RunManifest.collect(
+            config={
+                "command": "experiments", "quick": args.quick,
+                "jobs": args.jobs, "seed": args.seed,
+                "max_patterns": max_patterns, "n_seeds": n_seeds,
+            },
+            guard=guard_summary(budget, token, stop_reason=stop_reason),
+        )
         if args.trace_out:
             telemetry.export.write_trace(args.trace_out, manifest=manifest)
             if not args.quiet:
@@ -124,7 +201,11 @@ def main(argv=None) -> int:
                 print(f"wrote metrics to {args.metrics_out}")
 
     if not args.quiet:
-        print(f"done in {time.time() - start:.1f}s")
+        if stop_reason is not None:
+            print(f"stopped early ({stop_reason}) after "
+                  f"{time.time() - start:.1f}s")
+        else:
+            print(f"done in {time.time() - start:.1f}s")
     return 0
 
 

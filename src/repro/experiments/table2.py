@@ -24,10 +24,13 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 from repro import telemetry
 from repro.core.flow import compare_tdms
 from repro.datapath.filters import all_filters
+from repro.errors import SimulationError
 from repro.experiments.render import fmt, render_table
 
 if TYPE_CHECKING:
     from repro.engine.cache import GoldenCache
+    from repro.guard.budget import Budget
+    from repro.guard.cancel import CancelToken
 
 #: The paper's Table 2, for side-by-side reporting: circuit -> (BIBS, [3]).
 PAPER_TABLE2 = {
@@ -76,6 +79,8 @@ def measure_circuit(
     cache: Optional["GoldenCache"] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    budget: Optional["Budget"] = None,
+    cancel: Optional["CancelToken"] = None,
     **engine_options,
 ) -> Table2Column:
     """Run the full Table 2 measurement for one circuit.
@@ -86,8 +91,17 @@ def measure_circuit(
     ``checkpoint_dir`` journals every kernel run's completed shard rounds,
     and ``resume=True`` replays them — an interrupted Table 2 measurement
     restarts from the last completed shard round instead of from zero.
+
+    ``budget`` / ``cancel`` (see :mod:`repro.guard`) bound the whole
+    measurement: the budget is armed here (idempotently), so its deadline
+    spans every kernel run, and a tripped limit makes the unreached
+    coverage rows report ``None`` instead of raising.
     """
     compiled = all_filters()[name]
+    if budget is not None:
+        budget.arm()
+    if budget is not None or cancel is not None:
+        engine_options = dict(engine_options, budget=budget, cancel=cancel)
     with telemetry.span(
         "table2.measure_circuit",
         circuit=name, max_patterns=max_patterns, n_seeds=n_seeds,
@@ -119,7 +133,7 @@ def _measure_circuit(
     return Table2Column(
         circuit=name,
         kernels=(bibs.n_logic_kernels, ka.n_logic_kernels),
-        sessions=(bibs.n_sessions, ka.n_sessions),
+        sessions=(_sessions(bibs), _sessions(ka)),
         bilbo_registers=(
             bibs.design.n_bilbo_registers, ka.design.n_bilbo_registers
         ),
@@ -131,6 +145,14 @@ def _measure_circuit(
     )
 
 
+def _sessions(evaluation) -> Optional[int]:
+    """Session count, or None when a guard-truncated run never scheduled."""
+    try:
+        return evaluation.n_sessions
+    except SimulationError:
+        return None
+
+
 def table2_columns(
     circuits: Sequence[str] = ("c5a2m", "c3a2m", "c4a4m"),
     max_patterns: int = 1 << 17,
@@ -139,9 +161,15 @@ def table2_columns(
     jobs: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    budget: Optional["Budget"] = None,
+    cancel: Optional["CancelToken"] = None,
     **engine_options,
 ) -> List[Table2Column]:
     """Measure every circuit, sharing one golden-run cache across them.
+
+    ``budget`` is armed once up front, so its deadline spans the whole
+    sweep rather than restarting per circuit; ``cancel`` lets one token
+    (typically tripped by SIGINT/SIGTERM) stop every remaining run.
 
     The shared cache bounds per-entry golden-batch retention: a full-budget
     run holds 2^17/256 = 512 batches of every-net packed values *per
@@ -153,10 +181,13 @@ def table2_columns(
     from repro.engine import GoldenCache
 
     cache = GoldenCache(max_entries=16, max_batches_per_entry=64)
+    if budget is not None:
+        budget.arm()
     return [
         measure_circuit(
             c, max_patterns, seed, n_seeds, jobs=jobs, cache=cache,
-            checkpoint_dir=checkpoint_dir, resume=resume, **engine_options,
+            checkpoint_dir=checkpoint_dir, resume=resume,
+            budget=budget, cancel=cancel, **engine_options,
         )
         for c in circuits
     ]

@@ -19,7 +19,7 @@ the historical behaviour.  :class:`FaultSimResult` now lives in
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.faultsim.faults import Fault
@@ -28,6 +28,10 @@ from repro.netlist.evaluate import Evaluator
 from repro.netlist.gates import evaluate_gate
 from repro.netlist.netlist import Netlist
 from repro.results import FaultSimResult  # noqa: F401  (compatibility shim)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guard.budget import Budget
+    from repro.guard.cancel import CancelToken
 
 
 class FaultSimulator:
@@ -153,6 +157,8 @@ class FaultSimulator:
         cache: Optional["object"] = None,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        budget: Optional["Budget"] = None,
+        cancel: Optional["CancelToken"] = None,
         **engine_options,
     ) -> FaultSimResult:
         """Simulate up to ``max_patterns`` patterns against the fault list.
@@ -172,6 +178,11 @@ class FaultSimulator:
         interruption; remaining ``engine_options`` (``shard_timeout``,
         ``max_retries``, ``retry_backoff``, ``chaos``) pass through to the
         engine's fault-tolerance machinery.
+
+        ``budget`` / ``cancel`` (a :class:`repro.guard.Budget` and a
+        :class:`repro.guard.CancelToken`) bound the run: a tripped limit
+        returns a ``partial=True`` result with a structured ``stop_reason``
+        instead of raising (see ``docs/ROBUSTNESS.md``).
         """
         from repro import telemetry
         from repro.engine import simulate
@@ -195,6 +206,8 @@ class FaultSimulator:
                 simulator=self,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                budget=budget,
+                cancel=cancel,
                 **engine_options,
             )
 

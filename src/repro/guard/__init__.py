@@ -1,0 +1,81 @@
+"""repro.guard — run governance: deadlines, memory ceilings, cancellation.
+
+Every long-running entry point in the repo (``engine.simulate``,
+``FaultSimulator.run``, ``BISTSession``, the Table 2 sweep, the CLI)
+accepts a :class:`Budget` and a :class:`CancelToken`; the engine checks
+both cooperatively at shard-round boundaries through a :class:`RunGuard`.
+A tripped limit never raises: the run stops at the next boundary, flushes
+its checkpoint journal, and returns a result flagged ``partial=True`` with
+a structured ``stop_reason`` — and ``resume=True`` later completes it
+bit-identically.  See ``docs/ROBUSTNESS.md`` for the full contract.
+
+Typical CLI wiring::
+
+    budget = Budget.from_cli(args.deadline, args.max_memory, args.max_patterns)
+    token = CancelToken()
+    with signal_scope(token):                  # SIGINT/SIGTERM trip the token
+        result = simulate(netlist, budget=budget, cancel=token)
+    sys.exit(exit_code(token))                 # 0 / 130 / 143, no traceback
+"""
+
+from typing import Any, Dict, Optional
+
+from repro.guard.budget import (
+    STOP_CANCELLED,
+    STOP_DEADLINE,
+    STOP_MEMORY,
+    STOP_PATTERNS,
+    STOP_REASONS,
+    STOP_SIGINT,
+    STOP_SIGTERM,
+    Budget,
+    parse_memory_size,
+)
+from repro.guard.cancel import CancelToken, exit_code, signal_scope
+from repro.guard.memory import MemoryWatchdog, rss_bytes, total_rss
+from repro.guard.runner import RunGuard
+
+
+def guard_summary(
+    budget: Optional[Budget] = None,
+    cancel: Optional[CancelToken] = None,
+    stop_reason: Optional[str] = None,
+    partial: bool = False,
+) -> Dict[str, Any]:
+    """The CLI/manifest view of how a guarded run ended.
+
+    Entry points embed this in ``--json`` payloads and in the
+    ``RunManifest`` so an interrupted or budget-cut run is distinguishable
+    from a complete one in every artifact.
+    """
+    cancelled = bool(cancel and cancel.cancelled)
+    if stop_reason is None and cancelled:
+        stop_reason = cancel.reason
+    return {
+        "budget": budget.to_json() if budget is not None else None,
+        "cancelled": cancelled,
+        "partial": bool(partial or cancelled or stop_reason is not None),
+        "stop_reason": stop_reason,
+        "exit_code": exit_code(cancel),
+    }
+
+
+__all__ = [
+    "Budget",
+    "CancelToken",
+    "MemoryWatchdog",
+    "RunGuard",
+    "STOP_CANCELLED",
+    "STOP_DEADLINE",
+    "STOP_MEMORY",
+    "STOP_PATTERNS",
+    "STOP_REASONS",
+    "STOP_SIGINT",
+    "STOP_SIGTERM",
+    "exit_code",
+    "guard_summary",
+    "parse_memory_size",
+    "rss_bytes",
+    "signal_scope",
+    "total_rss",
+]

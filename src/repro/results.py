@@ -84,6 +84,12 @@ class FaultSimResult:
     ``first_detection`` maps each detected fault to the 0-based index of the
     first pattern that detects it.  ``n_patterns`` is how many patterns were
     simulated in total.
+
+    ``partial=True`` marks a run a :mod:`repro.guard` limit stopped early
+    (deadline, pattern budget, memory ceiling, or cancellation); the
+    structured ``stop_reason`` says which.  A partial result is internally
+    consistent — coverage over the patterns actually applied — and a
+    checkpointed run resumed later completes it bit-identically.
     """
 
     netlist: Netlist
@@ -91,6 +97,8 @@ class FaultSimResult:
     first_detection: Dict[Fault, int] = field(default_factory=dict)
     n_patterns: int = 0
     undetectable: List[Fault] = field(default_factory=list)
+    partial: bool = False
+    stop_reason: Optional[str] = None
 
     @property
     def n_faults(self) -> int:
@@ -174,6 +182,8 @@ class FaultSimResult:
             "n_patterns": self.n_patterns,
             "coverage": self.coverage(),
             "coverage_of_detectable": self.coverage(of_detectable=True),
+            "partial": self.partial,
+            "stop_reason": self.stop_reason,
         }
         if include_faults:
             payload["first_detection"] = [
@@ -193,6 +203,8 @@ class SessionResult:
     fault_signatures: Dict[Fault, Dict[str, int]]
     detected: List[Fault] = field(default_factory=list)
     undetected: List[Fault] = field(default_factory=list)
+    partial: bool = False                #: stopped early by a guard limit
+    stop_reason: Optional[str] = None    #: which limit (see repro.guard)
 
     @property
     def coverage(self) -> CoverageValue:
@@ -208,6 +220,8 @@ class SessionResult:
             "n_detected": len(self.detected),
             "n_undetected": len(self.undetected),
             "coverage": float(self.coverage),
+            "partial": self.partial,
+            "stop_reason": self.stop_reason,
             "golden_signatures": {
                 name: hex(signature)
                 for name, signature in self.golden_signatures.items()

@@ -79,17 +79,24 @@ class RunManifest:
         telemetry: Optional["Telemetry"] = None,
         shards: Optional[List[Dict[str, Any]]] = None,
         extra: Optional[Dict[str, Any]] = None,
+        guard: Optional[Dict[str, Any]] = None,
     ) -> "RunManifest":
         """Assemble a manifest from the current process state.
 
         ``telemetry`` defaults to the global instance; its span buffer and
-        metrics snapshot are copied, not drained.
+        metrics snapshot are copied, not drained.  ``guard`` embeds a
+        :func:`repro.guard.guard_summary` document under ``extra["guard"]``
+        so a partial (deadline-cut, cancelled, memory-limited) run is
+        attributable from its manifest alone.
         """
         if telemetry is None:
             from repro.telemetry import get_telemetry
 
             telemetry = get_telemetry()
         config = dict(config or {})
+        extra = dict(extra or {})
+        if guard is not None:
+            extra["guard"] = dict(guard)
         return cls(
             config=config,
             fingerprint=config_fingerprint(config),
@@ -99,7 +106,7 @@ class RunManifest:
             spans=[record.to_json() for record in telemetry.tracer.snapshot()],
             metrics=telemetry.metrics.snapshot(),
             shards=list(shards or []),
-            extra=dict(extra or {}),
+            extra=extra,
         )
 
     def to_json(self) -> Dict[str, Any]:

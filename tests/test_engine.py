@@ -369,7 +369,7 @@ def test_instrumentation_serial_and_parallel():
             "shard", "n_faults", "faults_dropped", "events_propagated",
             "patterns_simulated", "wall_time", "patterns_per_second",
             "retries", "timeouts", "failures", "rounds_resumed",
-            "degraded_reason",
+            "degraded_reason", "memory_adaptations", "stop_reason",
         }
         # A healthy run exercises none of the recovery machinery (unless
         # ambient chaos is injecting failures on purpose — the recovery

@@ -249,6 +249,48 @@ def test_journal_is_keyed_by_run_parameters(tmp_path):
     assert_identical(reference, other)
 
 
+def test_truncated_record_is_skipped_and_rerun(tmp_path):
+    """A half-written (truncated) record must be treated as never written:
+    loading skips it and the resumed run re-executes that round."""
+    _, netlists = figure4_netlists()
+    netlist = netlists[0]
+    ckpt = tmp_path / "journal"
+    options = dict(jobs=2, checkpoint_dir=str(ckpt), chunk_batches=1,
+                   max_patterns=1 << 10)
+    reference = _kernel_run(netlist, jobs=1, max_patterns=1 << 10)
+    with pytest.raises(ChaosInterrupt):
+        _kernel_run(
+            netlist, chaos=FaultInjector(mode="abort", shard=0), **options
+        )
+    records = sorted(ckpt.glob("*/shard*_round*.rec"))
+    assert records
+    # Truncate one record mid-pickle, as a crash between write and fsync
+    # could leave it on a lesser filesystem.
+    blob = records[0].read_bytes()
+    records[0].write_bytes(blob[: max(1, len(blob) // 2)])
+    resumed = _kernel_run(netlist, resume=True, **options)
+    assert_identical(reference, resumed)
+    assert resumed.rounds_resumed == len(records) - 1
+
+
+def test_stale_tmp_files_are_swept_on_load_and_clear(tmp_path):
+    """``*.tmp`` litter from a killed writer is removed, never replayed."""
+    from repro.engine.checkpoint import CheckpointStore
+
+    store = CheckpointStore(tmp_path, "a" * 64)
+    store.record(0, 0, {1: 5}, [2, 3], 64)
+    litter = store.directory / "dead-writer-1234.tmp"
+    litter.write_bytes(b"half a pickle")
+    records = store.load()
+    assert (0, 0) in records
+    assert not litter.exists()
+
+    litter.write_bytes(b"more litter")
+    store.clear()
+    assert not litter.exists()
+    assert store.n_records() == 0
+
+
 def test_chaos_error_is_a_simulation_error():
     assert issubclass(ChaosError, SimulationError)
     assert issubclass(ChaosInterrupt, RuntimeError)

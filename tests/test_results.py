@@ -72,6 +72,7 @@ def test_coverage_value_is_float_and_callable():
 BASE_FAULTSIM_KEYS = {
     "kind", "name", "n_faults", "n_detected", "n_undetected",
     "n_undetectable", "n_patterns", "coverage", "coverage_of_detectable",
+    "partial", "stop_reason",
 }
 
 
