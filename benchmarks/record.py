@@ -1,22 +1,31 @@
 """Record engine benchmark numbers as a committed ``BENCH_engine.json``.
 
 ``python benchmarks/record.py`` re-measures the engine's standing
-scenarios (currently the c3a2m multiplier kernel, serial and sharded),
-verifies the runs are bit-identical, and rewrites the snapshot at the
+scenarios over a ``jobs × executor`` matrix, verifies every cell is
+bit-identical to the serial baseline, and rewrites the snapshot at the
 repository root.  The file is committed so benchmark history travels with
 the code: every entry carries the ``git describe`` of the tree that
 produced it, and a reviewer can diff throughput claims the same way they
 diff code.
 
+Two standing scenarios bracket the engine's operating range: the c3a2m
+multiplier kernel (large fault universe, where process sharding pays)
+and the mac4 multiply-accumulate kernel (small, where the process pool's
+spawn/pickle tax loses to the thread and serial backends — the reason
+:mod:`repro.exec` has more than one backend).  ``jobs=1`` is recorded
+once per scenario as the serial baseline; each further job level is
+measured under every backend.
+
 Each entry is flat and stable by design::
 
-    {"scenario": "c3a2m_kernel", "jobs": 2, "wall_time": 1.23,
-     "patterns_per_second": 1660.0, "n_patterns": 2048,
-     "n_faults": 174, "coverage": 0.994, "git": "c4cfedf"}
+    {"scenario": "c3a2m_kernel", "jobs": 2, "executor": "process",
+     "wall_time": 1.23, "patterns_per_second": 1660.0,
+     "n_patterns": 2048, "n_faults": 174, "coverage": 0.994,
+     "git": "c4cfedf"}
 
 Absolute numbers are machine-dependent — compare entries recorded on one
-machine, or the serial/sharded ratio, not snapshots across hosts.  Run
-with ``REPRO_TELEMETRY=1`` (or pass ``--trace-out``) to also get a Chrome
+machine, or ratios between cells, not snapshots across hosts.  Run with
+``REPRO_TELEMETRY=1`` (or pass ``--trace-out``) to also get a Chrome
 trace of the measured runs (see ``docs/OBSERVABILITY.md``).
 """
 
@@ -33,19 +42,26 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import telemetry  # noqa: E402
+from repro.core.bibs import make_bibs_testable  # noqa: E402
 from repro.core.flow import lower_kernel_to_netlist  # noqa: E402
 from repro.core.ka85 import make_ka_testable  # noqa: E402
+from repro.datapath.compiler import Add, Mul, Var, compile_datapath  # noqa: E402
 from repro.datapath.filters import c3a2m  # noqa: E402
 from repro.engine import GoldenCache, simulate  # noqa: E402
+from repro.exec import ExecutionPolicy, RunConfig  # noqa: E402
 from repro.faultsim.patterns import RandomPatternSource  # noqa: E402
 from repro.graph.build import build_circuit_graph  # noqa: E402
 
 BENCH_KIND = "bench-engine"
-BENCH_VERSION = 1
+BENCH_VERSION = 2
+
+#: Backends measured at every sharded job level (jobs=1 is always the
+#: historical serial loop, recorded once as executor "serial").
+EXECUTORS = ("serial", "thread", "process")
 
 
 def c3a2m_kernel_netlist():
-    """The c3a2m multiplier kernel, lowered — the standing scenario."""
+    """The c3a2m multiplier kernel, lowered — the large standing scenario."""
     compiled = c3a2m()
     design = make_ka_testable(build_circuit_graph(compiled.circuit)).design
     kernel = next(
@@ -55,8 +71,24 @@ def c3a2m_kernel_netlist():
     return lower_kernel_to_netlist(compiled.circuit, kernel)
 
 
+def mac4_kernel_netlist():
+    """A 4-bit multiply-accumulate kernel — the small-kernel scenario.
+
+    Small enough that per-round work is dominated by dispatch overhead:
+    the cell where the thread and serial backends should beat the
+    process pool.
+    """
+    compiled = compile_datapath(
+        [("o", Add(Mul(Var("a"), Var("b")), Var("c")))], "mac4", width=4
+    )
+    design = make_bibs_testable(build_circuit_graph(compiled.circuit))
+    kernel = next(k for k in design.kernels if k.logic_blocks)
+    return lower_kernel_to_netlist(compiled.circuit, kernel)
+
+
 SCENARIOS = {
     "c3a2m_kernel": c3a2m_kernel_netlist,
+    "mac4_kernel": mac4_kernel_netlist,
 }
 
 
@@ -64,21 +96,24 @@ def measure(
     scenario: str,
     netlist,
     jobs: int,
+    executor: Optional[str],
     max_patterns: int,
     seed: int,
     cache: Optional[GoldenCache] = None,
 ) -> Dict[str, Any]:
-    """One benchmark entry: run the scenario at a job level and time it."""
+    """One benchmark entry: run a (scenario, jobs, executor) cell, timed."""
     source = RandomPatternSource(len(netlist.primary_inputs), seed=seed)
-    start = time.perf_counter()
-    result = simulate(
-        netlist, None, source,
-        max_patterns=max_patterns, jobs=jobs, cache=cache,
+    config = RunConfig(
+        execution=ExecutionPolicy(executor=executor, jobs=jobs),
+        max_patterns=max_patterns,
     )
+    start = time.perf_counter()
+    result = simulate(netlist, None, source, config=config, cache=cache)
     wall = time.perf_counter() - start
     return {
         "scenario": scenario,
         "jobs": jobs,
+        "executor": result.executor,
         "wall_time": wall,
         "patterns_per_second": result.n_patterns / wall if wall else None,
         "n_patterns": result.n_patterns,
@@ -91,18 +126,28 @@ def measure(
 
 def record(
     job_levels: List[int],
+    executors: List[str],
     max_patterns: int,
     seed: int,
 ) -> Dict[str, Any]:
-    """Measure every scenario at every job level; assert bit-identity."""
+    """Measure every scenario over the jobs × executor matrix.
+
+    Every cell's result is checked bit-identical to the scenario's serial
+    baseline before anything is written — a snapshot of a broken engine
+    must be impossible to record.
+    """
     entries: List[Dict[str, Any]] = []
     for scenario, build in sorted(SCENARIOS.items()):
         netlist = build()
         cache = GoldenCache()
         baseline = None
-        for jobs in job_levels:
+        cells = [(jobs, executor)
+                 for jobs in job_levels
+                 for executor in (executors if jobs > 1 else [None])]
+        for jobs, executor in cells:
             entry = measure(
-                scenario, netlist, jobs, max_patterns, seed, cache=cache
+                scenario, netlist, jobs, executor, max_patterns, seed,
+                cache=cache,
             )
             result = entry.pop("_result")
             if baseline is None:
@@ -110,8 +155,8 @@ def record(
             elif (result.first_detection != baseline.first_detection
                   or result.n_patterns != baseline.n_patterns):
                 raise AssertionError(
-                    f"{scenario}: jobs={jobs} diverged from serial — "
-                    "refusing to record a broken engine"
+                    f"{scenario}: jobs={jobs} executor={executor} diverged "
+                    "from the baseline — refusing to record a broken engine"
                 )
             entries.append(entry)
     return {
@@ -123,6 +168,7 @@ def record(
             "max_patterns": max_patterns,
             "seed": seed,
             "job_levels": job_levels,
+            "executors": list(executors),
         },
         "entries": entries,
     }
@@ -137,6 +183,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="snapshot path (default: repo root)")
     parser.add_argument("--jobs", default="1,2",
                         help="comma-separated job levels (default: 1,2)")
+    parser.add_argument("--executors", default=",".join(EXECUTORS),
+                        help="comma-separated backends measured at each "
+                             "sharded job level (default: all)")
     parser.add_argument("--max-patterns", type=int, default=2048)
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--trace-out", default=None, metavar="FILE",
@@ -149,7 +198,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_out:
         telemetry.enable()
     job_levels = sorted({int(level) for level in args.jobs.split(",")})
-    payload = record(job_levels, args.max_patterns, args.seed)
+    executors = [name.strip() for name in args.executors.split(",")
+                 if name.strip()]
+    payload = record(job_levels, executors, args.max_patterns, args.seed)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -160,7 +211,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for entry in payload["entries"]:
             pps = entry["patterns_per_second"]
             rate = f" ({pps:,.0f} patterns/s)" if pps else ""
-            print(f"{entry['scenario']} jobs={entry['jobs']}: "
+            print(f"{entry['scenario']} jobs={entry['jobs']} "
+                  f"executor={entry['executor']}: "
                   f"{entry['wall_time']:.3f}s{rate}")
         print(f"wrote {args.out}")
     return 0

@@ -35,6 +35,7 @@ from repro.tpg.design import TPGDesign
 from repro.tpg.mc_tpg import mc_tpg
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.config import RunConfig
     from repro.guard.budget import Budget
     from repro.guard.cancel import CancelToken
 
@@ -282,6 +283,7 @@ class BISTSession:
         machines_per_pass: int = 64,
         budget: Optional["Budget"] = None,
         cancel: Optional["CancelToken"] = None,
+        config: Optional["RunConfig"] = None,
     ) -> SessionResult:
         """Run the session against a fault list.
 
@@ -293,10 +295,17 @@ class BISTSession:
         cancellation stops after the current pass and returns a
         ``partial=True`` result covering the faults simulated so far, with
         a structured ``stop_reason``.  A ``max_patterns`` budget caps the
-        session's cycle count up front.
+        session's cycle count up front.  A :class:`repro.exec.RunConfig`
+        supplies both when the explicit arguments are absent, so one
+        config object governs a whole flow (the session itself is a
+        sequential gate-level loop — the executor and retry policy in the
+        config apply to :meth:`pattern_coverage`, not here).
         """
         from repro import telemetry
 
+        if config is not None:
+            budget = budget if budget is not None else config.budget
+            cancel = cancel if cancel is not None else config.cancel
         with telemetry.span(
             "session.run",
             kernel=self.kernel.name, cycles=cycles, n_faults=len(faults),
@@ -394,13 +403,10 @@ class BISTSession:
         self,
         max_patterns: Optional[int] = None,
         faults: Optional[Sequence[Fault]] = None,
-        jobs: Optional[int] = None,
+        *,
+        config: Optional["RunConfig"] = None,
         cache: Optional[GoldenCache] = None,
-        checkpoint_dir: Optional[str] = None,
-        resume: bool = False,
-        budget: Optional["Budget"] = None,
-        cancel: Optional["CancelToken"] = None,
-        **engine_options,
+        **options,
     ):
         """Per-pattern kernel fault coverage under the session's stimulus.
 
@@ -410,28 +416,40 @@ class BISTSession:
         *before* MISR compression (so the gap to :meth:`run`'s coverage is
         exactly the aliasing loss).  ``faults`` defaults to the lowered
         netlist's collapsed universe (its net ids, not the sequential
-        simulator's).  ``jobs`` shards the run over worker processes;
-        ``checkpoint_dir`` / ``resume`` journal completed shard rounds so
-        an interrupted measurement picks up where it stopped, and other
-        ``engine_options`` (``shard_timeout``, ``max_retries``, ``chaos``,
-        ...) reach the engine's fault-tolerance layer unchanged.
+        simulator's).
 
-        ``budget`` / ``cancel`` (see :mod:`repro.guard`) bound the run at
-        shard-round boundaries; a tripped limit yields a ``partial=True``
-        result with a structured ``stop_reason``, resumable bit-identically
-        via ``checkpoint_dir`` / ``resume``.
+        ``config`` (a :class:`repro.exec.RunConfig`) carries the execution
+        backend, shard count, retry policy, checkpointing, budget and
+        cancellation; the stimulus *length* stays this method's own
+        ``max_patterns`` argument (default :meth:`recommended_cycles`) —
+        the session decides how many cycles it generates, the config only
+        bounds and shapes their simulation.  The historical keyword
+        surface (``jobs=``, ``checkpoint_dir=``, ``budget=``, ...) is
+        accepted via the engine's deprecation shim, which warns once per
+        process.
         """
         from repro import telemetry
         from repro.core.flow import lower_kernel_to_netlist
         from repro.engine import simulate
+        from repro.exec.config import runconfig_from_legacy
+
+        if config is not None and options:
+            raise SimulationError(
+                "pattern_coverage() takes either config=RunConfig(...) or "
+                "the legacy keyword options, not both (got config plus: "
+                f"{', '.join(sorted(options))})"
+            )
+        if config is None:
+            config = runconfig_from_legacy(options)
+        n = max_patterns if max_patterns is not None else self.recommended_cycles()
+        config = config.replace(max_patterns=n)
         from repro.faultsim.patterns import SequencePatternSource
 
-        n = max_patterns if max_patterns is not None else self.recommended_cycles()
         with telemetry.span(
             "session.pattern_coverage",
             kernel=self.kernel.name,
             max_patterns=n,
-            jobs=jobs if jobs is not None else 1,
+            jobs=config.execution.effective_jobs,
         ):
             netlist = lower_kernel_to_netlist(self.circuit, self.kernel)
             streams = self.tpg.register_streams(n, seed=self.seed)
@@ -451,14 +469,8 @@ class BISTSession:
                 netlist,
                 faults,
                 source,
-                max_patterns=n,
-                jobs=jobs,
+                config=config,
                 cache=cache if cache is not None else self.cache,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
-                budget=budget,
-                cancel=cancel,
-                **engine_options,
             )
 
     def aliasing_study(

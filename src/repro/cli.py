@@ -7,7 +7,8 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
     python -m repro bibs     circuit.json [--method exact|greedy|auto] [--json]
     python -m repro tpg      circuit.json [--kernel N] [--json]
     python -m repro selftest circuit.json [--cycles N] [--max-faults N]
-                             [--jobs N] [--seed N] [--json] [--quiet]
+                             [--jobs N] [--executor {serial,process,thread}]
+                             [--seed N] [--json] [--quiet]
                              [--checkpoint-dir DIR] [--resume]
                              [--shard-timeout S] [--deadline S]
                              [--max-memory SIZE] [--max-patterns N]
@@ -22,8 +23,11 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
 something to chew on out of the box.  Every subcommand accepts ``--json``
 and then emits a single machine-readable object on stdout (results use the
 unified ``to_json()`` surface of :mod:`repro.results`).  ``selftest
---jobs N`` shards the per-pattern engine run over N worker processes (see
-``docs/ENGINE.md``); ``--seed`` sets the TPG seed.  ``--deadline`` /
+--jobs N`` shards the per-pattern engine run over N workers and
+``--executor`` picks the :mod:`repro.exec` backend (results are
+bit-identical either way — see ``docs/ENGINE.md`` and
+``docs/EXECUTORS.md``); ``--seed`` sets the TPG seed.  The shared engine
+flag cluster lives in :mod:`repro.cli_args`.  ``--deadline`` /
 ``--max-memory`` / ``--max-patterns`` bound the run through
 :mod:`repro.guard` (see ``docs/ROBUSTNESS.md``): a tripped limit — or
 Ctrl-C / SIGTERM — stops at the next round boundary, flushes any
@@ -57,6 +61,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.analysis.testability import classify
 from repro.bits import io_json
+from repro.cli_args import engine_parent_parser, runconfig_from_args
 from repro.core.bibs import make_bibs_testable
 from repro.core.ka85 import make_ka_testable
 from repro.experiments.render import render_table
@@ -281,11 +286,14 @@ def cmd_selftest(args) -> int:
     if budget is not None:
         budget.arm()  # the deadline spans both measurements below
     token = CancelToken()
+    config = runconfig_from_args(args, budget=budget, cancel=token)
     with signal_scope(token):
         result = session.run(cycles, faults=faults,
                              budget=budget, cancel=token)
         pattern_result = None
-        if args.jobs is not None and not token.cancelled:
+        engine_requested = (args.jobs is not None
+                            or args.executor is not None)
+        if engine_requested and not token.cancelled:
             # Align the run length with the pattern budget up front (the
             # engine's cap only stops at round boundaries, so a cap far
             # below the requested cycles would otherwise stop at 0).
@@ -293,10 +301,7 @@ def cmd_selftest(args) -> int:
             if budget is not None and budget.max_patterns is not None:
                 pattern_cap = min(cycles, budget.max_patterns)
             pattern_result = session.pattern_coverage(
-                max_patterns=pattern_cap, jobs=args.jobs,
-                checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-                shard_timeout=args.shard_timeout,
-                budget=budget, cancel=token,
+                max_patterns=pattern_cap, config=config,
             )
     stop_reason = result.stop_reason
     if stop_reason is None and pattern_result is not None:
@@ -313,7 +318,8 @@ def cmd_selftest(args) -> int:
             config={
                 "command": "selftest", "circuit": circuit.name,
                 "kernel": kernel.name, "cycles": cycles, "seed": args.seed,
-                "jobs": args.jobs, "max_faults": args.max_faults,
+                "jobs": args.jobs, "executor": args.executor,
+                "max_faults": args.max_faults,
             },
             shards=shards,
             guard=guard,
@@ -337,7 +343,7 @@ def cmd_selftest(args) -> int:
         _progress(args, f"  per-pattern (pre-MISR) coverage: "
                         f"{100 * pattern_result.coverage():.1f}% over "
                         f"{pattern_result.n_patterns} patterns "
-                        f"[engine, jobs={args.jobs}]")
+                        f"[engine, jobs={config.execution.effective_jobs}]")
     if partial:
         _progress(args, f"  partial run (stopped: {stop_reason})")
     if token.cancelled:
@@ -609,42 +615,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_json_flag(p)
     p.set_defaults(func=cmd_tpg)
 
-    p = sub.add_parser("selftest", help="gate-level BIST session")
+    p = sub.add_parser("selftest", help="gate-level BIST session",
+                       parents=[engine_parent_parser()])
     p.add_argument("circuit")
     p.add_argument("--cycles", type=int, default=0)
     p.add_argument("--max-faults", type=int, default=256)
-    p.add_argument("--jobs", type=int, default=None,
-                   help="also measure per-pattern coverage through the "
-                        "engine, sharded over N worker processes")
     p.add_argument("--seed", type=int, default=1, help="TPG seed (non-zero)")
-    p.add_argument("--checkpoint-dir", default=None,
-                   help="journal completed engine shard rounds under this "
-                        "directory (resumable per-pattern measurement)")
-    p.add_argument("--resume", action="store_true",
-                   help="replay journaled shard rounds instead of "
-                        "re-running them")
-    p.add_argument("--shard-timeout", type=float, default=None,
-                   help="seconds before a shard round is declared hung "
-                        "and retried on a fresh worker")
-    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
-                   help="wall-clock budget; on expiry the run stops at the "
-                        "next round boundary with partial results")
-    p.add_argument("--max-memory", default=None, metavar="SIZE",
-                   help="resident-memory ceiling (e.g. 2g, 512m); the "
-                        "engine sheds parallelism under pressure before "
-                        "stopping")
-    p.add_argument("--max-patterns", type=int, default=None, metavar="N",
-                   help="pattern budget: caps the session's cycle count "
-                        "and stops the engine run at a round boundary")
-    p.add_argument("--trace-out", default=None, metavar="FILE",
-                   help="enable telemetry and write a Chrome trace_event "
-                        "file (chrome://tracing / Perfetto)")
-    p.add_argument("--metrics-out", default=None, metavar="FILE",
-                   help="enable telemetry and write a Prometheus "
-                        "text-format metrics file")
-    p.add_argument("--quiet", action="store_true",
-                   help="suppress progress text (exit code still reports "
-                        "the outcome)")
     add_json_flag(p)
     p.set_defaults(func=cmd_selftest)
 

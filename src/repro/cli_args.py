@@ -1,0 +1,126 @@
+"""Shared CLI flag clusters for engine-driving commands.
+
+``python -m repro selftest`` and ``python -m repro.experiments`` grew the
+same four flag families independently — execution (``--jobs``,
+``--executor``, ``--shard-timeout``), checkpointing (``--checkpoint-dir``,
+``--resume``), governance (``--deadline``, ``--max-memory``,
+``--max-patterns``) and telemetry (``--trace-out``, ``--metrics-out``,
+``--quiet``).  This module defines them once as an argparse *parent*
+parser, and maps the parsed namespace onto the engine's
+:class:`~repro.exec.RunConfig` so both CLIs drive the run API the same
+way a library caller would.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.exec.base import available_executors
+from repro.exec.config import (
+    CheckpointPolicy,
+    ExecutionPolicy,
+    RetryPolicy,
+    RunConfig,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.guard.budget import Budget
+    from repro.guard.cancel import CancelToken
+
+
+def engine_parent_parser() -> argparse.ArgumentParser:
+    """The shared engine/guard/telemetry flags as an argparse parent.
+
+    Pass via ``parents=[engine_parent_parser()]`` when building a
+    subcommand parser (``add_help=False`` keeps the child's ``-h`` the
+    only help flag).  Flags parse into the namespace attributes
+    :func:`runconfig_from_args` reads.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    execution = parent.add_argument_group("engine execution")
+    execution.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shard fault simulation over N workers "
+             "(bit-identical to serial; see docs/ENGINE.md)")
+    execution.add_argument(
+        "--executor", default=None, choices=available_executors(),
+        help="execution backend for sharded runs (default: "
+             "$REPRO_ENGINE_EXECUTOR, then 'process'; results are "
+             "bit-identical across backends — see docs/EXECUTORS.md)")
+    execution.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="seconds before a shard round is declared hung and retried "
+             "on a fresh worker")
+    execution.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="journal completed engine shard rounds under this directory "
+             "(resumable runs)")
+    execution.add_argument(
+        "--resume", action="store_true",
+        help="replay journaled shard rounds instead of re-running them")
+    governance = parent.add_argument_group("run governance")
+    governance.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry the run stops at the next "
+             "round boundary with partial results")
+    governance.add_argument(
+        "--max-memory", default=None, metavar="SIZE",
+        help="resident-memory ceiling (e.g. 2g, 512m); the engine sheds "
+             "parallelism under pressure before stopping")
+    governance.add_argument(
+        "--max-patterns", type=int, default=None, metavar="N",
+        help="pattern budget: stops each engine run at a round boundary "
+             "once reached")
+    telemetry = parent.add_argument_group("telemetry")
+    telemetry.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="enable telemetry and write a Chrome trace_event file "
+             "(chrome://tracing / Perfetto)")
+    telemetry.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable telemetry and write a Prometheus text-format "
+             "metrics file")
+    telemetry.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress text (exit code still reports the "
+             "outcome)")
+    return parent
+
+
+def runconfig_from_args(
+    args: argparse.Namespace,
+    *,
+    budget: Optional["Budget"] = None,
+    cancel: Optional["CancelToken"] = None,
+    checkpoint_dir: Optional[Union[str, "Path"]] = None,
+    max_patterns: Optional[int] = None,
+) -> RunConfig:
+    """Build a :class:`RunConfig` from a namespace the parent parser filled.
+
+    ``budget`` / ``cancel`` are the caller's armed governance objects
+    (``--deadline`` / ``--max-memory`` / ``--max-patterns`` feed
+    ``Budget.from_cli``, not this function).  ``checkpoint_dir``
+    overrides ``--checkpoint-dir`` when the caller resolved a default
+    (e.g. ``<outdir>/checkpoints``); ``max_patterns`` caps the run when
+    the command computed its own pattern budget.
+    """
+    config = RunConfig(
+        execution=ExecutionPolicy(
+            executor=getattr(args, "executor", None),
+            jobs=getattr(args, "jobs", None),
+        ),
+        retry=RetryPolicy(shard_timeout=getattr(args, "shard_timeout", None)),
+        checkpoint=CheckpointPolicy(
+            directory=(checkpoint_dir if checkpoint_dir is not None
+                       else getattr(args, "checkpoint_dir", None)),
+            resume=getattr(args, "resume", False),
+        ),
+        budget=budget,
+        cancel=cancel,
+    )
+    if max_patterns is not None:
+        config = config.replace(max_patterns=max_patterns)
+    return config

@@ -30,6 +30,7 @@ from repro.rtl.circuit import RTLCircuit
 
 if TYPE_CHECKING:
     from repro.engine.cache import GoldenCache
+    from repro.exec.config import RunConfig
 
 
 def lower_kernel_to_netlist(circuit: RTLCircuit, kernel: Kernel) -> Netlist:
@@ -159,11 +160,10 @@ def evaluate_design(
     batch_width: int = 256,
     classify_undetected: bool = True,
     n_seeds: int = 1,
-    jobs: Optional[int] = None,
+    *,
+    config: Optional["RunConfig"] = None,
     cache: Optional["GoldenCache"] = None,
-    checkpoint_dir: Optional[str] = None,
-    resume: bool = False,
-    **engine_options,
+    **options,
 ) -> DesignEvaluation:
     """Fault-simulate every kernel of a design under random patterns.
 
@@ -178,20 +178,32 @@ def evaluate_design(
     patterns-to-100% statistic is a maximum over fault detection times and
     is noisy under a single stream.
 
-    ``jobs`` shards each kernel's fault list over worker processes via
-    :func:`repro.engine.simulate` (results are bit-identical to serial);
-    ``cache`` shares golden-run batches across kernels, seeds and calls.
-    ``checkpoint_dir`` / ``resume`` journal each kernel run's completed
-    shard rounds (keyed per kernel/stream, so one directory serves the
-    whole sweep) and replay them after an interruption; further
-    ``engine_options`` (``shard_timeout``, ``max_retries``, ``chaos``,
-    ``budget``, ``cancel``, ...) pass through to the engine.
+    ``config`` (a :class:`repro.exec.RunConfig`) shapes every kernel run:
+    execution backend and shard count, retry policy, checkpointing (keyed
+    per kernel/stream, so one directory serves the whole sweep), budget,
+    cancellation and chaos.  The sweep's own ``max_patterns`` and
+    ``batch_width`` arguments stay authoritative — they define *what* the
+    flow measures, the config defines *how* it executes.  Results are
+    bit-identical across backends and shard counts.  The historical
+    keyword surface (``jobs=``, ``checkpoint_dir=``, ...) is accepted via
+    the engine's deprecation shim, which warns once per process.
 
     A run stopped early by a :mod:`repro.guard` limit (``result.partial``)
     skips ATPG classification — faults left undetected by a truncated
     pattern stream are not candidates for redundancy proofs — and its
     unreached targets simply report ``patterns_at[target] = None``.
     """
+    from repro.exec.config import runconfig_from_legacy
+
+    if config is not None and options:
+        raise SimulationError(
+            "evaluate_design() takes either config=RunConfig(...) or the "
+            "legacy keyword options, not both (got config plus: "
+            f"{', '.join(sorted(options))})"
+        )
+    if config is None:
+        config = runconfig_from_legacy(options)
+    config = config.replace(max_patterns=max_patterns)
     evaluations: List[KernelEvaluation] = []
     for kernel in design.kernels:
         with telemetry.span(
@@ -206,11 +218,7 @@ def evaluate_design(
                 source = RandomPatternSource(
                     len(netlist.primary_inputs), seed=seed + 7919 * round_index
                 )
-                result = simulator.run(
-                    source, max_patterns, jobs=jobs, cache=cache,
-                    checkpoint_dir=checkpoint_dir, resume=resume,
-                    **engine_options,
-                )
+                result = simulator.run(source, config=config, cache=cache)
                 if classify_undetected and result.undetected and not result.partial:
                     from repro.atpg.podem import classify_faults
 
@@ -260,13 +268,27 @@ def compare_tdms(
     max_patterns: int = 1 << 17,
     seed: int = 1994,
     n_seeds: int = 1,
-    jobs: Optional[int] = None,
+    *,
+    config: Optional["RunConfig"] = None,
     cache: Optional["GoldenCache"] = None,
-    checkpoint_dir: Optional[str] = None,
-    resume: bool = False,
-    **engine_options,
+    **options,
 ) -> TDMComparison:
-    """Run both TDMs end to end on one circuit."""
+    """Run both TDMs end to end on one circuit.
+
+    ``config`` / ``cache`` are shared by both design evaluations (so one
+    golden cache and one checkpoint directory serve the whole comparison);
+    legacy engine keywords are accepted via the deprecation shim.
+    """
+    from repro.exec.config import runconfig_from_legacy
+
+    if config is not None and options:
+        raise SimulationError(
+            "compare_tdms() takes either config=RunConfig(...) or the "
+            "legacy keyword options, not both (got config plus: "
+            f"{', '.join(sorted(options))})"
+        )
+    if config is None:
+        config = runconfig_from_legacy(options)
     with telemetry.span("flow.compare_tdms", circuit=circuit.name):
         graph = build_circuit_graph(circuit)
         bibs_design = make_bibs_testable(graph)
@@ -275,16 +297,12 @@ def compare_tdms(
                             tdm="bibs"):
             bibs_eval = evaluate_design(
                 circuit, bibs_design, targets, max_patterns, seed,
-                n_seeds=n_seeds, jobs=jobs, cache=cache,
-                checkpoint_dir=checkpoint_dir, resume=resume,
-                **engine_options,
+                n_seeds=n_seeds, config=config, cache=cache,
             )
         with telemetry.span("flow.evaluate_design", circuit=circuit.name,
                             tdm="ka85"):
             ka_eval = evaluate_design(
                 circuit, ka_design, targets, max_patterns, seed,
-                n_seeds=n_seeds, jobs=jobs, cache=cache,
-                checkpoint_dir=checkpoint_dir, resume=resume,
-                **engine_options,
+                n_seeds=n_seeds, config=config, cache=cache,
             )
     return TDMComparison(circuit.name, bibs_eval, ka_eval)

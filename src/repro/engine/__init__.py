@@ -2,15 +2,19 @@
 
 The single entry point is :func:`simulate`::
 
-    from repro.engine import GoldenCache, simulate
+    from repro.engine import GoldenCache, RunConfig, simulate
+    from repro.exec import ExecutionPolicy
 
     cache = GoldenCache()
-    result = simulate(netlist, faults, patterns, jobs=4, cache=cache)
+    result = simulate(netlist, faults, patterns, cache=cache,
+                      config=RunConfig(execution=ExecutionPolicy(jobs=4)))
 
 ``repro.faultsim.simulator``, ``repro.bist.session``, the experiment
-harness and the CLI all route their fault simulation through here; see
+harness and the CLI all route their fault simulation through here; the
+execution backends themselves live in :mod:`repro.exec`.  See
 ``docs/ENGINE.md`` for the sharding/merge semantics, cache keys and
-instrumentation fields.
+instrumentation fields, and ``docs/EXECUTORS.md`` for the backend
+protocol.
 """
 
 from repro.engine.cache import GoldenBatches, GoldenCache
@@ -18,15 +22,25 @@ from repro.engine.chaos import ChaosError, ChaosInterrupt, FaultInjector
 from repro.engine.checkpoint import CheckpointStore
 from repro.engine.core import EngineResult, simulate
 from repro.engine.instrumentation import ShardStats
+from repro.exec.config import (
+    CheckpointPolicy,
+    ExecutionPolicy,
+    RetryPolicy,
+    RunConfig,
+)
 
 __all__ = [
     "ChaosError",
     "ChaosInterrupt",
+    "CheckpointPolicy",
     "CheckpointStore",
     "EngineResult",
+    "ExecutionPolicy",
     "FaultInjector",
     "GoldenBatches",
     "GoldenCache",
+    "RetryPolicy",
+    "RunConfig",
     "ShardStats",
     "simulate",
 ]

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
+from repro.exec.config import RunConfig, canonical_fields
 from repro.faultsim.faults import Fault
 from repro.faultsim.patterns import PatternSource, source_fingerprint
 from repro.netlist.netlist import Netlist
@@ -51,14 +52,19 @@ def run_key(
     netlist: Netlist,
     source: PatternSource,
     faults: Sequence[Fault],
-    batch_width: int,
-    max_patterns: int,
+    config: RunConfig,
     jobs: int,
-    chunk_batches: int,
-    stop_when_complete: bool,
-    drop_detected: bool,
 ) -> Optional[str]:
-    """Content key identifying one resumable run, or None if unkeyable."""
+    """Content key identifying one resumable run, or None if unkeyable.
+
+    Only the *canonical* configuration fields participate
+    (:func:`repro.exec.config.canonical_fields`): executor choice, retry
+    policy, budget and chaos are execution strategy that cannot move a
+    result, so a journal written under one backend resumes under any
+    other.  The blob layout is byte-identical to the pre-``RunConfig``
+    engine — journals written before this refactor still resume (pinned
+    by the golden-key regression test).
+    """
     stream_id = source_fingerprint(source)
     if stream_id is None:
         return None
@@ -72,13 +78,7 @@ def run_key(
         netlist.fingerprint(),
         stream_id,
         fault_digest,
-        batch_width,
-        max_patterns,
-        jobs,
-        chunk_batches,
-        stop_when_complete,
-        drop_detected,
-    )).encode()
+    ) + canonical_fields(config, jobs)).encode()
     return hashlib.sha256(blob).hexdigest()
 
 
@@ -196,33 +196,25 @@ class CheckpointStore:
 
 
 def open_store(
-    checkpoint_dir,
     netlist: Netlist,
     source: PatternSource,
     faults: Sequence[Fault],
-    batch_width: int,
-    max_patterns: int,
+    config: RunConfig,
     jobs: int,
-    chunk_batches: int,
-    stop_when_complete: bool,
-    drop_detected: bool,
-    resume: bool,
 ) -> Optional[CheckpointStore]:
     """The engine's entry point: a store for this run, or None.
 
-    Returns None when ``checkpoint_dir`` is unset or the run has no stable
-    content key.  With ``resume=False`` any existing journal for this exact
-    run is cleared so the journal always reflects a single coherent run.
+    Returns None when ``config.checkpoint.directory`` is unset or the run
+    has no stable content key.  With ``resume=False`` any existing journal
+    for this exact run is cleared so the journal always reflects a single
+    coherent run.
     """
-    if checkpoint_dir is None:
+    if config.checkpoint.directory is None:
         return None
-    key = run_key(
-        netlist, source, faults, batch_width, max_patterns,
-        jobs, chunk_batches, stop_when_complete, drop_detected,
-    )
+    key = run_key(netlist, source, faults, config, jobs)
     if key is None:
         return None
-    store = CheckpointStore(checkpoint_dir, key)
-    if not resume:
+    store = CheckpointStore(config.checkpoint.directory, key)
+    if not config.checkpoint.resume:
         store.clear()
     return store

@@ -1,40 +1,50 @@
 """The parallel fault-simulation engine (single entry point: ``simulate``).
 
 ``simulate`` partitions the collapsed fault list into round-robin shards
-and fans the shards out over a :class:`concurrent.futures.
-ProcessPoolExecutor`: each worker holds a pickled copy of the netlist and
-runs the existing bit-parallel event-driven propagator
+and fans the shards out over a pluggable :mod:`repro.exec` backend —
+``process`` (a warm worker pool, the default), ``thread`` or ``serial`` —
+each worker running the existing bit-parallel event-driven propagator
 (:meth:`repro.faultsim.simulator.FaultSimulator.simulate_batch`) over the
 golden batches the parent ships it.  Per-shard ``first_detection`` maps are
 merged deterministically — shards are disjoint and rounds arrive in
 pattern order — so the result is **bit-identical to the serial path** for
-every combination of ``stop_when_complete`` / ``drop_detected``.
+every backend and every combination of ``stop_when_complete`` /
+``drop_detected``.
+
+How a run is shaped now lives in one frozen object,
+:class:`repro.exec.RunConfig`::
+
+    from repro.exec import ExecutionPolicy, RunConfig
+
+    result = simulate(netlist, faults, patterns, config=RunConfig(
+        execution=ExecutionPolicy(jobs=4, executor="process"),
+    ))
+
+The historical keyword arguments (``jobs=4, shard_timeout=...``) are still
+accepted through a deprecation shim that maps them onto a ``RunConfig``
+and warns once per process.
 
 The engine is fault tolerant: every shard round carries an integrity
 checksum, is bounded by an optional ``shard_timeout``, and is retried with
-exponential backoff on crash / timeout / corruption (the worker pool is
-rebuilt, since a dead or hung worker poisons it).  A shard that exhausts
-its retry budget degrades gracefully to in-process serial execution in the
-parent, so a run *always* completes with results identical to ``jobs=1``.
-With a ``checkpoint_dir``, completed rounds are journaled
+exponential backoff on crash / timeout / corruption.  That machinery lives
+in :class:`repro.exec.RoundDriver`, *above* the executor boundary, so
+every backend inherits it; a shard that exhausts its retry budget degrades
+gracefully to in-process serial execution in the parent, and a run
+*always* completes with results identical to ``jobs=1``.  With a
+checkpoint directory, completed rounds are journaled
 (:mod:`repro.engine.checkpoint`) and ``resume=True`` replays them instead
 of re-executing; a deterministic :class:`~repro.engine.chaos.FaultInjector`
-(parameter or ``$REPRO_CHAOS``) makes all of these paths testable in CI.
+(config field or ``$REPRO_CHAOS``) makes all of these paths testable in CI.
 
 The fault-free (golden) evaluation of each batch is computed once in the
 parent, optionally through a :class:`~repro.engine.cache.GoldenCache`
 shared across shards and across repeated runs.  ``jobs=None`` (or 1) runs
-the same primitive serially in-process with zero multiprocessing overhead.
+the same primitive serially in-process with zero executor overhead.
 """
 
 from __future__ import annotations
 
-import hashlib
-import multiprocessing
-import pickle
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -43,27 +53,35 @@ from repro.engine import checkpoint as checkpoint_io
 from repro.engine.cache import GoldenBatches, GoldenCache
 from repro.engine.chaos import ChaosInterrupt, FaultInjector
 from repro.engine.instrumentation import ShardStats, publish_engine_metrics
-from repro.errors import ReproError, SimulationError
+from repro.errors import SimulationError
+from repro.exec.base import ExecutionContext, create_executor, resolve_executor_name
+from repro.exec.config import (
+    DEFAULT_CHUNK_BATCHES,
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_BACKOFF,
+    RunConfig,
+    runconfig_from_legacy,
+)
+from repro.exec.driver import CorruptShardRound, RoundDriver
+from repro.exec.process import _WorkerPool  # noqa: F401  (compatibility alias)
+from repro.exec.worker import consume_batches, fault_key, round_checksum
 from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.faults import Fault
 from repro.faultsim.patterns import PatternSource
 from repro.faultsim.simulator import FaultSimulator
-from repro.guard.budget import Budget
-from repro.guard.cancel import CancelToken
 from repro.guard.runner import RunGuard
 from repro.netlist.netlist import Netlist
 from repro.results import FaultSimResult
 
-#: Batches per fan-out round: large enough to amortize task dispatch and
-#: golden-batch shipping, small enough that early stop wastes little work.
-CHUNK_BATCHES = 4
-
-#: Default bounded-retry budget per shard round before degrading to
-#: in-process execution.
-MAX_RETRIES = 2
-
-#: Base of the exponential backoff between retry waves (seconds).
-RETRY_BACKOFF = 0.05
+#: Historical names, kept importable: these constants and primitives moved
+#: to :mod:`repro.exec` with the executor refactor.
+CHUNK_BATCHES = DEFAULT_CHUNK_BATCHES
+MAX_RETRIES = DEFAULT_MAX_RETRIES
+RETRY_BACKOFF = DEFAULT_RETRY_BACKOFF
+_fault_key = fault_key
+_round_checksum = round_checksum
+_consume_batches = consume_batches
+_CorruptShardRound = CorruptShardRound
 
 
 @dataclass
@@ -75,6 +93,7 @@ class EngineResult(FaultSimResult):
     """
 
     jobs: int = 1
+    executor: str = "serial"
     wall_time: float = 0.0
     shards: List[ShardStats] = field(default_factory=list)
     cache_hits: int = 0
@@ -108,6 +127,7 @@ class EngineResult(FaultSimResult):
         payload = super().to_json(include_faults)
         payload["engine"] = {
             "jobs": self.jobs,
+            "executor": self.executor,
             "wall_time": self.wall_time,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -117,136 +137,6 @@ class EngineResult(FaultSimResult):
             "shards": [shard.to_json() for shard in self.shards],
         }
         return payload
-
-
-class _CorruptShardRound(SimulationError):
-    """A shard round whose payload failed integrity verification."""
-
-
-def _fault_key(fault: Fault) -> Tuple[int, int, int, int]:
-    """A total-orderable identity tuple (stem faults carry None fields)."""
-    return (
-        fault.net,
-        fault.stuck_at,
-        -1 if fault.gate_index is None else fault.gate_index,
-        -1 if fault.pin is None else fault.pin,
-    )
-
-
-def _round_checksum(
-    detections: Dict[Fault, int], survivors: List[Fault], patterns: int
-) -> str:
-    """Integrity digest over one shard round's result payload."""
-    blob = repr((
-        sorted(_fault_key(f) + (index,) for f, index in detections.items()),
-        [_fault_key(f) for f in survivors],
-        patterns,
-    )).encode()
-    return hashlib.sha256(blob).hexdigest()
-
-
-# --------------------------------------------------------------- worker side
-
-_WORKER_SIMULATOR: Optional[FaultSimulator] = None
-
-
-def _init_worker(payload: bytes) -> None:
-    """Build this worker process's simulator from the pickled netlist."""
-    global _WORKER_SIMULATOR
-    netlist, batch_width, telemetry_on = pickle.loads(payload)
-    # Forked workers inherit the parent's span buffer and metrics; wipe
-    # them or every drain() would ship the parent's records back and the
-    # join would duplicate them.  Spawn-started workers don't inherit the
-    # parent's enable() call either way, so the init payload carries it.
-    telemetry.get_telemetry().reset()
-    if telemetry_on:
-        telemetry.enable()
-    _WORKER_SIMULATOR = FaultSimulator(netlist, batch_width)
-
-
-def _consume_batches(
-    simulator: FaultSimulator,
-    faults: List[Fault],
-    golden_batches: List[Tuple[int, Dict[int, int]]],
-    pattern_base: int,
-    drop_detected: bool,
-) -> Tuple[Dict[Fault, int], List[Fault], Dict[str, float]]:
-    """Run one round of batches for one fault list on one simulator.
-
-    The shared primitive behind both the worker-side shard round and the
-    parent's degraded in-process fallback — one implementation is what
-    keeps every execution path bit-identical.
-    """
-    start = time.perf_counter()
-    events_before = simulator.events_propagated
-    detections: Dict[Fault, int] = {}
-    live = list(faults)
-    base = pattern_base
-    patterns = 0
-    for mask, good in golden_batches:
-        width = mask.bit_length()
-        live = simulator.simulate_batch(
-            live, good, mask, base, detections, drop_detected
-        )
-        base += width
-        patterns += width
-        if not live:
-            break
-    measurements = {
-        "events": simulator.events_propagated - events_before,
-        "patterns": patterns,
-        "wall": time.perf_counter() - start,
-    }
-    return detections, live, measurements
-
-
-def _run_shard_round(
-    shard_id: int,
-    faults: List[Fault],
-    golden_batches: List[Tuple[int, Dict[int, int]]],
-    pattern_base: int,
-    drop_detected: bool,
-    round_index: int = 0,
-    attempt: int = 0,
-    injector: Optional[FaultInjector] = None,
-) -> Tuple[int, Dict[Fault, int], List[Fault], Dict[str, float], str, List]:
-    """Simulate one round of batches for one shard inside a worker.
-
-    ``golden_batches`` is a list of ``(mask, golden values)`` pairs; the
-    batch width is recovered from the mask.  Returns the shard's new
-    detections (absolute pattern indices), its surviving fault list, round
-    measurements, an integrity checksum (taken *before* any chaos
-    corruption, so tampering is detectable by the parent) and the spans
-    recorded in this worker since its last round — the worker-side half of
-    the telemetry merge (the parent absorbs them at shard join).
-    """
-    simulator = _WORKER_SIMULATOR
-    assert simulator is not None, "worker used before initialization"
-    corrupt = (
-        injector.apply(shard_id, round_index, attempt)
-        if injector is not None
-        else False
-    )
-    with telemetry.span(
-        "engine.shard_round",
-        shard=shard_id, round=round_index, attempt=attempt,
-        n_faults=len(faults),
-    ):
-        detections, live, measurements = _consume_batches(
-            simulator, faults, golden_batches, pattern_base, drop_detected
-        )
-    checksum = _round_checksum(detections, live, int(measurements["patterns"]))
-    tele = telemetry.get_telemetry()
-    spans = tele.tracer.drain() if tele.enabled else []
-    if corrupt:
-        if detections:
-            first = next(iter(detections))
-            detections[first] += 1
-        elif live:
-            detections[live[0]] = pattern_base
-        else:
-            measurements["patterns"] = int(measurements["patterns"]) + 1
-    return shard_id, detections, live, measurements, checksum, spans
 
 
 # --------------------------------------------------------------- parent side
@@ -323,89 +213,15 @@ def _stopped_n_patterns(
     return max_patterns
 
 
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
-
-
-class _WorkerPool:
-    """A restartable process pool.
-
-    ``ProcessPoolExecutor`` is poisoned by a dead worker (BrokenProcessPool)
-    and cannot cancel a hung one, so the recovery path for *any* shard
-    failure is the same: abandon the executor, terminate its processes and
-    build a fresh one lazily on the next submit.
-    """
-
-    def __init__(self, max_workers: int, init_payload: bytes):
-        self._max_workers = max_workers
-        self._init_payload = init_payload
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self.restarts = 0
-
-    def submit(self, fn, *args):
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self._max_workers,
-                mp_context=_mp_context(),
-                initializer=_init_worker,
-                initargs=(self._init_payload,),
-            )
-        return self._executor.submit(fn, *args)
-
-    def restart(self) -> None:
-        self.shutdown()
-        self.restarts += 1
-
-    def worker_pids(self) -> Tuple[int, ...]:
-        """PIDs of the live worker processes (for RSS sampling)."""
-        if self._executor is None:
-            return ()
-        processes = getattr(self._executor, "_processes", {}) or {}
-        return tuple(
-            process.pid for process in list(processes.values())
-            if process is not None and process.pid is not None
-        )
-
-    def shutdown(self) -> None:
-        executor, self._executor = self._executor, None
-        if executor is None:
-            return
-        # Snapshot worker processes before shutdown: hung workers would
-        # otherwise linger until their (possibly unbounded) task finishes.
-        processes = list(getattr(executor, "_processes", {}).values())
-        executor.shutdown(wait=False, cancel_futures=True)
-        for process in processes:
-            try:
-                process.terminate()
-            except (OSError, ValueError, AttributeError):
-                # Already exited/closed (or reaped by the executor between
-                # our snapshot and the terminate); nothing left to kill.
-                telemetry.count("engine.swallowed_errors")
-
-
 def simulate(
     netlist: Netlist,
     faults: Optional[Sequence[Fault]] = None,
     patterns: Optional[PatternSource] = None,
     *,
-    max_patterns: int = 1 << 16,
-    jobs: Optional[int] = None,
+    config: Optional[RunConfig] = None,
     cache: Optional[GoldenCache] = None,
-    batch_width: int = 256,
-    stop_when_complete: bool = True,
-    drop_detected: bool = True,
-    chunk_batches: int = CHUNK_BATCHES,
     simulator: Optional[FaultSimulator] = None,
-    shard_timeout: Optional[float] = None,
-    max_retries: int = MAX_RETRIES,
-    retry_backoff: float = RETRY_BACKOFF,
-    chaos: Optional[FaultInjector] = None,
-    checkpoint_dir: Optional[str] = None,
-    resume: bool = False,
-    check: bool = True,
-    budget: Optional[Budget] = None,
-    cancel: Optional[CancelToken] = None,
+    **options: Any,
 ) -> EngineResult:
     """Fault-simulate ``patterns`` against ``faults``, optionally in parallel.
 
@@ -418,65 +234,47 @@ def simulate(
     patterns:
         Pattern source; defaults to a seeded
         :class:`~repro.faultsim.patterns.RandomPatternSource`.
-    max_patterns:
-        Upper bound on applied patterns.
-    jobs:
-        ``None``/``1`` runs serially in-process; ``N > 1`` shards the fault
-        list over ``N`` worker processes.  Results are bit-identical either
-        way.
+    config:
+        A :class:`repro.exec.RunConfig` describing everything else about
+        the run — execution backend and shard count
+        (:class:`~repro.exec.ExecutionPolicy`), retry/timeout policy
+        (:class:`~repro.exec.RetryPolicy`), checkpointing
+        (:class:`~repro.exec.CheckpointPolicy`), budget, cancellation,
+        chaos, pattern cap and stop/drop semantics.  Defaults to
+        ``RunConfig()``: serial, 2^16 patterns, no checkpointing.
     cache:
         Optional :class:`GoldenCache` for fault-free batch evaluations,
-        shared across shards and across repeated calls.
-    batch_width / stop_when_complete / drop_detected:
-        As on :meth:`FaultSimulator.run`.
-    chunk_batches:
-        Batches shipped per fan-out round in parallel mode.
+        shared across shards and across repeated calls.  A *resource*, not
+        run configuration — it stays a direct parameter.
     simulator:
         An existing :class:`FaultSimulator` to reuse for serial runs (the
-        ``FaultSimulator.run`` routing passes itself).
-    shard_timeout:
-        Seconds a shard round may run before it is declared hung and
-        retried (None: wait forever).
-    max_retries:
-        Bounded retry budget per shard round; past it the round runs
-        degraded (serially, in-process) so the run still completes.
-    retry_backoff:
-        Base of the exponential backoff between retry waves (seconds).
-    chaos:
-        Deterministic failure injection for testing the recovery paths;
-        defaults to :meth:`FaultInjector.from_env` (``$REPRO_CHAOS``).
-    checkpoint_dir:
-        Journal completed shard rounds under this directory (keyed by the
-        run's content fingerprint) so an interrupted run can be resumed.
-    resume:
-        Replay rounds already journaled under ``checkpoint_dir`` instead
-        of re-executing them; ``False`` clears any prior journal for this
-        exact run.
-    check:
-        Run the :mod:`repro.lint` netlist rules as a pre-flight and raise
-        :class:`~repro.errors.LintError` on error-severity findings (a
-        combinational cycle, a floating net...) before any worker is
-        spawned.  ``check=False`` skips the pre-flight entirely; results
-        are bit-identical either way since lint never touches the run.
-    budget:
-        Optional :class:`~repro.guard.budget.Budget` (wall-clock deadline,
-        pattern cap, RSS ceiling) checked cooperatively at round
-        boundaries.  A tripped limit stops the run cleanly — checkpoint
-        flushed, ``partial=True``, structured ``stop_reason`` — instead of
-        raising; a checkpointed partial run resumed later completes
-        bit-identically.  See ``docs/ROBUSTNESS.md``.
-    cancel:
-        Optional :class:`~repro.guard.cancel.CancelToken`; once tripped
-        (by a signal handler via ``guard.signal_scope``, or in code) the
-        run drains its in-flight round and returns a partial result.
+        ``FaultSimulator.run`` routing passes itself).  Also a resource.
+    **options:
+        .. deprecated:: PR6
+            The historical keyword surface (``jobs=``, ``max_patterns=``,
+            ``shard_timeout=``, ``checkpoint_dir=``, ``budget=``, ...) is
+            accepted via :func:`repro.exec.runconfig_from_legacy`, which
+            maps it onto a ``RunConfig`` and emits one
+            :class:`DeprecationWarning` per process.  Results are
+            bit-identical to the equivalent ``config=`` call.  Passing
+            both ``config`` and legacy options is an error.
+
+    The run is bit-identical across executors (``serial`` / ``thread`` /
+    ``process``) and across every failure-recovery path: retries, degraded
+    in-process fallback, checkpoint resume, and the guard's memory ladder.
+    A tripped budget or cancel token stops the run cleanly at a round
+    boundary with ``partial=True`` and a structured ``stop_reason`` — see
+    ``docs/ROBUSTNESS.md`` and ``docs/EXECUTORS.md``.
     """
-    if batch_width < 1:
-        raise SimulationError("batch width must be positive")
-    if chunk_batches < 1:
-        raise SimulationError("chunk_batches must be positive")
-    if max_retries < 0:
-        raise SimulationError("max_retries must be >= 0")
-    if check:
+    if config is not None and options:
+        raise SimulationError(
+            "simulate() takes either config=RunConfig(...) or the legacy "
+            "keyword options, not both (got config plus: "
+            f"{', '.join(sorted(options))})"
+        )
+    if config is None:
+        config = runconfig_from_legacy(options)
+    if config.check:
         # Fail fast with witnesses, before faults are collapsed, golden
         # batches are computed, or any shard process exists.
         from repro.lint.runner import preflight_netlist
@@ -493,10 +291,10 @@ def simulate(
             f"pattern source width {patterns.n_inputs} != circuit inputs "
             f"{len(netlist.primary_inputs)}"
         )
-    if chaos is None:
-        chaos = FaultInjector.from_env()
+    chaos = config.chaos if config.chaos is not None else FaultInjector.from_env()
 
     fault_list = list(faults)
+    batch_width = config.execution.batch_width
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
     if simulator is not None and simulator.batch_width == batch_width:
@@ -514,31 +312,31 @@ def simulate(
         golden = GoldenBatches(evaluator, patterns, batch_width)
 
     start = time.perf_counter()
-    guard = RunGuard.create(budget, cancel, chaos)
-    n_jobs = 1 if jobs is None else max(1, int(jobs))
+    guard = RunGuard.create(config.budget, config.cancel, chaos)
+    n_jobs = config.execution.effective_jobs
     serial = n_jobs == 1 or len(fault_list) <= 1
+    executor_name = (
+        "serial" if serial
+        else resolve_executor_name(config.execution.executor)
+    )
     store = checkpoint_io.open_store(
-        checkpoint_dir, netlist, patterns, fault_list, batch_width,
-        max_patterns, 1 if serial else n_jobs, chunk_batches,
-        stop_when_complete, drop_detected, resume,
+        netlist, patterns, fault_list, config, 1 if serial else n_jobs,
     )
     with telemetry.span(
         "engine.simulate",
         circuit=netlist.name, jobs=1 if serial else n_jobs,
-        n_faults=len(fault_list), max_patterns=max_patterns,
+        executor=executor_name,
+        n_faults=len(fault_list), max_patterns=config.max_patterns,
     ) as run_span:
         if serial:
             result = _simulate_serial(
-                netlist, fault_list, golden, max_patterns, batch_width,
-                stop_when_complete, drop_detected, simulator, chaos, store,
-                guard,
+                netlist, fault_list, golden, config, simulator, chaos,
+                store, guard,
             )
         else:
             result = _simulate_parallel(
-                netlist, fault_list, golden, max_patterns, batch_width,
-                stop_when_complete, drop_detected, n_jobs, chunk_batches,
-                shard_timeout, max_retries, retry_backoff, chaos, store,
-                guard,
+                netlist, fault_list, golden, config, n_jobs, executor_name,
+                chaos, store, guard,
             )
         run_span.set_attribute("n_patterns", result.n_patterns)
         if result.partial:
@@ -572,10 +370,7 @@ def _simulate_serial(
     netlist: Netlist,
     faults: List[Fault],
     golden: GoldenBatches,
-    max_patterns: int,
-    batch_width: int,
-    stop_when_complete: bool,
-    drop_detected: bool,
+    config: RunConfig,
     simulator: Optional[FaultSimulator],
     chaos: Optional[FaultInjector],
     store: Optional[checkpoint_io.CheckpointStore],
@@ -589,6 +384,9 @@ def _simulate_serial(
     tripped :class:`~repro.guard.runner.RunGuard` limit breaks the loop at
     the next batch boundary and flags the result partial.
     """
+    max_patterns = config.max_patterns
+    batch_width = config.execution.batch_width
+    drop_detected = config.drop_detected
     if simulator is None or simulator.batch_width != batch_width:
         simulator = FaultSimulator(netlist, batch_width)
     stats = ShardStats(shard=0, n_faults=len(faults))
@@ -646,7 +444,7 @@ def _simulate_serial(
                 # the final batch the run just completed normally.
                 stop_reason = guard.stop_reason
                 break
-        if stop_when_complete and len(detections) == len(faults):
+        if config.stop_when_complete and len(detections) == len(faults):
             break
 
     stats.events_propagated = simulator.events_propagated - events_before
@@ -661,6 +459,7 @@ def _simulate_serial(
         partial=stop_reason is not None,
         stop_reason=stop_reason,
         jobs=1,
+        executor="serial",
         shards=[stats],
     )
 
@@ -669,28 +468,30 @@ def _simulate_parallel(
     netlist: Netlist,
     faults: List[Fault],
     golden: GoldenBatches,
-    max_patterns: int,
-    batch_width: int,
-    stop_when_complete: bool,
-    drop_detected: bool,
+    config: RunConfig,
     jobs: int,
-    chunk_batches: int,
-    shard_timeout: Optional[float],
-    max_retries: int,
-    retry_backoff: float,
+    executor_name: str,
     chaos: Optional[FaultInjector],
     store: Optional[checkpoint_io.CheckpointStore],
     guard: Optional[RunGuard] = None,
 ) -> EngineResult:
-    """Fan fault shards out over a process pool, round by round.
+    """Fan fault shards out over an execution backend, round by round.
 
-    Every round is executed fault-tolerantly (see ``_execute_round``) and
-    journaled once complete; rounds present in the journal are replayed
-    without touching the pool at all.  The guard is consulted at every
-    round boundary: before a round for cancellation/deadline/pattern-cap
-    stops, after it for chaos cancellation and the memory ladder (halve
-    ``chunk_batches``, then run rounds in-process, then stop).
+    Every round is executed fault-tolerantly by the
+    :class:`~repro.exec.RoundDriver` (retry waves, timeouts, integrity
+    checks, degraded fallback) and journaled once complete; rounds present
+    in the journal are replayed without touching the backend at all.  The
+    guard is consulted at every round boundary: before a round for
+    cancellation/deadline/pattern-cap stops, after it for chaos
+    cancellation and the memory ladder (halve ``chunk_batches``, then
+    release the backend and run rounds in-process, then stop) — uniformly,
+    whatever the backend.
     """
+    max_patterns = config.max_patterns
+    batch_width = config.execution.batch_width
+    stop_when_complete = config.stop_when_complete
+    drop_detected = config.drop_detected
+    chunk_batches = config.execution.chunk_batches
     shards: Dict[int, List[Fault]] = {
         shard_id: faults[shard_id::jobs] for shard_id in range(jobs)
     }
@@ -702,9 +503,14 @@ def _simulate_parallel(
     merged: Dict[Fault, int] = {}
     fault_index = {fault: i for i, fault in enumerate(faults)}
     journal = store.load() if store is not None else {}
-    payload = pickle.dumps((netlist, batch_width, telemetry.enabled()))
-    pool = _WorkerPool(len(shards), payload)
-    degraded_simulator: Optional[FaultSimulator] = None
+    executor = create_executor(executor_name)
+    executor.start(ExecutionContext(
+        netlist=netlist,
+        batch_width=batch_width,
+        max_workers=len(shards),
+        telemetry_enabled=telemetry.enabled(),
+    ))
+    driver = RoundDriver(executor, netlist, batch_width, config.retry, chaos)
     stop_reason: Optional[str] = None
     force_serial = False
     pattern_base = 0
@@ -766,17 +572,14 @@ def _simulate_parallel(
                     else:
                         pending.add(shard_id)
                 if pending and force_serial:
-                    degraded_simulator = _run_round_in_process(
+                    driver.run_round_in_process(
                         shards, pending, round_batches, pattern_base,
-                        round_index, drop_detected, results, netlist,
-                        batch_width, degraded_simulator,
+                        round_index, drop_detected, results,
                     )
                 elif pending:
-                    degraded_simulator = _execute_round(
-                        pool, shards, stats, pending, round_batches,
-                        pattern_base, round_index, drop_detected,
-                        shard_timeout, max_retries, retry_backoff, chaos,
-                        results, netlist, batch_width, degraded_simulator,
+                    driver.execute_round(
+                        shards, stats, pending, round_batches, pattern_base,
+                        round_index, drop_detected, results,
                     )
 
                 with telemetry.span(
@@ -819,7 +622,7 @@ def _simulate_parallel(
             if guard is not None:
                 guard.after_round(round_index)
                 action = guard.memory_action(
-                    round_index, pool.worker_pids(), chunk_batches,
+                    round_index, executor.worker_pids(), chunk_batches,
                     force_serial,
                 )
                 if action is not None:
@@ -830,7 +633,9 @@ def _simulate_parallel(
                         chunk_batches = max(1, chunk_batches // 2)
                     elif action == "serial":
                         force_serial = True
-                        pool.shutdown()
+                        # Hard release, not a stop: worker RSS must drop
+                        # now, so warm-pool parking is not allowed.
+                        executor.release()
                         for shard_id, live in shards.items():
                             if live and stats[shard_id].degraded_reason is None:
                                 stats[shard_id].degraded_reason = (
@@ -847,7 +652,7 @@ def _simulate_parallel(
             if stop_when_complete and len(merged) == len(faults):
                 break
     finally:
-        pool.shutdown()
+        executor.stop()
 
     if stop_reason is not None:
         # Guard stop: patterns actually applied, reason stamped on every
@@ -869,154 +674,6 @@ def _simulate_parallel(
         partial=stop_reason is not None,
         stop_reason=stop_reason,
         jobs=jobs,
+        executor=executor_name,
         shards=[stats[shard_id] for shard_id in sorted(stats)],
     )
-
-
-def _execute_round(
-    pool: _WorkerPool,
-    shards: Dict[int, List[Fault]],
-    stats: Dict[int, ShardStats],
-    pending: Set[int],
-    round_batches: List[Tuple[int, Dict[int, int]]],
-    pattern_base: int,
-    round_index: int,
-    drop_detected: bool,
-    shard_timeout: Optional[float],
-    max_retries: int,
-    retry_backoff: float,
-    chaos: Optional[FaultInjector],
-    results: Dict[int, Tuple[Dict[Fault, int], List[Fault], Optional[Dict]]],
-    netlist: Netlist,
-    batch_width: int,
-    degraded_simulator: Optional[FaultSimulator],
-) -> Optional[FaultSimulator]:
-    """Run one round's pending shards to completion, whatever fails.
-
-    Retry waves: all pending shards are submitted together; any that fail
-    (worker crash, timeout, integrity mismatch) force a pool rebuild and
-    are resubmitted after exponential backoff, up to ``max_retries`` times
-    each.  A shard past its budget runs degraded — serially, in the parent
-    process — so this function always returns with every pending shard in
-    ``results``.  Returns the (lazily built) degraded-path simulator for
-    reuse across rounds.
-    """
-    attempts = {shard_id: 0 for shard_id in pending}
-    while pending:
-        futures = {
-            shard_id: pool.submit(
-                _run_shard_round,
-                shard_id,
-                shards[shard_id],
-                round_batches,
-                pattern_base,
-                drop_detected,
-                round_index,
-                attempts[shard_id],
-                chaos,
-            )
-            for shard_id in sorted(pending)
-        }
-        deadline = (
-            None if shard_timeout is None
-            else time.monotonic() + shard_timeout
-        )
-        failed: List[int] = []
-        for shard_id, future in futures.items():
-            try:
-                remaining = (
-                    None if deadline is None
-                    else max(deadline - time.monotonic(), 1e-3)
-                )
-                (_, detections, survivors, measured, checksum,
-                 worker_spans) = future.result(timeout=remaining)
-                if checksum != _round_checksum(
-                    detections, survivors, int(measured["patterns"])
-                ):
-                    raise _CorruptShardRound(
-                        f"shard {shard_id} round {round_index}: "
-                        "integrity checksum mismatch"
-                    )
-            except FutureTimeoutError:
-                stats[shard_id].timeouts += 1
-                failed.append(shard_id)
-            except (BrokenExecutor, ReproError, pickle.PickleError, OSError):
-                # A dead worker (BrokenProcessPool), a worker-raised library
-                # error (ChaosError, SimulationError), a corrupted payload
-                # (_CorruptShardRound), or an IPC/pickling failure: all
-                # retried the same way.  Anything else — a genuine bug —
-                # propagates instead of being silently retried.
-                stats[shard_id].failures += 1
-                telemetry.count("engine.swallowed_errors")
-                failed.append(shard_id)
-            else:
-                results[shard_id] = (detections, survivors, measured)
-                pending.discard(shard_id)
-                if worker_spans:
-                    telemetry.get_telemetry().tracer.absorb(worker_spans)
-        if not failed:
-            break
-        # A dead or hung worker poisons the executor; rebuild it before
-        # the next wave (healthy shards already returned their results).
-        pool.restart()
-        for shard_id in failed:
-            attempts[shard_id] += 1
-            if attempts[shard_id] > max_retries:
-                if degraded_simulator is None:
-                    degraded_simulator = FaultSimulator(netlist, batch_width)
-                with telemetry.span(
-                    "engine.shard_round.degraded",
-                    shard=shard_id, round=round_index,
-                    attempts=attempts[shard_id],
-                ):
-                    detections, survivors, measured = _consume_batches(
-                        degraded_simulator, shards[shard_id], round_batches,
-                        pattern_base, drop_detected,
-                    )
-                results[shard_id] = (detections, survivors, measured)
-                stats[shard_id].degraded_reason = (
-                    f"retry budget exhausted after {attempts[shard_id]} "
-                    f"attempts at round {round_index}; ran in-process"
-                )
-                pending.discard(shard_id)
-            else:
-                stats[shard_id].retries += 1
-        if pending and retry_backoff > 0:
-            wave = min(attempts[shard_id] for shard_id in pending)
-            time.sleep(retry_backoff * (2 ** max(wave - 1, 0)))
-    return degraded_simulator
-
-
-def _run_round_in_process(
-    shards: Dict[int, List[Fault]],
-    pending: Set[int],
-    round_batches: List[Tuple[int, Dict[int, int]]],
-    pattern_base: int,
-    round_index: int,
-    drop_detected: bool,
-    results: Dict[int, Tuple[Dict[Fault, int], List[Fault], Optional[Dict]]],
-    netlist: Netlist,
-    batch_width: int,
-    degraded_simulator: Optional[FaultSimulator],
-) -> Optional[FaultSimulator]:
-    """Run one round's pending shards serially in the parent.
-
-    The memory guard's last rung before stopping: the worker pool is gone,
-    so every shard round goes through the same ``_consume_batches``
-    primitive the workers use — results (and journal records) stay
-    bit-identical, only the peak memory drops.
-    """
-    if degraded_simulator is None:
-        degraded_simulator = FaultSimulator(netlist, batch_width)
-    for shard_id in sorted(pending):
-        with telemetry.span(
-            "engine.shard_round.degraded",
-            shard=shard_id, round=round_index, reason="memory",
-        ):
-            detections, survivors, measured = _consume_batches(
-                degraded_simulator, shards[shard_id], round_batches,
-                pattern_base, drop_detected,
-            )
-        results[shard_id] = (detections, survivors, measured)
-    pending.clear()
-    return degraded_simulator

@@ -1,0 +1,71 @@
+"""``repro.exec``: pluggable execution backends and the run configuration.
+
+The engine (:func:`repro.engine.simulate`) describes *what* to compute; a
+:class:`RunConfig` describes how a run is shaped; an :class:`Executor`
+backend decides *where* the shard rounds actually execute — in-process
+(``serial``), on a thread pool (``thread``) or on a warm process pool
+(``process``).  Results are bit-identical across all of them; the choice
+only moves cost.  See ``docs/EXECUTORS.md`` for the protocol and how to
+write a backend.
+"""
+
+from repro.exec.base import (
+    DEFAULT_EXECUTOR,
+    EXECUTOR_ENV_VAR,
+    ExecutionContext,
+    Executor,
+    ExecutorCapabilities,
+    RoundHandle,
+    RoundResult,
+    WorkUnit,
+    available_executors,
+    create_executor,
+    register_executor,
+    resolve_executor_name,
+)
+from repro.exec.config import (
+    CheckpointPolicy,
+    ExecutionPolicy,
+    LEGACY_KEYWORDS,
+    RetryPolicy,
+    RunConfig,
+    canonical_fields,
+    reset_legacy_warning,
+    runconfig_from_legacy,
+)
+from repro.exec.driver import CorruptShardRound, RoundDriver
+from repro.exec.process import ProcessExecutor
+from repro.exec.serial import SerialExecutor
+from repro.exec.thread import ThreadExecutor
+
+register_executor("serial", SerialExecutor)
+register_executor("thread", ThreadExecutor)
+register_executor("process", ProcessExecutor)
+
+__all__ = [
+    "DEFAULT_EXECUTOR",
+    "EXECUTOR_ENV_VAR",
+    "LEGACY_KEYWORDS",
+    "CheckpointPolicy",
+    "CorruptShardRound",
+    "ExecutionContext",
+    "ExecutionPolicy",
+    "Executor",
+    "ExecutorCapabilities",
+    "ProcessExecutor",
+    "RetryPolicy",
+    "RoundDriver",
+    "RoundHandle",
+    "RoundResult",
+    "RunConfig",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WorkUnit",
+    "available_executors",
+    "canonical_fields",
+    "create_executor",
+    "register_executor",
+    "reset_legacy_warning",
+    "resolve_executor_name",
+    "runconfig_from_legacy",
+]

@@ -1,0 +1,231 @@
+"""The executor protocol: how the engine fans shard rounds out.
+
+An :class:`Executor` is a *pluggable execution substrate* for the parallel
+engine.  The engine hands it one :class:`WorkUnit` per pending shard per
+fan-out round; the executor returns a :class:`RoundHandle` whose
+``result(timeout)`` yields a :class:`RoundResult`.  Everything above the
+boundary — retry waves, backoff, integrity checksums, chaos accounting,
+checkpoint journaling, guard governance — lives in
+:class:`repro.exec.driver.RoundDriver` and is therefore inherited by
+*every* backend, present and future (a ``RemoteExecutor`` shipping units
+over sockets slots in without touching the engine).
+
+Three backends ship today (see ``docs/EXECUTORS.md``):
+
+``serial``
+    In-process, one shard at a time — the degradation target every other
+    backend falls back to, and the cheapest choice for tiny kernels.
+``thread``
+    A thread pool with per-thread simulators — parallel timeout handling
+    without process-pool spin-up/pickling tax (small kernels, see
+    ``BENCH_engine.json``).
+``process``
+    Today's warm process pool — true CPU parallelism, crash isolation,
+    worker RSS accounting.
+
+Capability flags (:class:`ExecutorCapabilities`) tell the driver and the
+guard what a backend can honour: whether hung rounds can be preempted
+(``supports_timeout``), whether a worker crash is contained
+(``isolated``), whether worker PIDs exist for RSS sampling
+(``worker_pids``).  The guard's halve -> serial -> stop memory ladder is
+applied uniformly: the "serial" rung stops *any* backend and continues
+in-process, so governance is an executor-layer contract rather than
+ProcessPool-specific code.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Environment variable naming the default backend for runs that do not
+#: pin one in their :class:`~repro.exec.config.ExecutionPolicy` — the same
+#: ambient-override idiom as ``$REPRO_CHAOS``.
+EXECUTOR_ENV_VAR = "REPRO_ENGINE_EXECUTOR"
+
+#: Fallback backend when neither the config nor the environment chooses.
+DEFAULT_EXECUTOR = "process"
+
+
+@dataclass(frozen=True)
+class ExecutorCapabilities:
+    """What an execution backend can honour.
+
+    Attributes
+    ----------
+    parallel:
+        Rounds of several shards make progress concurrently.
+    isolated:
+        A worker failure (crash, OOM kill) cannot corrupt the parent;
+        non-isolated backends have hard chaos ``crash`` mapped to a clean
+        in-process exception so the retry contract still holds.
+    supports_timeout:
+        A hung round can be preempted by ``RetryPolicy.shard_timeout``;
+        without it a delay simply runs to completion.
+    worker_pids:
+        The backend exposes worker process ids, so the memory watchdog
+        can sample worker RSS alongside the parent's.
+    remote:
+        Work units leave this host (reserved for a future
+        ``RemoteExecutor``; no shipping backend sets it).
+    """
+
+    parallel: bool
+    isolated: bool
+    supports_timeout: bool
+    worker_pids: bool = False
+    remote: bool = False
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Everything a backend needs to build per-worker simulators."""
+
+    netlist: Any
+    batch_width: int
+    max_workers: int
+    telemetry_enabled: bool = False
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard's work for one fan-out round.
+
+    ``golden_batches`` is a list of ``(mask, golden values)`` pairs; the
+    batch width is recovered from the mask.  ``attempt`` distinguishes
+    retry waves so a deterministic chaos plan can let a retry succeed.
+    The unit must stay picklable end to end — it is what a process (or,
+    later, remote) backend ships to its workers.
+    """
+
+    shard_id: int
+    faults: Tuple[Any, ...]
+    golden_batches: Tuple[Tuple[int, Dict[int, int]], ...]
+    pattern_base: int
+    round_index: int
+    drop_detected: bool
+    attempt: int = 0
+    chaos: Optional[Any] = None
+
+
+@dataclass
+class RoundResult:
+    """What one executed :class:`WorkUnit` produced.
+
+    ``checksum`` is taken *before* any chaos corruption inside the worker,
+    so tampering is detectable by the driver; ``spans`` carries the spans
+    recorded in an out-of-process worker since its last round (in-process
+    backends record straight into the parent tracer and leave it empty).
+    """
+
+    shard_id: int
+    detections: Dict[Any, int]
+    survivors: List[Any]
+    measurements: Dict[str, float]
+    checksum: str
+    spans: List[Any] = field(default_factory=list)
+
+
+class RoundHandle(ABC):
+    """A pending :class:`RoundResult` (future-shaped, minimal surface)."""
+
+    @abstractmethod
+    def result(self, timeout: Optional[float] = None) -> RoundResult:
+        """The round's result; raises what the execution raised.
+
+        ``timeout`` (seconds) applies only on backends whose capabilities
+        claim ``supports_timeout``; others complete the work and return.
+        On timeout the backend raises :class:`concurrent.futures.
+        TimeoutError` and the driver treats the round as hung.
+        """
+
+
+class Executor(ABC):
+    """One execution substrate for engine shard rounds.
+
+    Life cycle: ``start(context)`` once per run, ``submit_round`` for
+    every (shard, round, attempt), ``restart()`` whenever the driver
+    declares the backend poisoned (dead/hung worker), ``stop()`` at run
+    end.  ``stop`` must be idempotent — the guard's memory ladder may
+    stop a backend mid-run and continue in-process.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def capabilities(self) -> ExecutorCapabilities:
+        """The backend's capability flags (stable for its lifetime)."""
+
+    @abstractmethod
+    def start(self, context: ExecutionContext) -> None:
+        """Bind to one run's context; idempotent."""
+
+    @abstractmethod
+    def submit_round(self, unit: WorkUnit) -> RoundHandle:
+        """Schedule one shard round; never blocks on the work itself."""
+
+    def restart(self) -> None:
+        """Recover from a poisoned backend (default: nothing to rebuild)."""
+
+    def worker_pids(self) -> Tuple[int, ...]:
+        """PIDs of live workers, for RSS sampling (default: none)."""
+        return ()
+
+    @abstractmethod
+    def stop(self) -> None:
+        """End-of-run teardown; idempotent, safe mid-run.
+
+        A backend MAY park reusable resources (a warm worker pool) for the
+        next run instead of freeing them — see :meth:`release` for the
+        unconditional teardown.
+        """
+
+    def release(self) -> None:
+        """Free every worker resource *now*; idempotent.
+
+        The guard's memory ladder calls this on the "serial" rung: worker
+        RSS must actually drop, so warm-pool parking is not allowed here.
+        Default: same as :meth:`stop`.
+        """
+        self.stop()
+
+
+# ------------------------------------------------------------------ registry
+
+_REGISTRY: Dict[str, Callable[[], Executor]] = {}
+
+
+def register_executor(name: str, factory: Callable[[], Executor]) -> None:
+    """Register a backend factory under ``name`` (last write wins)."""
+    _REGISTRY[name] = factory
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Registered backend names, sorted (the CLI's ``--executor`` choices)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_executor_name(name: Optional[str]) -> str:
+    """Config name -> env (``$REPRO_ENGINE_EXECUTOR``) -> ``"process"``."""
+    if name:
+        return name
+    ambient = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
+    return ambient or DEFAULT_EXECUTOR
+
+
+def create_executor(name: Optional[str]) -> Executor:
+    """Instantiate the backend named (or defaulted) by ``name``."""
+    resolved = resolve_executor_name(name)
+    factory = _REGISTRY.get(resolved)
+    if factory is None:
+        raise SimulationError(
+            f"unknown executor {resolved!r} "
+            f"(available: {', '.join(available_executors())})"
+        )
+    return factory()

@@ -1,0 +1,259 @@
+"""The run configuration surface: one frozen object instead of ~19 kwargs.
+
+Every capability PR 1-5 added to :func:`repro.engine.simulate` widened the
+same keyword signature — jobs, timeouts, retries, chaos, checkpointing,
+budgets, cancellation.  :class:`RunConfig` folds that accretion into one
+frozen, introspectable object grouping four policy blocks:
+
+:class:`ExecutionPolicy`
+    *How* the run executes: which :mod:`repro.exec` backend, how many
+    shards, how patterns are batched and chunked into fan-out rounds.
+:class:`RetryPolicy`
+    The fault-tolerance contract every backend inherits: per-round retry
+    budget, backoff base and the shard timeout.
+:class:`CheckpointPolicy`
+    Where (and whether) completed shard rounds are journaled, and whether
+    an existing journal is replayed.
+:class:`~repro.guard.budget.Budget`
+    The existing governance object (deadline / pattern cap / RSS ceiling),
+    unchanged.
+
+Only a *canonical* subset of the configuration identifies a run's results:
+the executor choice, retry policy, budget, cancellation, chaos plan and
+lint pre-flight are all execution strategy — two runs differing only in
+those produce bit-identical results, so :func:`canonical_fields` excludes
+them and the checkpoint run key (:mod:`repro.engine.checkpoint`) stays
+stable across backends (and across this refactor: the key bytes match the
+pre-``RunConfig`` engine exactly, so old journals still resume).
+
+The old keyword call-shapes remain accepted through
+:func:`runconfig_from_legacy`, which maps them onto a ``RunConfig`` and
+warns once per process with a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.chaos import FaultInjector
+    from repro.guard.budget import Budget
+    from repro.guard.cancel import CancelToken
+
+#: Batches per fan-out round: large enough to amortize task dispatch and
+#: golden-batch shipping, small enough that early stop wastes little work.
+DEFAULT_CHUNK_BATCHES = 4
+
+#: Default bounded-retry budget per shard round before degrading to
+#: in-process execution.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the exponential backoff between retry waves (seconds).
+DEFAULT_RETRY_BACKOFF = 0.05
+
+#: Default upper bound on applied patterns.
+DEFAULT_MAX_PATTERNS = 1 << 16
+
+#: Default packed batch width (patterns per simulator pass).
+DEFAULT_BATCH_WIDTH = 256
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a run is executed: backend, shard count, batching geometry.
+
+    ``executor=None`` defers the backend choice to the environment
+    (``$REPRO_ENGINE_EXECUTOR``) and finally to ``"process"`` — see
+    :func:`repro.exec.resolve_executor_name`.  The choice never affects
+    results, only where the work happens.
+    """
+
+    executor: Optional[str] = None
+    jobs: Optional[int] = None
+    batch_width: int = DEFAULT_BATCH_WIDTH
+    chunk_batches: int = DEFAULT_CHUNK_BATCHES
+
+    def __post_init__(self) -> None:
+        if self.batch_width < 1:
+            raise SimulationError("batch width must be positive")
+        if self.chunk_batches < 1:
+            raise SimulationError("chunk_batches must be positive")
+
+    @property
+    def effective_jobs(self) -> int:
+        """The shard count the run actually uses (``None`` -> 1)."""
+        return 1 if self.jobs is None else max(1, int(self.jobs))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-shard-round fault tolerance every backend inherits."""
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff: float = DEFAULT_RETRY_BACKOFF
+    shard_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise SimulationError("max_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Journaling of completed shard rounds (resumable runs)."""
+
+    directory: Optional[Union[str, Path]] = None
+    resume: bool = False
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that shapes one engine run, in one frozen object.
+
+    ``budget`` and ``cancel`` are *shared mutable* governance objects by
+    design (a budget is armed once across a sweep; a token is tripped by a
+    signal handler); freezing the config prevents rebinding them, not
+    using them.  ``chaos=None`` defers to ``$REPRO_CHAOS`` at run time.
+    """
+
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint: CheckpointPolicy = field(default_factory=CheckpointPolicy)
+    budget: Optional["Budget"] = None
+    cancel: Optional["CancelToken"] = None
+    chaos: Optional["FaultInjector"] = None
+    max_patterns: int = DEFAULT_MAX_PATTERNS
+    stop_when_complete: bool = True
+    drop_detected: bool = True
+    check: bool = True
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with top-level fields replaced (frozen-friendly)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_execution(self, **changes: Any) -> "RunConfig":
+        """A copy with :class:`ExecutionPolicy` fields replaced."""
+        return self.replace(execution=dataclasses.replace(self.execution, **changes))
+
+
+def canonical_fields(config: RunConfig, jobs: int) -> Tuple[Any, ...]:
+    """The configuration subset that identifies a run's *results*.
+
+    Everything here changes what a run computes; everything excluded —
+    executor choice, retry policy, budget, cancellation, chaos, the lint
+    pre-flight — is execution strategy that the bit-identity contract
+    guarantees cannot move a result.  The tuple layout is frozen: it feeds
+    the checkpoint run key, and old journals must keep resuming.
+
+    ``jobs`` is passed explicitly (not read from the config) because the
+    engine collapses degenerate runs — one live fault, ``jobs=None`` — to
+    a single shard, and the journal must be keyed by the geometry actually
+    executed.
+    """
+    return (
+        config.execution.batch_width,
+        config.max_patterns,
+        jobs,
+        config.execution.chunk_batches,
+        config.stop_when_complete,
+        config.drop_detected,
+    )
+
+
+#: Legacy ``simulate`` keywords the deprecation shim accepts, with the
+#: RunConfig location each maps onto (documentation + test surface).
+LEGACY_KEYWORDS: Dict[str, str] = {
+    "max_patterns": "max_patterns",
+    "jobs": "execution.jobs",
+    "batch_width": "execution.batch_width",
+    "chunk_batches": "execution.chunk_batches",
+    "executor": "execution.executor",
+    "shard_timeout": "retry.shard_timeout",
+    "max_retries": "retry.max_retries",
+    "retry_backoff": "retry.backoff",
+    "checkpoint_dir": "checkpoint.directory",
+    "resume": "checkpoint.resume",
+    "stop_when_complete": "stop_when_complete",
+    "drop_detected": "drop_detected",
+    "check": "check",
+    "budget": "budget",
+    "cancel": "cancel",
+    "chaos": "chaos",
+}
+
+_legacy_warned = False
+
+
+def reset_legacy_warning() -> None:
+    """Re-arm the once-per-process deprecation warning (test hook)."""
+    global _legacy_warned
+    _legacy_warned = False
+
+
+def _warn_legacy(keys: Tuple[str, ...]) -> None:
+    global _legacy_warned
+    if _legacy_warned:
+        return
+    _legacy_warned = True
+    warnings.warn(
+        "passing engine run options as keyword arguments "
+        f"({', '.join(sorted(keys))}) is deprecated; build a "
+        "repro.exec.RunConfig and pass it as simulate(..., config=...) "
+        "(this warning is emitted once per process)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def runconfig_from_legacy(
+    options: Dict[str, Any], warn: bool = True
+) -> RunConfig:
+    """Map pre-``RunConfig`` keyword arguments onto a :class:`RunConfig`.
+
+    Unknown keywords raise :class:`~repro.errors.SimulationError` (they
+    were a ``TypeError`` before; a structured error keeps the CLI's error
+    paths uniform).  With ``warn`` the shim emits one
+    :class:`DeprecationWarning` per process.
+    """
+    unknown = sorted(set(options) - set(LEGACY_KEYWORDS))
+    if unknown:
+        raise SimulationError(
+            f"unknown engine option(s): {', '.join(unknown)} "
+            f"(expected a RunConfig field path or one of "
+            f"{', '.join(sorted(LEGACY_KEYWORDS))})"
+        )
+    if warn and options:
+        _warn_legacy(tuple(options))
+    execution = ExecutionPolicy(
+        executor=options.get("executor"),
+        jobs=options.get("jobs"),
+        batch_width=options.get("batch_width", DEFAULT_BATCH_WIDTH),
+        chunk_batches=options.get("chunk_batches", DEFAULT_CHUNK_BATCHES),
+    )
+    retry = RetryPolicy(
+        max_retries=options.get("max_retries", DEFAULT_MAX_RETRIES),
+        backoff=options.get("retry_backoff", DEFAULT_RETRY_BACKOFF),
+        shard_timeout=options.get("shard_timeout"),
+    )
+    checkpoint = CheckpointPolicy(
+        directory=options.get("checkpoint_dir"),
+        resume=options.get("resume", False),
+    )
+    return RunConfig(
+        execution=execution,
+        retry=retry,
+        checkpoint=checkpoint,
+        budget=options.get("budget"),
+        cancel=options.get("cancel"),
+        chaos=options.get("chaos"),
+        max_patterns=options.get("max_patterns", DEFAULT_MAX_PATTERNS),
+        stop_when_complete=options.get("stop_when_complete", True),
+        drop_detected=options.get("drop_detected", True),
+        check=options.get("check", True),
+    )

@@ -1,0 +1,85 @@
+"""The in-process serial backend: the degradation target.
+
+Every other backend falls back to *this* execution shape when it runs out
+of options (retry budget exhausted, memory ladder's "serial" rung), so it
+is deliberately the simplest possible implementation: one simulator in
+the parent process, work executed lazily inside ``handle.result()`` so
+failures (including chaos) surface inside the driver's retry machinery
+exactly like a worker failure would.
+
+It is also the *fastest* backend for small kernels: no pool spin-up, no
+golden-batch pickling, no IPC — see the committed ``BENCH_engine.json``
+matrix where ``serial`` beats ``process`` on sub-millisecond rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.exec.base import (
+    ExecutionContext,
+    Executor,
+    ExecutorCapabilities,
+    RoundHandle,
+    RoundResult,
+    WorkUnit,
+)
+from repro.exec.worker import run_work_unit
+from repro.faultsim.simulator import FaultSimulator
+
+_CAPABILITIES = ExecutorCapabilities(
+    parallel=False,
+    isolated=False,
+    supports_timeout=False,
+)
+
+
+class _LazyHandle(RoundHandle):
+    """Runs the work at ``result()`` time, inside the driver's try block."""
+
+    def __init__(self, thunk: Callable[[], RoundResult]):
+        self._thunk = thunk
+
+    def result(self, timeout: Optional[float] = None) -> RoundResult:
+        # ``timeout`` is ignored: capabilities say supports_timeout=False,
+        # so the driver never passes one in anger.
+        return self._thunk()
+
+
+class SerialExecutor(Executor):
+    """One in-parent simulator; shard rounds run one at a time."""
+
+    name = "serial"
+
+    @property
+    def capabilities(self) -> ExecutorCapabilities:
+        return _CAPABILITIES
+
+    def __init__(self) -> None:
+        self._context: Optional[ExecutionContext] = None
+        self._simulator: Optional[FaultSimulator] = None
+
+    def start(self, context: ExecutionContext) -> None:
+        self._context = context
+
+    def _get_simulator(self) -> FaultSimulator:
+        assert self._context is not None, "executor used before start()"
+        if self._simulator is None:
+            self._simulator = FaultSimulator(
+                self._context.netlist, self._context.batch_width
+            )
+        return self._simulator
+
+    def submit_round(self, unit: WorkUnit) -> RoundHandle:
+        return _LazyHandle(
+            lambda: run_work_unit(self._get_simulator(), unit, in_process=True)
+        )
+
+    def restart(self) -> None:
+        # Nothing is poisoned by an in-process exception, but a fresh
+        # simulator is the closest analogue to a pool rebuild and keeps
+        # the recovery contract uniform.
+        self._simulator = None
+
+    def stop(self) -> None:
+        self._simulator = None

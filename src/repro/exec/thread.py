@@ -1,0 +1,112 @@
+"""The thread-pool backend: parallel scheduling without the process tax.
+
+The simulator's packed-batch propagation is pure Python, so threads do not
+buy CPU parallelism under the GIL — what they buy is everything *else*
+the process backend charges for: no pool spin-up, no netlist pickling, no
+golden-batch IPC, no per-round result marshalling.  For small kernels
+those overheads dominate (see ``BENCH_engine.json``, where 2 process jobs
+lose to 1), and the thread backend keeps the sharded execution shape —
+including real ``shard_timeout`` preemption and the full retry contract —
+at near-serial cost.
+
+Each pool thread owns its own :class:`FaultSimulator` (thread-local), so
+shard rounds never share mutable simulator state and results stay
+bit-identical to the serial path.  ``restart()`` abandons the current
+pool (a hung thread finishes harmlessly into a discarded future) and
+swaps in a fresh one, mirroring the process backend's pool rebuild.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional
+
+from repro.exec.base import (
+    ExecutionContext,
+    Executor,
+    ExecutorCapabilities,
+    RoundHandle,
+    RoundResult,
+    WorkUnit,
+)
+from repro.exec.worker import run_work_unit
+from repro.faultsim.simulator import FaultSimulator
+
+_CAPABILITIES = ExecutorCapabilities(
+    parallel=True,
+    isolated=False,
+    supports_timeout=True,
+)
+
+
+class _FutureHandle(RoundHandle):
+    def __init__(self, future: "Future[RoundResult]"):
+        self._future = future
+
+    def result(self, timeout: Optional[float] = None) -> RoundResult:
+        return self._future.result(timeout=timeout)
+
+
+class ThreadExecutor(Executor):
+    """A :class:`ThreadPoolExecutor` with one simulator per pool thread."""
+
+    name = "thread"
+
+    @property
+    def capabilities(self) -> ExecutorCapabilities:
+        return _CAPABILITIES
+
+    def __init__(self) -> None:
+        self._context: Optional[ExecutionContext] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._local = threading.local()
+        self.restarts = 0
+
+    def start(self, context: ExecutionContext) -> None:
+        self._context = context
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=context.max_workers,
+                thread_name_prefix="repro-exec",
+            )
+
+    def _simulator(self) -> FaultSimulator:
+        context = self._context
+        assert context is not None, "executor used before start()"
+        simulator = getattr(self._local, "simulator", None)
+        if simulator is None:
+            simulator = FaultSimulator(context.netlist, context.batch_width)
+            self._local.simulator = simulator
+        return simulator
+
+    def _run(self, unit: WorkUnit) -> RoundResult:
+        return run_work_unit(self._simulator(), unit, in_process=True)
+
+    def submit_round(self, unit: WorkUnit) -> RoundHandle:
+        assert self._pool is not None, "executor used before start()"
+        return _FutureHandle(self._pool.submit(self._run, unit))
+
+    def restart(self) -> None:
+        # A timed-out round leaves its thread running; abandon the pool
+        # (the stray result lands in a discarded future, the thread-local
+        # simulator dies with its thread) and build a fresh one.  A fresh
+        # ``threading.local`` keeps new pool threads from ever aliasing an
+        # abandoned thread's simulator.
+        pool, self._pool = self._pool, None
+        self._local = threading.local()
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self.restarts += 1
+        context = self._context
+        if context is not None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=context.max_workers,
+                thread_name_prefix="repro-exec",
+            )
+
+    def stop(self) -> None:
+        pool, self._pool = self._pool, None
+        self._local = threading.local()
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

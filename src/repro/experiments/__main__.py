@@ -3,10 +3,13 @@
 ``python -m repro.experiments [outdir] [--quick]`` writes the same
 artifacts the benchmark suite produces (Table 1, Table 2, the per-figure
 reports) without pytest.  ``--quick`` shrinks the fault-simulation budget
-for a fast smoke pass; ``--jobs N`` shards fault simulation over N worker
-processes (bit-identical results, see ``docs/ENGINE.md``); ``--seed N``
-changes the random-pattern seed; ``--json`` additionally writes
-``table1.json``/``table2.json`` machine-readable artifacts.
+for a fast smoke pass; ``--jobs N`` shards fault simulation over N
+workers and ``--executor`` picks the :mod:`repro.exec` backend
+(bit-identical results either way, see ``docs/ENGINE.md`` and
+``docs/EXECUTORS.md``); ``--seed N`` changes the random-pattern seed;
+``--json`` additionally writes ``table1.json``/``table2.json``
+machine-readable artifacts.  The engine/guard/telemetry flag cluster is
+shared with ``python -m repro selftest`` (see :mod:`repro.cli_args`).
 
 Long Table 2 measurements are resumable: ``--checkpoint-dir DIR``
 journals completed fault-simulation shard rounds (default
@@ -37,6 +40,7 @@ import pathlib
 import sys
 import time
 
+from repro.cli_args import engine_parent_parser, runconfig_from_args
 from repro.experiments.figures import (
     example1_report,
     figure3_report,
@@ -69,43 +73,15 @@ def _announce_interrupt(checkpoint_dir, quiet: bool) -> None:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser = argparse.ArgumentParser(prog="repro.experiments",
+                                     parents=[engine_parent_parser()])
     parser.add_argument("outdir", nargs="?", default="results")
     parser.add_argument("--quick", action="store_true",
                         help="smaller fault-sim budget (smoke pass)")
-    parser.add_argument("--jobs", type=int, default=None,
-                        help="shard fault simulation over N worker processes")
     parser.add_argument("--seed", type=int, default=1994,
                         help="random-pattern seed for Table 2")
     parser.add_argument("--json", action="store_true",
                         help="also write table1.json / table2.json")
-    parser.add_argument("--checkpoint-dir", default=None,
-                        help="journal completed fault-sim shard rounds "
-                             "under this directory (resumable runs)")
-    parser.add_argument("--resume", action="store_true",
-                        help="replay journaled shard rounds from the "
-                             "checkpoint directory instead of re-running")
-    parser.add_argument("--deadline", type=float, default=None,
-                        metavar="SECONDS",
-                        help="wall-clock budget for the whole sweep; on "
-                             "expiry runs stop at the next round boundary "
-                             "and report partial results")
-    parser.add_argument("--max-memory", default=None, metavar="SIZE",
-                        help="resident-memory ceiling for the sweep "
-                             "(e.g. 2g, 512m); under pressure the engine "
-                             "sheds parallelism before stopping")
-    parser.add_argument("--max-patterns", type=int, default=None,
-                        metavar="N",
-                        help="pattern budget per kernel run (stops each "
-                             "run at a round boundary once reached)")
-    parser.add_argument("--trace-out", default=None, metavar="FILE",
-                        help="enable telemetry and write a Chrome "
-                             "trace_event file for the sweep")
-    parser.add_argument("--metrics-out", default=None, metavar="FILE",
-                        help="enable telemetry and write a Prometheus "
-                             "text-format metrics file")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress progress text")
     args = parser.parse_args(argv)
 
     outdir = pathlib.Path(args.outdir)
@@ -152,10 +128,11 @@ def _run_sweep(args, outdir, checkpoint_dir, budget, token) -> int:
 
     max_patterns = 1 << (13 if args.quick else 16)
     n_seeds = 1 if args.quick else 3
+    config = runconfig_from_args(args, budget=budget, cancel=token,
+                                 checkpoint_dir=checkpoint_dir)
     columns = table2_columns(
         max_patterns=max_patterns, seed=args.seed, n_seeds=n_seeds,
-        jobs=args.jobs, checkpoint_dir=checkpoint_dir, resume=args.resume,
-        budget=budget, cancel=token,
+        config=config,
     )
     write("table2_full.txt", render_table2(columns))
     if args.json:
@@ -186,7 +163,8 @@ def _run_sweep(args, outdir, checkpoint_dir, budget, token) -> int:
         manifest = telemetry.RunManifest.collect(
             config={
                 "command": "experiments", "quick": args.quick,
-                "jobs": args.jobs, "seed": args.seed,
+                "jobs": args.jobs, "executor": args.executor,
+                "seed": args.seed,
                 "max_patterns": max_patterns, "n_seeds": n_seeds,
             },
             guard=guard_summary(budget, token, stop_reason=stop_reason),

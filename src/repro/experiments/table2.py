@@ -29,8 +29,7 @@ from repro.experiments.render import fmt, render_table
 
 if TYPE_CHECKING:
     from repro.engine.cache import GoldenCache
-    from repro.guard.budget import Budget
-    from repro.guard.cancel import CancelToken
+    from repro.exec.config import RunConfig
 
 #: The paper's Table 2, for side-by-side reporting: circuit -> (BIBS, [3]).
 PAPER_TABLE2 = {
@@ -75,47 +74,52 @@ def measure_circuit(
     max_patterns: int = 1 << 17,
     seed: int = 1994,
     n_seeds: int = 3,
-    jobs: Optional[int] = None,
+    *,
+    config: Optional["RunConfig"] = None,
     cache: Optional["GoldenCache"] = None,
-    checkpoint_dir: Optional[str] = None,
-    resume: bool = False,
-    budget: Optional["Budget"] = None,
-    cancel: Optional["CancelToken"] = None,
-    **engine_options,
+    **options,
 ) -> Table2Column:
     """Run the full Table 2 measurement for one circuit.
 
-    ``jobs`` shards every kernel's fault simulation over worker processes;
-    ``cache`` reuses golden batches between the BIBS and KA evaluations of
-    a kernel (same netlist + stream) and across repeated measurements.
-    ``checkpoint_dir`` journals every kernel run's completed shard rounds,
-    and ``resume=True`` replays them — an interrupted Table 2 measurement
-    restarts from the last completed shard round instead of from zero.
+    ``config`` (a :class:`repro.exec.RunConfig`) shapes every kernel run:
+    execution backend and shard count, retry policy, checkpointing (an
+    interrupted measurement restarts from the last completed shard round),
+    budget, cancellation and chaos.  ``cache`` reuses golden batches
+    between the BIBS and KA evaluations of a kernel (same netlist +
+    stream) and across repeated measurements.
 
-    ``budget`` / ``cancel`` (see :mod:`repro.guard`) bound the whole
-    measurement: the budget is armed here (idempotently), so its deadline
-    spans every kernel run, and a tripped limit makes the unreached
-    coverage rows report ``None`` instead of raising.
+    ``config.budget`` is armed here (idempotently), so its deadline spans
+    every kernel run, and a tripped limit makes the unreached coverage
+    rows report ``None`` instead of raising.  The historical keyword
+    surface (``jobs=``, ``budget=``, ``checkpoint_dir=``, ...) is
+    accepted via the engine's deprecation shim, which warns once per
+    process.
     """
+    from repro.exec.config import runconfig_from_legacy
+
+    if config is not None and options:
+        raise SimulationError(
+            "measure_circuit() takes either config=RunConfig(...) or the "
+            "legacy keyword options, not both (got config plus: "
+            f"{', '.join(sorted(options))})"
+        )
+    if config is None:
+        config = runconfig_from_legacy(options)
     compiled = all_filters()[name]
-    if budget is not None:
-        budget.arm()
-    if budget is not None or cancel is not None:
-        engine_options = dict(engine_options, budget=budget, cancel=cancel)
+    if config.budget is not None:
+        config.budget.arm()
     with telemetry.span(
         "table2.measure_circuit",
         circuit=name, max_patterns=max_patterns, n_seeds=n_seeds,
-        jobs=jobs if jobs is not None else 1,
+        jobs=config.execution.effective_jobs,
     ):
         return _measure_circuit(
-            name, compiled, max_patterns, seed, n_seeds, jobs, cache,
-            checkpoint_dir, resume, engine_options,
+            name, compiled, max_patterns, seed, n_seeds, config, cache
         )
 
 
 def _measure_circuit(
-    name, compiled, max_patterns, seed, n_seeds, jobs, cache,
-    checkpoint_dir, resume, engine_options,
+    name, compiled, max_patterns, seed, n_seeds, config, cache
 ) -> Table2Column:
     comparison = compare_tdms(
         compiled.circuit,
@@ -123,11 +127,8 @@ def _measure_circuit(
         max_patterns=max_patterns,
         seed=seed,
         n_seeds=n_seeds,
-        jobs=jobs,
+        config=config,
         cache=cache,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        **engine_options,
     )
     bibs, ka = comparison.bibs, comparison.ka
     return Table2Column(
@@ -158,18 +159,16 @@ def table2_columns(
     max_patterns: int = 1 << 17,
     seed: int = 1994,
     n_seeds: int = 3,
-    jobs: Optional[int] = None,
-    checkpoint_dir: Optional[str] = None,
-    resume: bool = False,
-    budget: Optional["Budget"] = None,
-    cancel: Optional["CancelToken"] = None,
-    **engine_options,
+    *,
+    config: Optional["RunConfig"] = None,
+    **options,
 ) -> List[Table2Column]:
     """Measure every circuit, sharing one golden-run cache across them.
 
-    ``budget`` is armed once up front, so its deadline spans the whole
-    sweep rather than restarting per circuit; ``cancel`` lets one token
-    (typically tripped by SIGINT/SIGTERM) stop every remaining run.
+    ``config.budget`` is armed once up front, so its deadline spans the
+    whole sweep rather than restarting per circuit; ``config.cancel``
+    lets one token (typically tripped by SIGINT/SIGTERM) stop every
+    remaining run.
 
     The shared cache bounds per-entry golden-batch retention: a full-budget
     run holds 2^17/256 = 512 batches of every-net packed values *per
@@ -179,15 +178,22 @@ def table2_columns(
     rare re-read).
     """
     from repro.engine import GoldenCache
+    from repro.exec.config import runconfig_from_legacy
 
+    if config is not None and options:
+        raise SimulationError(
+            "table2_columns() takes either config=RunConfig(...) or the "
+            "legacy keyword options, not both (got config plus: "
+            f"{', '.join(sorted(options))})"
+        )
+    if config is None:
+        config = runconfig_from_legacy(options)
     cache = GoldenCache(max_entries=16, max_batches_per_entry=64)
-    if budget is not None:
-        budget.arm()
+    if config.budget is not None:
+        config.budget.arm()
     return [
         measure_circuit(
-            c, max_patterns, seed, n_seeds, jobs=jobs, cache=cache,
-            checkpoint_dir=checkpoint_dir, resume=resume,
-            budget=budget, cancel=cancel, **engine_options,
+            c, max_patterns, seed, n_seeds, config=config, cache=cache
         )
         for c in circuits
     ]

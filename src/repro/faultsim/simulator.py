@@ -30,8 +30,7 @@ from repro.netlist.netlist import Netlist
 from repro.results import FaultSimResult  # noqa: F401  (compatibility shim)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.guard.budget import Budget
-    from repro.guard.cancel import CancelToken
+    from repro.exec.config import RunConfig
 
 
 class FaultSimulator:
@@ -149,66 +148,66 @@ class FaultSimulator:
     def run(
         self,
         source: PatternSource,
-        max_patterns: int,
+        max_patterns: Optional[int] = None,
         faults: Optional[Sequence[Fault]] = None,
-        stop_when_complete: bool = True,
-        drop_detected: bool = True,
-        jobs: Optional[int] = None,
+        *,
+        config: Optional["RunConfig"] = None,
         cache: Optional["object"] = None,
-        checkpoint_dir: Optional[str] = None,
-        resume: bool = False,
-        budget: Optional["Budget"] = None,
-        cancel: Optional["CancelToken"] = None,
-        **engine_options,
+        **options,
     ) -> FaultSimResult:
         """Simulate up to ``max_patterns`` patterns against the fault list.
 
-        ``faults`` defaults to the equivalence-collapsed universe.  With
-        ``stop_when_complete`` the run ends early once every fault has been
-        detected (fault dropping makes the tail cheap anyway).
-        ``drop_detected=False`` keeps detected faults in the simulated
-        population — useful only for ablation studies of fault dropping.
+        ``faults`` defaults to the equivalence-collapsed universe.
+        ``max_patterns`` (historically required) overrides
+        ``config.max_patterns`` when given; with a full ``config`` it can
+        simply be omitted.
 
-        ``jobs`` > 1 shards the fault list over that many worker processes
-        (see :func:`repro.engine.simulate`); results are bit-identical to
-        the serial path.  ``cache`` optionally supplies a
-        :class:`repro.engine.GoldenCache` so fault-free batch evaluations
-        are shared across shards and repeated runs.  ``checkpoint_dir`` /
-        ``resume`` journal completed shard rounds and replay them after an
-        interruption; remaining ``engine_options`` (``shard_timeout``,
-        ``max_retries``, ``retry_backoff``, ``chaos``) pass through to the
-        engine's fault-tolerance machinery.
+        ``config`` is a :class:`repro.exec.RunConfig` — execution backend
+        and shard count, retry/timeout policy, checkpointing, budget,
+        cancellation and chaos all live there (the batch width is pinned
+        to this simulator's own).  Results are bit-identical across
+        backends and shard counts (see :func:`repro.engine.simulate`).
+        ``cache`` optionally supplies a :class:`repro.engine.GoldenCache`
+        so fault-free batch evaluations are shared across shards and
+        repeated runs.
 
-        ``budget`` / ``cancel`` (a :class:`repro.guard.Budget` and a
-        :class:`repro.guard.CancelToken`) bound the run: a tripped limit
-        returns a ``partial=True`` result with a structured ``stop_reason``
-        instead of raising (see ``docs/ROBUSTNESS.md``).
+        The historical keyword surface (``jobs=``, ``stop_when_complete=``,
+        ``checkpoint_dir=``, ``budget=``, ...) is still accepted through
+        the engine's deprecation shim, which maps it onto a ``RunConfig``
+        and warns once per process.
         """
         from repro import telemetry
         from repro.engine import simulate
+        from repro.exec.config import runconfig_from_legacy
+
+        if config is not None and options:
+            raise SimulationError(
+                "FaultSimulator.run() takes either config=RunConfig(...) or "
+                "the legacy keyword options, not both (got config plus: "
+                f"{', '.join(sorted(options))})"
+            )
+        if config is None:
+            config = runconfig_from_legacy(options)
+        if max_patterns is not None:
+            config = config.replace(max_patterns=max_patterns)
+        # The simulator owns its packed-batch geometry; a mismatched width
+        # in the config would silently fork the golden-cache key space.
+        if config.execution.batch_width != self.batch_width:
+            config = config.with_execution(batch_width=self.batch_width)
 
         with telemetry.span(
             "faultsim.run",
             circuit=self.netlist.name,
-            max_patterns=max_patterns,
-            jobs=jobs if jobs is not None else 1,
+            max_patterns=config.max_patterns,
+            jobs=config.execution.effective_jobs,
         ):
             return simulate(
                 self.netlist,
                 faults,
                 source,
-                max_patterns=max_patterns,
-                jobs=jobs,
+                config=config,
                 cache=cache,
-                batch_width=self.batch_width,
-                stop_when_complete=stop_when_complete,
-                drop_detected=drop_detected,
                 simulator=self,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
-                budget=budget,
-                cancel=cancel,
-                **engine_options,
             )
 
     def detects(self, fault: Fault, pattern: Sequence[int]) -> bool:

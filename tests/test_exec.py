@@ -1,0 +1,208 @@
+"""repro.exec backend suite: protocol, registry, and cross-backend identity.
+
+The executor layer's contract is the engine's oldest invariant restated
+one level down: *where* a shard round runs — in-process, on a thread, in
+a worker process — can never move a result.  The suite pins the registry
+and capability surface, proves all three backends bit-identical to the
+serial baseline (with and without chaos injection), and exercises the
+process backend's warm-pool reuse across ``simulate()`` calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.engine import FaultInjector, simulate
+from repro.errors import SimulationError
+from repro.exec import (
+    ExecutionPolicy,
+    Executor,
+    ExecutorCapabilities,
+    RetryPolicy,
+    RunConfig,
+    available_executors,
+    create_executor,
+    resolve_executor_name,
+)
+from repro.exec.base import EXECUTOR_ENV_VAR
+from repro.faultsim.collapse import collapse_faults
+from repro.faultsim.coverage import coverage_curve
+from repro.faultsim.patterns import RandomPatternSource
+from tests.conftest import make_random_netlist
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _run(netlist, faults, *, executor=None, jobs=None, chaos=None,
+         max_retries=2):
+    source = RandomPatternSource(len(netlist.primary_inputs), seed=23)
+    config = RunConfig(
+        execution=ExecutionPolicy(
+            executor=executor, jobs=jobs, batch_width=64, chunk_batches=1,
+        ),
+        retry=RetryPolicy(max_retries=max_retries, backoff=0.0),
+        chaos=chaos,
+        max_patterns=512,
+    )
+    return simulate(netlist, faults, source, config=config)
+
+
+def assert_identical(baseline, result):
+    assert result.first_detection == baseline.first_detection
+    assert result.n_patterns == baseline.n_patterns
+    assert coverage_curve(result) == coverage_curve(baseline)
+
+
+# ----------------------------------------------------------------- registry
+
+
+def test_registry_lists_all_backends():
+    assert available_executors() == ("process", "serial", "thread")
+
+
+def test_create_executor_unknown_name_raises():
+    with pytest.raises(SimulationError, match="unknown executor"):
+        create_executor("quantum")
+
+
+def test_created_executors_satisfy_protocol():
+    for name in BACKENDS:
+        backend = create_executor(name)
+        assert isinstance(backend, Executor)
+        assert backend.name == name
+        assert isinstance(backend.capabilities, ExecutorCapabilities)
+
+
+def test_resolve_explicit_name_wins(monkeypatch):
+    monkeypatch.setenv(EXECUTOR_ENV_VAR, "thread")
+    assert resolve_executor_name("serial") == "serial"
+
+
+def test_resolve_falls_back_to_environment(monkeypatch):
+    monkeypatch.setenv(EXECUTOR_ENV_VAR, "thread")
+    assert resolve_executor_name(None) == "thread"
+
+
+def test_resolve_defaults_to_process(monkeypatch):
+    monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+    assert resolve_executor_name(None) == "process"
+
+
+def test_capability_flags_per_backend():
+    serial = create_executor("serial").capabilities
+    assert not serial.parallel and not serial.isolated
+    assert not serial.supports_timeout and not serial.worker_pids
+    thread = create_executor("thread").capabilities
+    assert thread.parallel and thread.supports_timeout
+    assert not thread.isolated and not thread.worker_pids
+    process = create_executor("process").capabilities
+    assert process.parallel and process.isolated
+    assert process.supports_timeout and process.worker_pids
+
+
+# ------------------------------------------------------------- bit-identity
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_serial_baseline(backend):
+    netlist = make_random_netlist(8, 30, seed=5)
+    faults, _ = collapse_faults(netlist)
+    baseline = _run(netlist, faults)
+    result = _run(netlist, faults, executor=backend, jobs=3)
+    assert_identical(baseline, result)
+    assert result.executor == backend
+    assert result.jobs == 3
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_serial_baseline_under_crash_chaos(backend):
+    netlist = make_random_netlist(8, 30, seed=6)
+    faults, _ = collapse_faults(netlist)
+    baseline = _run(netlist, faults)
+    chaos = FaultInjector("crash", shard=1, round_index=0)
+    result = _run(netlist, faults, executor=backend, jobs=3, chaos=chaos)
+    assert_identical(baseline, result)
+    assert result.retries >= 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_serial_baseline_under_corrupt_chaos(backend):
+    netlist = make_random_netlist(8, 30, seed=7)
+    faults, _ = collapse_faults(netlist)
+    baseline = _run(netlist, faults)
+    chaos = FaultInjector("corrupt", shard=0, round_index=0)
+    result = _run(netlist, faults, executor=backend, jobs=2, chaos=chaos)
+    assert_identical(baseline, result)
+    assert result.retries >= 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unrelenting_failures_degrade_in_process(backend):
+    netlist = make_random_netlist(8, 30, seed=8)
+    faults, _ = collapse_faults(netlist)
+    baseline = _run(netlist, faults)
+    chaos = FaultInjector("crash", shard=0, round_index=0, times=100)
+    result = _run(netlist, faults, executor=backend, jobs=2, chaos=chaos,
+                  max_retries=1)
+    assert_identical(baseline, result)
+    assert 0 in result.degraded_shards
+
+
+def test_jobs_one_stays_on_historical_serial_path():
+    netlist = make_random_netlist(8, 30, seed=9)
+    faults, _ = collapse_faults(netlist)
+    result = _run(netlist, faults, executor="process", jobs=1)
+    assert result.executor == "serial"
+    assert result.jobs == 1
+
+
+def test_executor_surfaces_in_json():
+    netlist = make_random_netlist(8, 20, seed=10)
+    faults, _ = collapse_faults(netlist)
+    result = _run(netlist, faults, executor="thread", jobs=2)
+    assert result.to_json()["engine"]["executor"] == "thread"
+
+
+# ---------------------------------------------------------- warm-pool reuse
+
+
+def test_process_pool_is_reused_across_simulate_calls():
+    from repro.exec import process as exec_process
+
+    exec_process._drain_pool_cache()
+    netlist = make_random_netlist(8, 30, seed=11)
+    faults, _ = collapse_faults(netlist)
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        _run(netlist, faults, executor="process", jobs=2)
+        assert len(exec_process._POOL_CACHE) == 1
+        parked = next(iter(exec_process._POOL_CACHE.values()))
+        _run(netlist, faults, executor="process", jobs=2)
+        assert next(iter(exec_process._POOL_CACHE.values())) is parked
+        counters = telemetry.get_telemetry().metrics.snapshot()["counters"]
+        assert counters.get("exec.pool_reuse", 0) >= 1
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+        exec_process._drain_pool_cache()
+
+
+def test_changing_netlist_evicts_parked_pool():
+    from repro.exec import process as exec_process
+
+    exec_process._drain_pool_cache()
+    first = make_random_netlist(8, 30, seed=12)
+    second = make_random_netlist(8, 30, seed=13)
+    try:
+        faults, _ = collapse_faults(first)
+        _run(first, faults, executor="process", jobs=2)
+        parked = next(iter(exec_process._POOL_CACHE.values()))
+        faults, _ = collapse_faults(second)
+        _run(second, faults, executor="process", jobs=2)
+        # One-slot cache: the old pool was evicted, a new one was parked.
+        assert len(exec_process._POOL_CACHE) == 1
+        assert next(iter(exec_process._POOL_CACHE.values())) is not parked
+    finally:
+        exec_process._drain_pool_cache()

@@ -379,9 +379,15 @@ def test_benchmark_record_script(tmp_path):
     assert process.returncode == 0, process.stderr
     payload = json.loads(out.read_text())
     assert payload["kind"] == "bench-engine"
-    by_jobs = {entry["jobs"]: entry for entry in payload["entries"]}
-    assert set(by_jobs) == {1, 2}
-    for entry in by_jobs.values():
-        assert entry["scenario"] == "c3a2m_kernel"
+    assert payload["version"] == 2
+    cells = {
+        (entry["scenario"], entry["jobs"], entry["executor"])
+        for entry in payload["entries"]
+    }
+    for scenario in ("c3a2m_kernel", "mac4_kernel"):
+        assert (scenario, 1, "serial") in cells
+        for executor in ("serial", "thread", "process"):
+            assert (scenario, 2, executor) in cells
+    for entry in payload["entries"]:
         assert entry["wall_time"] > 0.0
         assert entry["patterns_per_second"] > 0.0
