@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional, Union
 
 from repro.exec.base import available_executors
 from repro.exec.config import (
+    KERNEL_CHOICES,
     CheckpointPolicy,
     ExecutionPolicy,
     RetryPolicy,
@@ -50,6 +51,13 @@ def engine_parent_parser() -> argparse.ArgumentParser:
         help="execution backend for sharded runs (default: "
              "$REPRO_ENGINE_EXECUTOR, then 'process'; results are "
              "bit-identical across backends — see docs/EXECUTORS.md)")
+    execution.add_argument(
+        "--kernel", default=None, choices=KERNEL_CHOICES,
+        help="evaluation kernel: 'packed' (event-driven bigint loop), "
+             "'vec' (numpy-vectorised, falls back to packed on "
+             "unsupported netlists) or 'auto' (cost heuristic; the "
+             "default, also via $REPRO_ENGINE_KERNEL); results are "
+             "bit-identical across kernels — see docs/ENGINE.md")
     execution.add_argument(
         "--shard-timeout", type=float, default=None, metavar="SECONDS",
         help="seconds before a shard round is declared hung and retried "
@@ -111,6 +119,7 @@ def runconfig_from_args(
         execution=ExecutionPolicy(
             executor=getattr(args, "executor", None),
             jobs=getattr(args, "jobs", None),
+            kernel=getattr(args, "kernel", None),
         ),
         retry=RetryPolicy(shard_timeout=getattr(args, "shard_timeout", None)),
         checkpoint=CheckpointPolicy(

@@ -22,6 +22,12 @@ from repro.engine.chaos import ChaosError, ChaosInterrupt, FaultInjector
 from repro.engine.checkpoint import CheckpointStore
 from repro.engine.core import EngineResult, simulate
 from repro.engine.instrumentation import ShardStats
+from repro.engine.vec import (
+    KERNEL_ENV_VAR,
+    VecFaultSimulator,
+    resolve_kernel,
+    vec_support_reason,
+)
 from repro.exec.config import (
     CheckpointPolicy,
     ExecutionPolicy,
@@ -39,8 +45,12 @@ __all__ = [
     "FaultInjector",
     "GoldenBatches",
     "GoldenCache",
+    "KERNEL_ENV_VAR",
     "RetryPolicy",
     "RunConfig",
     "ShardStats",
+    "VecFaultSimulator",
+    "resolve_kernel",
     "simulate",
+    "vec_support_reason",
 ]

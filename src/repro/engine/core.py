@@ -62,9 +62,15 @@ from repro.exec.config import (
     RunConfig,
     runconfig_from_legacy,
 )
+from repro.engine.vec import resolve_kernel
 from repro.exec.driver import CorruptShardRound, RoundDriver
 from repro.exec.process import _WorkerPool  # noqa: F401  (compatibility alias)
-from repro.exec.worker import consume_batches, fault_key, round_checksum
+from repro.exec.worker import (
+    consume_batches,
+    fault_key,
+    make_simulator,
+    round_checksum,
+)
 from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.faults import Fault
 from repro.faultsim.patterns import PatternSource
@@ -94,6 +100,8 @@ class EngineResult(FaultSimResult):
 
     jobs: int = 1
     executor: str = "serial"
+    kernel: str = "packed"
+    kernel_fallback: Optional[str] = None
     wall_time: float = 0.0
     shards: List[ShardStats] = field(default_factory=list)
     cache_hits: int = 0
@@ -128,6 +136,8 @@ class EngineResult(FaultSimResult):
         payload["engine"] = {
             "jobs": self.jobs,
             "executor": self.executor,
+            "kernel": self.kernel,
+            "kernel_fallback": self.kernel_fallback,
             "wall_time": self.wall_time,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -295,6 +305,16 @@ def simulate(
 
     fault_list = list(faults)
     batch_width = config.execution.batch_width
+    # Resolve the evaluation kernel once for the whole run: an explicitly
+    # constructed simulator pins its own kernel (FaultSimulator.run passes
+    # itself); otherwise config -> $REPRO_ENGINE_KERNEL -> cost heuristic,
+    # with automatic packed fallback for unsupported netlists.
+    requested_kernel = config.execution.kernel
+    if requested_kernel is None and simulator is not None:
+        requested_kernel = getattr(simulator, "kernel", None)
+    kernel, kernel_fallback = resolve_kernel(
+        requested_kernel, netlist, len(fault_list)
+    )
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
     if simulator is not None and simulator.batch_width == batch_width:
@@ -325,23 +345,25 @@ def simulate(
     with telemetry.span(
         "engine.simulate",
         circuit=netlist.name, jobs=1 if serial else n_jobs,
-        executor=executor_name,
+        executor=executor_name, kernel=kernel,
         n_faults=len(fault_list), max_patterns=config.max_patterns,
     ) as run_span:
         if serial:
             result = _simulate_serial(
                 netlist, fault_list, golden, config, simulator, chaos,
-                store, guard,
+                store, guard, kernel,
             )
         else:
             result = _simulate_parallel(
                 netlist, fault_list, golden, config, n_jobs, executor_name,
-                chaos, store, guard,
+                chaos, store, guard, kernel,
             )
         run_span.set_attribute("n_patterns", result.n_patterns)
         if result.partial:
             run_span.set_attribute("partial", True)
             run_span.set_attribute("stop_reason", result.stop_reason)
+    result.kernel = kernel
+    result.kernel_fallback = kernel_fallback
     result.wall_time = time.perf_counter() - start
     if cache is not None:
         result.cache_hits = cache.hits - hits_before
@@ -375,6 +397,7 @@ def _simulate_serial(
     chaos: Optional[FaultInjector],
     store: Optional[checkpoint_io.CheckpointStore],
     guard: Optional[RunGuard] = None,
+    kernel: str = "packed",
 ) -> EngineResult:
     """The historical serial loop, driven through the golden provider.
 
@@ -387,8 +410,9 @@ def _simulate_serial(
     max_patterns = config.max_patterns
     batch_width = config.execution.batch_width
     drop_detected = config.drop_detected
-    if simulator is None or simulator.batch_width != batch_width:
-        simulator = FaultSimulator(netlist, batch_width)
+    if (simulator is None or simulator.batch_width != batch_width
+            or getattr(simulator, "kernel", "packed") != kernel):
+        simulator = make_simulator(netlist, batch_width, kernel)
     stats = ShardStats(shard=0, n_faults=len(faults))
     events_before = simulator.events_propagated
     shard_start = time.perf_counter()
@@ -474,6 +498,7 @@ def _simulate_parallel(
     chaos: Optional[FaultInjector],
     store: Optional[checkpoint_io.CheckpointStore],
     guard: Optional[RunGuard] = None,
+    kernel: str = "packed",
 ) -> EngineResult:
     """Fan fault shards out over an execution backend, round by round.
 
@@ -509,8 +534,11 @@ def _simulate_parallel(
         batch_width=batch_width,
         max_workers=len(shards),
         telemetry_enabled=telemetry.enabled(),
+        kernel=kernel,
     ))
-    driver = RoundDriver(executor, netlist, batch_width, config.retry, chaos)
+    driver = RoundDriver(
+        executor, netlist, batch_width, config.retry, chaos, kernel
+    )
     stop_reason: Optional[str] = None
     force_serial = False
     pattern_base = 0

@@ -1,0 +1,420 @@
+"""Vectorised fault-propagation kernel (numpy, all faults at once).
+
+The packed simulator (:class:`repro.faultsim.simulator.FaultSimulator`)
+propagates one fault at a time through an event-driven Python loop; its
+per-gate cost is a dict lookup and a bigint op, and ``BENCH_engine.json``
+shows that loop — not sharding — is the engine's bottleneck.  This module
+trades the event-driven cone walk for brute-force breadth: every live
+fault becomes a *lane*, every net's value across all lanes and all
+pattern words of the batch lives in one row of a 2-D ``uint64`` array,
+and each level of the levelised netlist is evaluated for all lanes with a
+handful of numpy ufunc calls.
+
+Layout (``W`` = 64-bit words per batch, ``C`` = fault lanes per chunk)::
+
+    state : uint64[n_nets, C*W]      # row = net, lanes-major
+    state.reshape(n_nets, C, W)[net, lane, :]   # one fault's words
+
+Per level, gates are grouped at compile time by ``(base type, fanin)``
+into index arrays, so evaluation is ``gather -> in-place AND/OR/XOR over
+pins -> optional XOR with the batch mask -> scatter``.  Fault injection:
+
+* **stem faults** overwrite their net's lane row with the forced constant
+  right after the level that finalises the net (primary inputs count as
+  level 0), so every downstream reader sees the stuck value;
+* **branch faults** (one gate input pin) patch only that gate's output
+  lane row, recomputed from golden input words with the pin forced —
+  everything else in the lane still reads the healthy stem.
+
+Detection XORs each primary-output row against the golden words and ORs
+across outputs; the first set bit of a lane is its first-detecting
+pattern.  The surviving-fault bookkeeping then replays the packed
+simulator's merge semantics verbatim, which is what keeps the two kernels
+**bit-identical** — same detection tables, same first-detection indices,
+same survivor order — so checkpoints, chaos, guard and all three
+executors compose unchanged (see ``docs/ENGINE.md``).
+
+The kernel is an *execution strategy*, not a result parameter: it is
+excluded from :func:`repro.exec.config.canonical_fields`, journals resume
+across kernels, and :func:`resolve_kernel` silently falls back to the
+packed simulator (recording a reason) for netlists it does not support —
+missing numpy, fan-in beyond :data:`MAX_VEC_FANIN`, floating input nets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.exec.config import KERNEL_CHOICES
+from repro.faultsim.faults import Fault
+from repro.faultsim.simulator import FaultSimulator
+from repro.netlist.gates import GateType, evaluate_gate
+from repro.netlist.levelize import levels
+from repro.netlist.netlist import Netlist
+
+try:  # numpy is an optional extra; everything degrades to packed without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _numpy_missing tests
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+else:
+    np = _np
+
+#: Environment override for the kernel choice, same ambient idiom as
+#: ``$REPRO_ENGINE_EXECUTOR`` — one of ``packed`` / ``vec`` / ``auto``.
+KERNEL_ENV_VAR = "REPRO_ENGINE_KERNEL"
+
+#: Auto-selection cost heuristic: vectorisation pays once the per-batch
+#: work (every fault times every gate) dwarfs the numpy call overhead;
+#: below it the packed event-driven cone walk wins (see BENCH_engine.json,
+#: where mac4 stays packed and c3a2m goes vec).
+VEC_AUTO_THRESHOLD = 100_000
+
+#: Widest gate the vectorised per-pin reduction compiles.  Beyond this the
+#: gather-per-pin cost grows linearly while the event-driven simulator
+#: still touches only the fault cone, so wider gates fall back to packed.
+MAX_VEC_FANIN = 16
+
+#: Per-chunk state budget in bytes; fault lanes are chunked so
+#: ``n_nets * C * W * 8`` stays under it.
+VEC_MEMORY_BUDGET = 64 * 1024 * 1024
+
+
+# -------------------------------------------------------------- support gate
+
+
+def vec_support_reason(netlist: Netlist) -> Optional[str]:
+    """Why the vec kernel cannot run this netlist, or ``None`` if it can.
+
+    The reasons mirror the fallback table in ``docs/ENGINE.md``: the
+    caller records the reason and runs the packed simulator instead, so
+    an unsupported construct is never an error.
+    """
+    if np is None:
+        return "numpy is not installed (pip install repro-bist[vec])"
+    driven = set(netlist.primary_inputs)
+    for gate in netlist.gates:
+        driven.add(gate.output)
+    for gate in netlist.gates:
+        if len(gate.inputs) > MAX_VEC_FANIN:
+            return (
+                f"gate {gate.name or gate.gtype.value} has fan-in "
+                f"{len(gate.inputs)} > {MAX_VEC_FANIN}"
+            )
+        for net in gate.inputs:
+            if net not in driven:
+                return (
+                    f"gate {gate.name or gate.gtype.value} reads floating "
+                    f"net {netlist.net_name(net)}"
+                )
+    return None
+
+
+def resolve_kernel(
+    requested: Optional[str],
+    netlist: Netlist,
+    n_faults: int,
+) -> Tuple[str, Optional[str]]:
+    """Pick the evaluation kernel for one run.
+
+    Resolution order mirrors the executor's: explicit config value, then
+    ``$REPRO_ENGINE_KERNEL``, then ``auto``.  ``auto`` picks vec when the
+    netlist is supported and the run is large enough for vectorisation to
+    pay (:data:`VEC_AUTO_THRESHOLD`); an explicit ``vec`` on an
+    unsupported netlist falls back to packed rather than failing.
+
+    Returns ``(kernel, fallback_reason)`` where ``kernel`` is ``"packed"``
+    or ``"vec"`` and ``fallback_reason`` is non-None only when a vec
+    request (explicit or auto-eligible) was downgraded.
+    """
+    import os
+
+    name = requested
+    if not name:
+        name = os.environ.get(KERNEL_ENV_VAR, "").strip() or "auto"
+    if name not in KERNEL_CHOICES:
+        raise SimulationError(
+            f"unknown engine kernel {name!r} "
+            f"(expected one of: {', '.join(KERNEL_CHOICES)})"
+        )
+    if name == "packed":
+        return "packed", None
+    reason = vec_support_reason(netlist)
+    if name == "vec":
+        if reason is not None:
+            return "packed", reason
+        return "vec", None
+    # auto: only vectorise when the batch work amortises the numpy overhead
+    if n_faults * len(netlist.gates) < VEC_AUTO_THRESHOLD:
+        return "packed", None
+    if reason is not None:
+        return "packed", reason
+    return "vec", None
+
+
+# ------------------------------------------------------------------- compile
+
+
+class _GateGroup:
+    """Gates of one level sharing a base type and fan-in, as index arrays."""
+
+    __slots__ = ("base", "inverting", "out_idx", "in_idx")
+
+    def __init__(self, base: GateType, inverting: bool,
+                 out_idx: "np.ndarray", in_idx: List["np.ndarray"]):
+        self.base = base
+        self.inverting = inverting
+        self.out_idx = out_idx
+        self.in_idx = in_idx
+
+
+class CompiledVecNetlist:
+    """A netlist lowered to per-level gate groups of numpy index arrays.
+
+    Compiled once per simulator; every :meth:`VecFaultSimulator.
+    simulate_batch` call reuses it.  ``net_level`` maps each driven net to
+    the level after which its value is final (primary inputs are level 0),
+    which is where stem-fault overrides are applied; ``gate_level`` places
+    branch-fault output patches.
+    """
+
+    def __init__(self, netlist: Netlist):
+        reason = vec_support_reason(netlist)
+        if reason is not None:
+            raise SimulationError(f"netlist not vectorisable: {reason}")
+        self.netlist = netlist
+        self.n_nets = netlist.n_nets
+        self.gate_level: Dict[int, int] = levels(netlist)
+        self.net_level: Dict[int, int] = {
+            net: 0 for net in netlist.primary_inputs
+        }
+        for index, gate in enumerate(netlist.gates):
+            self.net_level[gate.output] = self.gate_level[index]
+        self.depth = max(self.gate_level.values(), default=0)
+        self.pi = list(netlist.primary_inputs)
+        self.po = list(netlist.primary_outputs)
+        # level -> [(base, inverting, fanin)] -> (out nets, per-pin inputs)
+        grouped: Dict[int, Dict[Tuple[GateType, bool, int],
+                                Tuple[List[int], List[List[int]]]]] = {}
+        for index, gate in enumerate(netlist.gates):
+            level = self.gate_level[index]
+            key = (gate.gtype.base, gate.gtype.is_inverting, len(gate.inputs))
+            outs, pins = grouped.setdefault(level, {}).setdefault(
+                key, ([], [[] for _ in range(len(gate.inputs))])
+            )
+            outs.append(gate.output)
+            for pin, net in enumerate(gate.inputs):
+                pins[pin].append(net)
+        self.level_groups: List[List[_GateGroup]] = []
+        for level in range(1, self.depth + 1):
+            groups = []
+            for (base, inverting, _fanin), (outs, pins) in sorted(
+                grouped.get(level, {}).items(),
+                key=lambda item: (item[0][0].value, item[0][1], item[0][2]),
+            ):
+                groups.append(_GateGroup(
+                    base, inverting,
+                    np.asarray(outs, dtype=np.intp),
+                    [np.asarray(p, dtype=np.intp) for p in pins],
+                ))
+            self.level_groups.append(groups)
+
+
+def _words(value: int, n_words: int) -> "np.ndarray":
+    """One packed bigint -> little-endian uint64 words."""
+    return np.frombuffer(
+        value.to_bytes(n_words * 8, "little"), dtype="<u8"
+    ).astype(np.uint64, copy=False)
+
+
+def _first_bits(det: "np.ndarray") -> Tuple["np.ndarray", "np.ndarray"]:
+    """Per lane: (detected?, index of lowest set bit) of ``det[C, W]``."""
+    nonzero = det != 0
+    detected = nonzero.any(axis=1)
+    word_idx = np.argmax(nonzero, axis=1)
+    word = det[np.arange(det.shape[0]), word_idx]
+    lsb = word & (~word + np.uint64(1))
+    if hasattr(np, "bitwise_count"):
+        # popcount(lsb - 1) is the trailing-zero count when lsb != 0; the
+        # lsb == 0 lanes are masked out by ``detected`` anyway.
+        trailing = np.where(
+            lsb != 0, np.bitwise_count(lsb - np.uint64(1)), np.uint64(0)
+        )
+    else:  # pragma: no cover - numpy < 2.0
+        # lsb is a power of two, so float64 log2 is exact.
+        safe = np.where(lsb != 0, lsb, np.uint64(1))
+        trailing = np.log2(safe.astype(np.float64)).astype(np.uint64)
+    first = word_idx.astype(np.uint64) * np.uint64(64) + trailing
+    return detected, first
+
+
+# ----------------------------------------------------------------- simulator
+
+
+class VecFaultSimulator(FaultSimulator):
+    """Drop-in :class:`FaultSimulator` with a vectorised ``simulate_batch``.
+
+    Construction compiles the netlist (:class:`CompiledVecNetlist`); the
+    rest of the surface — ``run``, ``detects``, ``evaluator``, the golden
+    cache interplay — is inherited unchanged, so every engine code path
+    that builds or receives a simulator works identically with either
+    kernel.  ``events_propagated`` counts gate evaluations times lanes
+    (the full-forward equivalent of the packed event count): honest work
+    accounting, not part of the bit-identity contract.
+    """
+
+    kernel = "vec"
+
+    def __init__(self, netlist: Netlist, batch_width: int = 256):
+        super().__init__(netlist, batch_width)
+        self.compiled = CompiledVecNetlist(netlist)
+
+    # The packed simulate_batch signature, replayed exactly.
+    def simulate_batch(
+        self,
+        live: Sequence[Fault],
+        good: Dict[int, int],
+        mask: int,
+        pattern_base: int,
+        detections: Dict[Fault, int],
+        drop_detected: bool = True,
+    ) -> List[Fault]:
+        if not live:
+            return []
+        compiled = self.compiled
+        width = mask.bit_length()
+        n_words = max(1, (width + 63) // 64)
+        mask_words = _words(mask, n_words)
+
+        # Golden words for the nets the kernel reads wholesale: primary
+        # inputs seed the state, primary outputs anchor detection.  Branch
+        # patches are evaluated on the packed bigints directly (cheaper
+        # than per-fault numpy calls) and converted to words in bulk.
+        needed = set(compiled.pi) | set(compiled.po)
+        good_rows = {net: _words(good.get(net, 0), n_words) for net in needed}
+
+        lanes_budget = max(
+            1, VEC_MEMORY_BUDGET // (max(1, compiled.n_nets) * n_words * 8)
+        )
+        survivors: List[Fault] = []
+        for start in range(0, len(live), lanes_budget):
+            chunk = list(live[start:start + lanes_budget])
+            detected, first = self._simulate_chunk(
+                chunk, good, good_rows, mask, mask_words, n_words
+            )
+            for lane, fault in enumerate(chunk):
+                if detected[lane] and fault not in detections:
+                    detections[fault] = pattern_base + int(first[lane])
+                if not detected[lane] or not drop_detected:
+                    survivors.append(fault)
+        return survivors
+
+    def _simulate_chunk(
+        self,
+        chunk: List[Fault],
+        good: Dict[int, int],
+        good_rows: Dict[int, "np.ndarray"],
+        mask: int,
+        mask_words: "np.ndarray",
+        n_words: int,
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """All of ``chunk``'s faults through the full netlist at once."""
+        compiled = self.compiled
+        n_lanes = len(chunk)
+        state = np.zeros((compiled.n_nets, n_lanes * n_words), dtype=np.uint64)
+        view = state.reshape(compiled.n_nets, n_lanes, n_words)
+        for net in compiled.pi:
+            view[net] = good_rows[net]
+        mask_row = np.tile(mask_words, n_lanes)
+
+        # Injection schedule: stem overrides keyed by the level at which
+        # the net finalises, branch patches by the faulty gate's level.
+        # Branch patches are single-gate bigint evaluations (same primitive
+        # the packed kernel injects with), word-converted in bulk below.
+        stem_at: Dict[int, Tuple[List[int], List[int], List[int]]] = {}
+        branch_at: Dict[int, Tuple[List[int], List[int], List[int]]] = {}
+        gates = self.netlist.gates
+        for lane, fault in enumerate(chunk):
+            if fault.is_stem:
+                level = compiled.net_level.get(fault.net, 0)
+                nets, lns, stuck = stem_at.setdefault(level, ([], [], []))
+                nets.append(fault.net)
+                lns.append(lane)
+                stuck.append(fault.stuck_at)
+            else:
+                gate = gates[fault.gate_index]
+                forced = mask if fault.stuck_at else 0
+                inputs = [
+                    forced if pin == fault.pin else good[net]
+                    for pin, net in enumerate(gate.inputs)
+                ]
+                patched = evaluate_gate(gate.gtype, inputs, mask)
+                level = compiled.gate_level[fault.gate_index]
+                outs, lns, values = branch_at.setdefault(level, ([], [], []))
+                outs.append(gate.output)
+                lns.append(lane)
+                values.append(patched)
+
+        def apply_stems(level: int) -> None:
+            sched = stem_at.get(level)
+            if sched is None:
+                return
+            nets, lns, stuck = sched
+            forced = np.where(
+                np.asarray(stuck, dtype=np.uint64)[:, None] != 0,
+                mask_words, np.uint64(0),
+            )
+            view[np.asarray(nets, dtype=np.intp),
+                 np.asarray(lns, dtype=np.intp)] = forced
+
+        def apply_branches(level: int) -> None:
+            sched = branch_at.get(level)
+            if sched is None:
+                return
+            outs, lns, values = sched
+            blob = b"".join(v.to_bytes(n_words * 8, "little") for v in values)
+            rows = np.frombuffer(blob, dtype="<u8").reshape(-1, n_words)
+            view[np.asarray(outs, dtype=np.intp),
+                 np.asarray(lns, dtype=np.intp)] = rows
+
+        apply_stems(0)
+        for level_index, groups in enumerate(compiled.level_groups):
+            level = level_index + 1
+            for group in groups:
+                if group.base in (GateType.CONST0, GateType.CONST1):
+                    state[group.out_idx] = (
+                        mask_row if group.base is GateType.CONST1 else 0
+                    )
+                    if group.inverting:  # pragma: no cover - no such type
+                        state[group.out_idx] ^= mask_row
+                    continue
+                acc = state[group.in_idx[0]]  # fancy index: already a copy
+                if group.base is GateType.AND:
+                    for pin in group.in_idx[1:]:
+                        np.bitwise_and(acc, state[pin], out=acc)
+                elif group.base is GateType.OR:
+                    for pin in group.in_idx[1:]:
+                        np.bitwise_or(acc, state[pin], out=acc)
+                elif group.base is GateType.XOR:
+                    for pin in group.in_idx[1:]:
+                        np.bitwise_xor(acc, state[pin], out=acc)
+                # BUF: acc is already the input copy
+                if group.inverting:
+                    np.bitwise_xor(acc, mask_row, out=acc)
+                state[group.out_idx] = acc
+            apply_stems(level)
+            apply_branches(level)
+
+        det = np.zeros((n_lanes, n_words), dtype=np.uint64)
+        flat_det = det.reshape(n_lanes * n_words)
+        good_po = {net: np.tile(good_rows[net], n_lanes)
+                   for net in set(compiled.po)}
+        for po in compiled.po:
+            np.bitwise_or(
+                flat_det, state[po] ^ good_po[po], out=flat_det
+            )
+        self.events_propagated += len(gates) * n_lanes
+        return _first_bits(det)

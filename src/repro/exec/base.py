@@ -83,12 +83,18 @@ class ExecutorCapabilities:
 
 @dataclass(frozen=True)
 class ExecutionContext:
-    """Everything a backend needs to build per-worker simulators."""
+    """Everything a backend needs to build per-worker simulators.
+
+    ``kernel`` is the *resolved* evaluation kernel ("packed" or "vec") —
+    the engine resolves ``auto``/env/fallback once per run so every
+    worker builds the same simulator type.
+    """
 
     netlist: Any
     batch_width: int
     max_workers: int
     telemetry_enabled: bool = False
+    kernel: str = "packed"
 
 
 @dataclass(frozen=True)

@@ -64,26 +64,41 @@ DEFAULT_MAX_PATTERNS = 1 << 16
 DEFAULT_BATCH_WIDTH = 256
 
 
+#: Kernel names an :class:`ExecutionPolicy` may request (``None`` defers
+#: to ``$REPRO_ENGINE_KERNEL`` and then to ``auto``).
+KERNEL_CHOICES = ("auto", "packed", "vec")
+
+
 @dataclass(frozen=True)
 class ExecutionPolicy:
     """How a run is executed: backend, shard count, batching geometry.
 
     ``executor=None`` defers the backend choice to the environment
     (``$REPRO_ENGINE_EXECUTOR``) and finally to ``"process"`` — see
-    :func:`repro.exec.resolve_executor_name`.  The choice never affects
-    results, only where the work happens.
+    :func:`repro.exec.resolve_executor_name`.  ``kernel=None`` likewise
+    defers the evaluation kernel to ``$REPRO_ENGINE_KERNEL`` and then to
+    a cost heuristic (``auto``) choosing between the packed event-driven
+    simulator and the numpy-vectorised kernel — see
+    :func:`repro.engine.vec.resolve_kernel`.  Neither choice ever affects
+    results, only where (and how fast) the work happens.
     """
 
     executor: Optional[str] = None
     jobs: Optional[int] = None
     batch_width: int = DEFAULT_BATCH_WIDTH
     chunk_batches: int = DEFAULT_CHUNK_BATCHES
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_width < 1:
             raise SimulationError("batch width must be positive")
         if self.chunk_batches < 1:
             raise SimulationError("chunk_batches must be positive")
+        if self.kernel is not None and self.kernel not in KERNEL_CHOICES:
+            raise SimulationError(
+                f"unknown engine kernel {self.kernel!r} "
+                f"(expected one of: {', '.join(KERNEL_CHOICES)})"
+            )
 
     @property
     def effective_jobs(self) -> int:
@@ -146,10 +161,11 @@ def canonical_fields(config: RunConfig, jobs: int) -> Tuple[Any, ...]:
     """The configuration subset that identifies a run's *results*.
 
     Everything here changes what a run computes; everything excluded —
-    executor choice, retry policy, budget, cancellation, chaos, the lint
-    pre-flight — is execution strategy that the bit-identity contract
-    guarantees cannot move a result.  The tuple layout is frozen: it feeds
-    the checkpoint run key, and old journals must keep resuming.
+    executor choice, evaluation kernel (packed vs vec), retry policy,
+    budget, cancellation, chaos, the lint pre-flight — is execution
+    strategy that the bit-identity contract guarantees cannot move a
+    result.  The tuple layout is frozen: it feeds the checkpoint run key,
+    and old journals must keep resuming (including across kernels).
 
     ``jobs`` is passed explicitly (not read from the config) because the
     engine collapses degenerate runs — one live fault, ``jobs=None`` — to

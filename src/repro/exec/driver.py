@@ -28,7 +28,12 @@ from repro import telemetry
 from repro.errors import ReproError, SimulationError
 from repro.exec.base import Executor, RoundHandle, WorkUnit
 from repro.exec.config import RetryPolicy
-from repro.exec.worker import consume_batches, round_checksum, run_work_unit
+from repro.exec.worker import (
+    consume_batches,
+    make_simulator,
+    round_checksum,
+    run_work_unit,
+)
 from repro.faultsim.faults import Fault
 from repro.faultsim.simulator import FaultSimulator
 from repro.netlist.netlist import Netlist
@@ -56,12 +61,14 @@ class RoundDriver:
         batch_width: int,
         retry: RetryPolicy,
         chaos: Optional["FaultInjector"] = None,
+        kernel: str = "packed",
     ):
         self.executor = executor
         self._netlist = netlist
         self._batch_width = batch_width
         self._retry = retry
         self._chaos = chaos
+        self._kernel = kernel
         self._degraded_simulator: Optional[FaultSimulator] = None
         # Timeouts are only meaningful on backends that can preempt a
         # hung round; on the rest a delay simply runs to completion.
@@ -74,9 +81,11 @@ class RoundDriver:
     # ------------------------------------------------------------- internals
 
     def _parent_simulator(self) -> FaultSimulator:
+        # Same kernel as the workers: the kernels are bit-identical, but a
+        # degraded round should not silently change the run's cost model.
         if self._degraded_simulator is None:
-            self._degraded_simulator = FaultSimulator(
-                self._netlist, self._batch_width
+            self._degraded_simulator = make_simulator(
+                self._netlist, self._batch_width, self._kernel
             )
         return self._degraded_simulator
 

@@ -147,8 +147,12 @@ class ProcessExecutor(Executor):
     def start(self, context: ExecutionContext) -> None:
         if self._pool is not None:
             return
+        # The kernel is part of the payload (and therefore the warm-pool
+        # cache key): a parked pool of packed workers must never serve a
+        # vec run, and vice versa.
         payload = pickle.dumps(
-            (context.netlist, context.batch_width, context.telemetry_enabled)
+            (context.netlist, context.batch_width,
+             context.telemetry_enabled, context.kernel)
         )
         key = (hashlib.sha256(payload).hexdigest(), context.max_workers)
         parked = _POOL_CACHE.pop(key, None)

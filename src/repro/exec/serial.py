@@ -24,7 +24,7 @@ from repro.exec.base import (
     RoundResult,
     WorkUnit,
 )
-from repro.exec.worker import run_work_unit
+from repro.exec.worker import make_simulator, run_work_unit
 from repro.faultsim.simulator import FaultSimulator
 
 _CAPABILITIES = ExecutorCapabilities(
@@ -65,8 +65,9 @@ class SerialExecutor(Executor):
     def _get_simulator(self) -> FaultSimulator:
         assert self._context is not None, "executor used before start()"
         if self._simulator is None:
-            self._simulator = FaultSimulator(
-                self._context.netlist, self._context.batch_width
+            self._simulator = make_simulator(
+                self._context.netlist, self._context.batch_width,
+                self._context.kernel,
             )
         return self._simulator
 

@@ -30,7 +30,7 @@ from repro.exec.base import (
     RoundResult,
     WorkUnit,
 )
-from repro.exec.worker import run_work_unit
+from repro.exec.worker import make_simulator, run_work_unit
 from repro.faultsim.simulator import FaultSimulator
 
 _CAPABILITIES = ExecutorCapabilities(
@@ -76,7 +76,9 @@ class ThreadExecutor(Executor):
         assert context is not None, "executor used before start()"
         simulator = getattr(self._local, "simulator", None)
         if simulator is None:
-            simulator = FaultSimulator(context.netlist, context.batch_width)
+            simulator = make_simulator(
+                context.netlist, context.batch_width, context.kernel
+            )
             self._local.simulator = simulator
         return simulator
 

@@ -35,6 +35,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.chaos import FaultInjector
 
 
+def make_simulator(netlist, batch_width: int, kernel: str) -> FaultSimulator:
+    """Build the simulator for one resolved kernel name.
+
+    The single factory every execution path uses — parent serial loop,
+    per-worker builds in all three backends, the driver's degraded
+    fallback — so a run's kernel choice is honoured uniformly.  The vec
+    class is imported lazily: repro.exec must stay loadable without
+    touching repro.engine (the engine imports this package), and the
+    kernel was resolved by the engine only where vec is actually usable.
+    """
+    if kernel == "vec":
+        from repro.engine.vec import VecFaultSimulator
+
+        return VecFaultSimulator(netlist, batch_width)
+    return FaultSimulator(netlist, batch_width)
+
+
 def fault_key(fault: Fault) -> Tuple[int, int, int, int]:
     """A total-orderable identity tuple (stem faults carry None fields)."""
     return (
@@ -178,7 +195,7 @@ _WORKER_SIMULATOR: Optional[FaultSimulator] = None
 def init_worker(payload: bytes) -> None:
     """Build this worker process's simulator from the pickled netlist."""
     global _WORKER_SIMULATOR
-    netlist, batch_width, telemetry_on = pickle.loads(payload)
+    netlist, batch_width, telemetry_on, kernel = pickle.loads(payload)
     # Forked workers inherit the parent's span buffer and metrics; wipe
     # them or every drain() would ship the parent's records back and the
     # join would duplicate them.  Spawn-started workers don't inherit the
@@ -186,7 +203,7 @@ def init_worker(payload: bytes) -> None:
     telemetry.get_telemetry().reset()
     if telemetry_on:
         telemetry.enable()
-    _WORKER_SIMULATOR = FaultSimulator(netlist, batch_width)
+    _WORKER_SIMULATOR = make_simulator(netlist, batch_width, kernel)
 
 
 def execute_unit(unit: WorkUnit) -> RoundResult:

@@ -44,6 +44,12 @@ class FaultSimulator:
         Patterns simulated per packed pass (default 256).
     """
 
+    #: Kernel name this simulator implements; the engine's kernel
+    #: resolution respects an explicitly passed simulator's kernel (the
+    #: numpy-vectorised :class:`repro.engine.vec.VecFaultSimulator`
+    #: subclass overrides this with ``"vec"``).
+    kernel = "packed"
+
     def __init__(self, netlist: Netlist, batch_width: int = 256):
         if batch_width < 1:
             raise SimulationError("batch width must be positive")

@@ -29,21 +29,26 @@ from repro.exec.base import EXECUTOR_ENV_VAR
 from repro.faultsim.collapse import collapse_faults
 from repro.faultsim.coverage import coverage_curve
 from repro.faultsim.patterns import RandomPatternSource
+from repro.guard.budget import STOP_PATTERNS, Budget
+from repro.library.scenarios import c3a2m_kernel
 from tests.conftest import make_random_netlist
 
 BACKENDS = ("serial", "thread", "process")
+KERNELS = ("packed", "vec")
 
 
 def _run(netlist, faults, *, executor=None, jobs=None, chaos=None,
-         max_retries=2):
+         max_retries=2, kernel=None, budget=None, max_patterns=512):
     source = RandomPatternSource(len(netlist.primary_inputs), seed=23)
     config = RunConfig(
         execution=ExecutionPolicy(
             executor=executor, jobs=jobs, batch_width=64, chunk_batches=1,
+            kernel=kernel,
         ),
         retry=RetryPolicy(max_retries=max_retries, backoff=0.0),
         chaos=chaos,
-        max_patterns=512,
+        budget=budget,
+        max_patterns=max_patterns,
     )
     return simulate(netlist, faults, source, config=config)
 
@@ -206,3 +211,159 @@ def test_changing_netlist_evicts_parked_pool():
         assert next(iter(exec_process._POOL_CACHE.values())) is not parked
     finally:
         exec_process._drain_pool_cache()
+
+
+# ----------------------------------------------------- kernel cross-product
+#
+# The vectorised kernel is an evaluation strategy, exactly like the
+# executor choice one axis over: kernel × backend × chaos must all land
+# on the same detection tables as the packed serial baseline, on a real
+# scenario (the paper's c3a2m multiplier kernel), through the retry and
+# degraded paths included.
+
+
+@pytest.fixture(scope="module")
+def c3a2m():
+    netlist = c3a2m_kernel()
+    faults, _ = collapse_faults(netlist)
+    # Subsample to keep the 12-cell matrix quick; identity must hold for
+    # any fault list, so a slice is as probing as the full universe.
+    return netlist, faults[::3]
+
+
+@pytest.fixture(scope="module")
+def c3a2m_baseline(c3a2m):
+    netlist, faults = c3a2m
+    return _run(netlist, faults, kernel="packed")
+
+
+def _require_kernel(kernel):
+    if kernel == "vec":
+        pytest.importorskip("numpy")
+
+
+@pytest.mark.parametrize("with_chaos", (False, True), ids=("clean", "chaos"))
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernel_backend_chaos_cross_product(c3a2m, c3a2m_baseline, kernel,
+                                            backend, with_chaos):
+    _require_kernel(kernel)
+    netlist, faults = c3a2m
+    chaos = (FaultInjector("crash", shard=1, round_index=0)
+             if with_chaos else None)
+    result = _run(netlist, faults, executor=backend, jobs=3, chaos=chaos,
+                  kernel=kernel)
+    assert_identical(c3a2m_baseline, result)
+    assert result.kernel == kernel
+    assert result.kernel_fallback is None
+    if with_chaos:
+        assert result.retries >= 1
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_degraded_shards_are_kernel_agnostic(c3a2m, c3a2m_baseline, kernel):
+    """A shard that exhausts its retries degrades in-process identically
+    under either kernel — the recovery path re-runs the same batches."""
+    _require_kernel(kernel)
+    netlist, faults = c3a2m
+    chaos = FaultInjector("crash", shard=0, round_index=0, times=100)
+    result = _run(netlist, faults, executor="thread", jobs=2, chaos=chaos,
+                  max_retries=1, kernel=kernel)
+    assert_identical(c3a2m_baseline, result)
+    assert 0 in result.degraded_shards
+
+
+@pytest.mark.parametrize("backend", ("serial", "thread"))
+def test_budget_cut_partial_runs_report_identical_undetected_sets(
+        c3a2m, backend):
+    """A guard budget that cuts the run mid-universe must leave the two
+    kernels in the same partial state: same surviving ``undetected`` set,
+    same detections — including faults dropped in the very shard round
+    the budget cut lands on."""
+    pytest.importorskip("numpy")
+    netlist, faults = c3a2m
+    results = {}
+    for kernel in KERNELS:
+        results[kernel] = _run(
+            netlist, faults, executor=backend, jobs=2, kernel=kernel,
+            budget=Budget(max_patterns=192),
+        )
+    packed, vec = results["packed"], results["vec"]
+    assert packed.partial and vec.partial
+    assert packed.stop_reason == vec.stop_reason == STOP_PATTERNS
+    # The cut lands at a round boundary, strictly inside the run.
+    assert 0 < packed.n_patterns < 512
+    assert vec.n_patterns == packed.n_patterns
+    assert vec.first_detection == packed.first_detection
+    assert set(vec.undetected) == set(packed.undetected)
+    # Sanity: the cut actually left live faults behind.
+    assert packed.undetected
+
+
+def test_explicit_vec_falls_back_on_unsupported_netlist():
+    """kernel="vec" on a netlist the vectorised kernel cannot evaluate
+    (a gate beyond the fan-in ceiling) silently falls back to packed —
+    with the reason surfaced — rather than erroring."""
+    pytest.importorskip("numpy")
+    from repro.engine.vec import MAX_VEC_FANIN
+    from repro.netlist.gates import GateType
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("wide")
+    inputs = netlist.new_inputs(MAX_VEC_FANIN + 4, prefix="i")
+    netlist.mark_output(netlist.add_gate(GateType.OR, inputs, name="wide"))
+    netlist.mark_output(netlist.add_gate(GateType.AND, inputs[:2], name="a"))
+    faults, _ = collapse_faults(netlist)
+
+    baseline = _run(netlist, faults, kernel="packed", max_patterns=128)
+    for backend in BACKENDS:
+        result = _run(netlist, faults, executor=backend, jobs=2,
+                      kernel="vec", max_patterns=128)
+        assert_identical(baseline, result)
+        assert result.kernel == "packed"
+        assert "fan-in" in result.kernel_fallback
+        assert result.to_json()["engine"]["kernel_fallback"] == \
+            result.kernel_fallback
+
+
+def test_journal_resumes_across_kernels(tmp_path, c3a2m):
+    """The kernel never forks the journal key: rounds journaled by a
+    packed run replay under a vec resume, the remainder runs vectorised,
+    and the merged result equals a straight-through run."""
+    pytest.importorskip("numpy")
+    from repro.engine import ChaosInterrupt
+    from repro.exec import CheckpointPolicy
+
+    netlist, faults = c3a2m
+    ckpt = str(tmp_path / "journal")
+
+    def run(kernel, chaos=None, resume=False):
+        source = RandomPatternSource(len(netlist.primary_inputs), seed=23)
+        config = RunConfig(
+            execution=ExecutionPolicy(
+                executor="serial", jobs=2, batch_width=64, chunk_batches=1,
+                kernel=kernel,
+            ),
+            retry=RetryPolicy(max_retries=2, backoff=0.0),
+            checkpoint=CheckpointPolicy(directory=ckpt, resume=resume),
+            chaos=chaos,
+            max_patterns=512,
+        )
+        return simulate(netlist, faults, source, config=config)
+
+    reference = _run(netlist, faults, kernel="packed")
+    with pytest.raises(ChaosInterrupt):
+        run("packed", chaos=FaultInjector(mode="abort", shard=0))
+    resumed = run("vec", resume=True)
+    assert_identical(reference, resumed)
+    assert resumed.rounds_resumed >= 1
+    assert resumed.kernel == "vec"
+
+
+def test_kernel_surfaces_in_json(c3a2m):
+    pytest.importorskip("numpy")
+    netlist, faults = c3a2m
+    result = _run(netlist, faults, executor="thread", jobs=2, kernel="vec")
+    engine = result.to_json()["engine"]
+    assert engine["kernel"] == "vec"
+    assert engine["kernel_fallback"] is None

@@ -1,0 +1,137 @@
+"""Golden coverage-regression corpus: exact first-detection tables, pinned.
+
+For each corpus scenario (the paper's figure4/figure9 example circuits,
+the c3a2m multiplier kernel and the mac4 MAC kernel from
+:mod:`repro.library.scenarios`), a fixture under
+``tests/fixtures/golden_coverage/`` pins the *exact* per-fault
+first-detection pattern index of a fixed-seed random-pattern run — not a
+summary statistic.  Any change to pattern generation, fault collapsing,
+gate semantics or either evaluation kernel that shifts even one detection
+index fails here with a readable diff, which is the regression net the
+differential property suites (random circuits) cannot provide: these are
+the paper's actual circuits.
+
+Both kernels must reproduce the corpus: the packed bigint loop is the
+historical behaviour, and the vectorised kernel is contractually
+bit-identical to it (``docs/ENGINE.md``).
+
+Regenerate after an *intentional* semantic change with::
+
+    python tests/test_golden_coverage.py --regenerate
+
+and review the fixture diff like code (see ``docs/TESTING.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, Dict
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # regeneration entry point, not pytest
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import pytest
+
+from repro.engine import RunConfig, simulate
+from repro.exec.config import ExecutionPolicy
+from repro.faultsim.patterns import RandomPatternSource
+from repro.library.scenarios import SCENARIOS
+
+FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "golden_coverage"
+
+#: The corpus: scenario name -> fixed run geometry.  The seed and pattern
+#: budget are part of the pinned contract; changing them is regenerating
+#: the corpus.
+CORPUS: Dict[str, Dict[str, int]] = {
+    "figure4_kernel": {"seed": 7, "max_patterns": 512, "batch_width": 64},
+    "figure9_kernel": {"seed": 7, "max_patterns": 512, "batch_width": 64},
+    "c3a2m_kernel": {"seed": 7, "max_patterns": 1024, "batch_width": 64},
+    "mac4_kernel": {"seed": 7, "max_patterns": 512, "batch_width": 64},
+}
+
+
+def _fault_key(fault) -> str:
+    """Stable fixture key: ``net:stuck_at`` or ``net:stuck_at:gate:pin``."""
+    if fault.is_stem:
+        return f"{fault.net}:{fault.stuck_at}"
+    return f"{fault.net}:{fault.stuck_at}:{fault.gate_index}:{fault.pin}"
+
+
+def compute_golden(scenario: str, kernel: str = "packed") -> Dict[str, Any]:
+    """Run one corpus scenario and shape the result as fixture JSON."""
+    spec = CORPUS[scenario]
+    netlist = SCENARIOS[scenario]()
+    source = RandomPatternSource(
+        len(netlist.primary_inputs), seed=spec["seed"])
+    result = simulate(
+        netlist, None, source,
+        config=RunConfig(
+            execution=ExecutionPolicy(
+                kernel=kernel, batch_width=spec["batch_width"]),
+            max_patterns=spec["max_patterns"],
+        ),
+    )
+    first = {
+        _fault_key(fault): index
+        for fault, index in result.first_detection.items()
+    }
+    assert len(first) == len(result.first_detection), \
+        f"{scenario}: fault keys collide"
+    return {
+        "scenario": scenario,
+        "seed": spec["seed"],
+        "max_patterns": spec["max_patterns"],
+        "batch_width": spec["batch_width"],
+        "n_faults": result.n_faults,
+        "n_patterns": result.n_patterns,
+        "detected": len(first),
+        "first_detection": first,
+    }
+
+
+def _fixture_path(scenario: str) -> pathlib.Path:
+    return FIXTURE_DIR / f"{scenario}.json"
+
+
+def _load_fixture(scenario: str) -> Dict[str, Any]:
+    path = _fixture_path(scenario)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path} — run "
+            "'python tests/test_golden_coverage.py --regenerate'"
+        )
+    with open(path) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("scenario", sorted(CORPUS))
+def test_packed_kernel_reproduces_golden_corpus(scenario):
+    assert compute_golden(scenario, kernel="packed") == _load_fixture(scenario)
+
+
+@pytest.mark.parametrize("scenario", sorted(CORPUS))
+def test_vec_kernel_reproduces_golden_corpus(scenario):
+    pytest.importorskip("numpy")
+    assert compute_golden(scenario, kernel="vec") == _load_fixture(scenario)
+
+
+def regenerate() -> None:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for scenario in sorted(CORPUS):
+        payload = compute_golden(scenario, kernel="packed")
+        path = _fixture_path(scenario)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path} ({payload['detected']}/{payload['n_faults']} "
+              f"faults detected in {payload['n_patterns']} patterns)")
+
+
+if __name__ == "__main__":
+    if "--regenerate" not in sys.argv[1:]:
+        raise SystemExit(
+            "usage: python tests/test_golden_coverage.py --regenerate")
+    regenerate()

@@ -373,21 +373,24 @@ def test_benchmark_record_script(tmp_path):
     out = tmp_path / "BENCH_engine.json"
     process = subprocess.run(
         [sys.executable, os.path.abspath(script), "--out", str(out),
+         "--scenarios", "c3a2m_kernel,mac4_kernel",
          "--jobs", "1,2", "--max-patterns", "256", "--quiet"],
         capture_output=True, text=True, timeout=300,
     )
     assert process.returncode == 0, process.stderr
     payload = json.loads(out.read_text())
     assert payload["kind"] == "bench-engine"
-    assert payload["version"] == 2
+    assert payload["version"] == 3
     cells = {
-        (entry["scenario"], entry["jobs"], entry["executor"])
+        (entry["scenario"], entry["kernel"], entry["jobs"],
+         entry["executor"])
         for entry in payload["entries"]
     }
     for scenario in ("c3a2m_kernel", "mac4_kernel"):
-        assert (scenario, 1, "serial") in cells
-        for executor in ("serial", "thread", "process"):
-            assert (scenario, 2, executor) in cells
+        for kernel in ("packed", "vec"):
+            assert (scenario, kernel, 1, "serial") in cells
+            for executor in ("serial", "thread", "process"):
+                assert (scenario, kernel, 2, executor) in cells
     for entry in payload["entries"]:
         assert entry["wall_time"] > 0.0
         assert entry["patterns_per_second"] > 0.0

@@ -1,0 +1,152 @@
+"""Property-based differential suite for the vectorised kernel.
+
+Three implementations of fault propagation must agree bit for bit on any
+netlist: the event-driven packed bigint loop
+(:class:`repro.faultsim.simulator.FaultSimulator`), the numpy-vectorised
+kernel (:class:`repro.engine.vec.VecFaultSimulator`) and the deliberately
+naive scalar reference from ``tests/test_differential_props.py`` (its own
+gate truth tables, its own fixpoint traversal — no shared code).
+Hypothesis drives random levelised netlists × random fault samples ×
+random pattern blocks through all three and asserts identical detection
+tables, first-detection indices and batch-merge results (survivor lists,
+``pattern_base`` offsets, ``drop_detected`` in both positions).
+
+The end-to-end property closes the loop through the engine:
+``simulate(..., kernel="vec")`` must reproduce the packed run's coverage
+curve exactly.  Profiles live in ``tests/conftest.py``: CI runs the
+``ci`` profile derandomized, the nightly job searches harder (see
+``docs/TESTING.md``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.engine import RunConfig, simulate  # noqa: E402
+from repro.engine.vec import VecFaultSimulator, vec_support_reason  # noqa: E402
+from repro.exec.config import ExecutionPolicy  # noqa: E402
+from repro.faultsim.coverage import coverage_curve  # noqa: E402
+from repro.faultsim.faults import full_fault_universe  # noqa: E402
+from repro.faultsim.patterns import SequencePatternSource  # noqa: E402
+from repro.faultsim.simulator import FaultSimulator  # noqa: E402
+from repro.netlist.evaluate import Evaluator  # noqa: E402
+from tests.test_differential_props import (  # noqa: E402
+    _input_assignments,
+    _pack,
+    _reference_evaluate,
+    netlist_and_patterns,
+)
+
+
+def _good_values(netlist, patterns):
+    """Packed golden values for a pattern block, via the packed evaluator."""
+    _, packed_inputs = _input_assignments(netlist, patterns)
+    mask = (1 << len(patterns)) - 1
+    return Evaluator(netlist).run(packed_inputs, mask), mask
+
+
+@given(netlist_and_patterns(), st.data())
+def test_vec_batch_matches_packed_and_scalar_reference(case, data):
+    """One batch, three implementations: the vec kernel's detections and
+    survivors equal the packed loop's, and both equal the brute-force
+    scalar reference's first differing pattern index per fault."""
+    netlist, patterns = case
+    universe = full_fault_universe(netlist)
+    faults = data.draw(
+        st.lists(st.sampled_from(universe), min_size=1, max_size=8,
+                 unique=True)
+    )
+    assert vec_support_reason(netlist) is None
+
+    good, mask = _good_values(netlist, patterns)
+    scalar_inputs, _ = _input_assignments(netlist, patterns)
+
+    packed_sim = FaultSimulator(netlist, batch_width=len(patterns))
+    vec_sim = VecFaultSimulator(netlist, batch_width=len(patterns))
+    packed_det, vec_det = {}, {}
+    packed_live = packed_sim.simulate_batch(faults, good, mask, 0, packed_det)
+    vec_live = vec_sim.simulate_batch(faults, good, mask, 0, vec_det)
+
+    assert vec_det == packed_det
+    assert vec_live == packed_live
+
+    golden_rows = [_reference_evaluate(netlist, row) for row in scalar_inputs]
+    for fault in faults:
+        expected = None
+        for index, row in enumerate(scalar_inputs):
+            faulty = _reference_evaluate(netlist, row, fault)
+            if any(golden_rows[index][po] != faulty[po]
+                   for po in netlist.primary_outputs):
+                expected = index
+                break
+        assert vec_det.get(fault) == expected
+
+
+@given(netlist_and_patterns(), st.data())
+def test_vec_merge_semantics_match_packed_across_batches(case, data):
+    """The merge contract under multi-batch runs: pattern_base offsets,
+    live-list carry-over, pre-seeded detections (a fault detected in an
+    earlier batch must keep its original index) and drop_detected=False
+    all behave identically in both kernels."""
+    netlist, patterns = case
+    universe = full_fault_universe(netlist)
+    faults = data.draw(
+        st.lists(st.sampled_from(universe), min_size=1, max_size=8,
+                 unique=True)
+    )
+    drop = data.draw(st.booleans())
+    split = data.draw(st.integers(min_value=1, max_value=len(patterns)))
+    blocks = [patterns[:split], patterns[split:]]
+
+    packed_sim = FaultSimulator(netlist, batch_width=len(patterns))
+    vec_sim = VecFaultSimulator(netlist, batch_width=len(patterns))
+    packed_det, vec_det = {}, {}
+    packed_live, vec_live = list(faults), list(faults)
+    base = 0
+    for block in blocks:
+        if not block:
+            continue
+        good, mask = _good_values(netlist, block)
+        packed_live = packed_sim.simulate_batch(
+            packed_live, good, mask, base, packed_det, drop_detected=drop)
+        vec_live = vec_sim.simulate_batch(
+            vec_live, good, mask, base, vec_det, drop_detected=drop)
+        assert vec_det == packed_det
+        assert vec_live == packed_live
+        base += len(block)
+    if not drop:
+        # Without dropping every fault survives every batch.
+        assert vec_live == list(faults)
+
+
+@given(netlist_and_patterns())
+def test_vec_engine_run_reproduces_packed_coverage_curve(case):
+    """End to end through the engine: kernel="vec" must reproduce the
+    packed run's first-detection table, pattern count and entire
+    coverage curve on the full fault universe."""
+    netlist, patterns = case
+    n_inputs = len(netlist.primary_inputs)
+    rows = [
+        tuple((word >> position) & 1 for position in range(n_inputs))
+        for word in patterns
+    ]
+    runs = {}
+    for kernel in ("packed", "vec"):
+        runs[kernel] = simulate(
+            netlist, None, SequencePatternSource(rows),
+            config=RunConfig(
+                execution=ExecutionPolicy(kernel=kernel, batch_width=4),
+                max_patterns=len(patterns),
+            ),
+        )
+    assert runs["vec"].kernel == "vec"
+    assert runs["vec"].kernel_fallback is None
+    assert runs["packed"].kernel == "packed"
+    assert runs["vec"].first_detection == runs["packed"].first_detection
+    assert runs["vec"].n_patterns == runs["packed"].n_patterns
+    assert coverage_curve(runs["vec"]) == coverage_curve(runs["packed"])
