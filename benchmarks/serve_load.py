@@ -1,0 +1,253 @@
+"""Load-benchmark the BIST service and record ``BENCH_serve.json``.
+
+``python benchmarks/serve_load.py`` starts a real ``python -m repro
+serve`` subprocess, drives it over HTTP through three phases, and writes
+the snapshot at the repository root (committed, like
+``BENCH_engine.json``, so throughput claims are diffable):
+
+* **cold** — N submissions with distinct run keys (the seed varies), so
+  every job simulates.  Reported as jobs completed per second plus the
+  submit-call latency distribution.
+* **warm** — the same N submissions again, all served from the run-key
+  result cache: the full submit→result round-trip is one cache lookup,
+  and its p50/p99 is the service's floor latency.
+* **invalid** — rejected traffic (unknown design, lint-failing netlist,
+  malformed JSON): the error path must stay as cheap as the cache path,
+  since it is the path abuse hits.
+
+The final ``/metrics`` scrape is parsed with the telemetry validator and
+folded into the snapshot, so the recorded cache hit rate is the server's
+own counters, not the client's bookkeeping.  Absolute numbers are
+machine-dependent — compare entries recorded on one machine, or ratios
+between phases.  ``--smoke`` shrinks every phase for the CI harness
+check, which uploads (but does not commit) the resulting JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from repro import telemetry  # noqa: E402
+from repro.telemetry.export import parse_prometheus_text  # noqa: E402
+from tests.serve_utils import ServeClient, spawn_server  # noqa: E402
+
+BENCH_KIND = "bench-serve"
+BENCH_VERSION = 1
+
+#: A netlist that fails the lint pre-flight (combinational cycle) — the
+#: 422 path under load.
+CYCLE_BENCH = "INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n"
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    ordered = sorted(samples)
+
+    def at(fraction: float) -> float:
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    return {
+        "p50_ms": at(0.50) * 1000.0,
+        "p99_ms": at(0.99) * 1000.0,
+        "mean_ms": statistics.fmean(ordered) * 1000.0,
+        "max_ms": ordered[-1] * 1000.0,
+    }
+
+
+def _phase_entry(phase: str, latencies: List[float],
+                 wall: float, **extra: Any) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "phase": phase,
+        "requests": len(latencies),
+        "wall_time": wall,
+        "requests_per_second": len(latencies) / wall if wall else None,
+    }
+    entry.update(_percentiles(latencies))
+    entry.update(extra)
+    return entry
+
+
+def run_cold(client: ServeClient, design: str, n_jobs: int,
+             max_patterns: int) -> Dict[str, Any]:
+    """Submit ``n_jobs`` distinct-key jobs and drain them all."""
+    latencies: List[float] = []
+    job_ids: List[str] = []
+    start = time.perf_counter()
+    for index in range(n_jobs):
+        submission = {"design": design, "max_patterns": max_patterns,
+                      "seed": 1994 + index}
+        t0 = time.perf_counter()
+        doc = client.submit(submission)
+        latencies.append(time.perf_counter() - t0)
+        job_ids.append(doc["id"])
+    for job_id in job_ids:
+        done = client.wait(job_id, timeout=600)
+        assert done["state"] == "done", done
+    wall = time.perf_counter() - start
+    return _phase_entry("cold", latencies, wall,
+                        jobs_per_second=n_jobs / wall if wall else None)
+
+
+def run_warm(client: ServeClient, design: str, n_jobs: int,
+             max_patterns: int, rounds: int) -> Dict[str, Any]:
+    """Re-submit the cold set ``rounds`` times; every answer is cached."""
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for index in range(n_jobs):
+            submission = {"design": design, "max_patterns": max_patterns,
+                          "seed": 1994 + index}
+            t0 = time.perf_counter()
+            doc = client.submit(submission)
+            status, _body = client.result(doc["id"])
+            latencies.append(time.perf_counter() - t0)
+            assert status == 200 and doc["cached"], doc
+    wall = time.perf_counter() - start
+    return _phase_entry("warm", latencies, wall)
+
+
+def run_invalid(client: ServeClient, n_requests: int) -> Dict[str, Any]:
+    """Hammer the rejection paths: 404, 422 and 400 in rotation."""
+    cases = [
+        ("POST", "/v1/jobs", {"design": "no-such-design"}, 404),
+        ("POST", "/v1/jobs", {"bench": CYCLE_BENCH}, 422),
+        ("POST", "/v1/jobs", {"design": "mac4", "bogus": 1}, 400),
+    ]
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for index in range(n_requests):
+        method, path, payload, expected = cases[index % len(cases)]
+        t0 = time.perf_counter()
+        status, _body = client.request(method, path, payload)
+        latencies.append(time.perf_counter() - t0)
+        assert status == expected, (status, expected, _body)
+    wall = time.perf_counter() - start
+    return _phase_entry("invalid", latencies, wall)
+
+
+def scrape_metrics(client: ServeClient) -> Dict[str, float]:
+    """The server's own counters, validated through the telemetry parser."""
+    status, text = client.request("GET", "/metrics")
+    assert status == 200, text
+    samples = parse_prometheus_text(text)
+    hits = samples.get("cache_hit", 0.0)
+    misses = samples.get("cache_miss", 0.0)
+    return {
+        "cache_hit": hits,
+        "cache_miss": misses,
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "jobs_submitted": samples.get("serve_jobs_submitted", 0.0),
+        "jobs_completed": samples.get("serve_jobs_completed", 0.0),
+        "lint_rejections": samples.get("serve_lint_rejections", 0.0),
+    }
+
+
+def run_load(state_dir: pathlib.Path, design: str, n_jobs: int,
+             max_patterns: int, warm_rounds: int, n_invalid: int,
+             workers: int, quiet: bool) -> Dict[str, Any]:
+    process, port = spawn_server(state_dir, "--workers", str(workers))
+    client = ServeClient("127.0.0.1", port, timeout=120.0)
+    try:
+        phases = []
+        for phase in (
+            lambda: run_cold(client, design, n_jobs, max_patterns),
+            lambda: run_warm(client, design, n_jobs, max_patterns,
+                             warm_rounds),
+            lambda: run_invalid(client, n_invalid),
+        ):
+            entry = phase()
+            phases.append(entry)
+            if not quiet:
+                print(f"{entry['phase']}: {entry['requests']} requests in "
+                      f"{entry['wall_time']:.3f}s "
+                      f"({entry['requests_per_second']:,.1f} req/s, "
+                      f"p50 {entry['p50_ms']:.2f}ms, "
+                      f"p99 {entry['p99_ms']:.2f}ms)", flush=True)
+        metrics = scrape_metrics(client)
+    finally:
+        client.close()
+        process.terminate()
+        process.wait(timeout=30)
+    return {
+        "kind": BENCH_KIND,
+        "version": BENCH_VERSION,
+        "git": telemetry.git_describe(cwd=str(REPO_ROOT)),
+        "recorded": time.time(),
+        "config": {
+            "design": design,
+            "n_jobs": n_jobs,
+            "max_patterns": max_patterns,
+            "warm_rounds": warm_rounds,
+            "n_invalid": n_invalid,
+            "workers": workers,
+        },
+        "phases": phases,
+        "metrics": metrics,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/serve_load.py",
+        description="load-benchmark repro serve, record BENCH_serve.json",
+    )
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_serve.json"),
+                        help="snapshot path (default: repo root)")
+    parser.add_argument("--design", default="c3a2m",
+                        help="library design every job simulates")
+    parser.add_argument("--jobs", type=int, default=16, metavar="N",
+                        help="distinct cold jobs (each also replayed warm)")
+    parser.add_argument("--max-patterns", type=int, default=2048)
+    parser.add_argument("--warm-rounds", type=int, default=8,
+                        help="how many times the warm phase replays the "
+                             "cold set from cache")
+    parser.add_argument("--invalid", type=int, default=120, metavar="N",
+                        help="rejected requests in the invalid phase")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--state-dir", default=None,
+                        help="server state directory (default: a fresh "
+                             "temporary directory)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI harness check: 3 jobs, 256 patterns, one "
+                             "warm round — verifies every phase end-to-end "
+                             "without recording meaningful timings")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.jobs = 3
+        args.max_patterns = 256
+        args.warm_rounds = 1
+        args.invalid = 9
+    if args.state_dir is None:
+        import tempfile
+
+        args.state_dir = tempfile.mkdtemp(prefix="repro-serve-load-")
+
+    payload = run_load(
+        pathlib.Path(args.state_dir), args.design, args.jobs,
+        args.max_patterns, args.warm_rounds, args.invalid,
+        args.workers, args.quiet,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if not args.quiet:
+        rate = payload["metrics"]["cache_hit_rate"]
+        print(f"cache hit rate: {rate:.3f}")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,10 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
     python -m repro lint     TARGET [TARGET ...] [--json] [--severity S]
                              [--baseline FILE] [--update-baseline]
                              [--bilbo R1,R2] [--polynomial INT]
+    python -m repro serve    [--host H] [--port P] [--workers N]
+                             [--tenant-quota N] [--max-queued N]
+                             [--cache-size N] [--state-dir DIR]
+                             [--drain-grace S] [--quiet]
     python -m repro telemetry view FILE [--quiet]
 
 ``export`` writes the built-in circuits so every other command has
@@ -61,7 +65,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.analysis.testability import classify
 from repro.bits import io_json
-from repro.cli_args import engine_parent_parser, runconfig_from_args
+from repro.cli_args import (
+    emit_json as _emit_json,
+    engine_parent_parser,
+    result_payload,
+    runconfig_from_args,
+    write_telemetry_artifacts,
+)
 from repro.core.bibs import make_bibs_testable
 from repro.core.ka85 import make_ka_testable
 from repro.experiments.render import render_table
@@ -74,30 +84,10 @@ def _load(path: str):
     return circuit, build_circuit_graph(circuit)
 
 
-def _emit_json(payload: Dict[str, Any]) -> None:
-    print(json.dumps(payload, indent=2, sort_keys=True))
-
-
 def _progress(args, text: str) -> None:
     """Print progress text unless ``--quiet`` asked for silence."""
     if not getattr(args, "quiet", False):
         print(text)
-
-
-def _write_telemetry_artifacts(args, config: Dict[str, Any],
-                               shards: Optional[List[Dict[str, Any]]] = None,
-                               guard: Optional[Dict[str, Any]] = None) -> None:
-    """Write ``--trace-out`` / ``--metrics-out`` files for the current run."""
-    from repro import telemetry
-
-    manifest = telemetry.RunManifest.collect(config=config, shards=shards,
-                                             guard=guard)
-    if args.trace_out:
-        telemetry.export.write_trace(args.trace_out, manifest=manifest)
-        _progress(args, f"wrote trace to {args.trace_out}")
-    if args.metrics_out:
-        telemetry.export.write_metrics(args.metrics_out)
-        _progress(args, f"wrote metrics to {args.metrics_out}")
 
 
 def cmd_analyze(args) -> int:
@@ -245,7 +235,7 @@ def cmd_tpg(args) -> int:
 
 def cmd_selftest(args) -> int:
     from repro.bist.session import BISTSession
-    from repro.errors import SimulationError
+    from repro.errors import LintError, SimulationError
     from repro.guard import (
         Budget,
         CancelToken,
@@ -287,22 +277,35 @@ def cmd_selftest(args) -> int:
         budget.arm()  # the deadline spans both measurements below
     token = CancelToken()
     config = runconfig_from_args(args, budget=budget, cancel=token)
-    with signal_scope(token):
-        result = session.run(cycles, faults=faults,
-                             budget=budget, cancel=token)
-        pattern_result = None
-        engine_requested = (args.jobs is not None
-                            or args.executor is not None)
-        if engine_requested and not token.cancelled:
-            # Align the run length with the pattern budget up front (the
-            # engine's cap only stops at round boundaries, so a cap far
-            # below the requested cycles would otherwise stop at 0).
-            pattern_cap = cycles
-            if budget is not None and budget.max_patterns is not None:
-                pattern_cap = min(cycles, budget.max_patterns)
-            pattern_result = session.pattern_coverage(
-                max_patterns=pattern_cap, config=config,
-            )
+    try:
+        with signal_scope(token):
+            result = session.run(cycles, faults=faults,
+                                 budget=budget, cancel=token)
+            pattern_result = None
+            engine_requested = (args.jobs is not None
+                                or args.executor is not None)
+            if engine_requested and not token.cancelled:
+                # Align the run length with the pattern budget up front (the
+                # engine's cap only stops at round boundaries, so a cap far
+                # below the requested cycles would otherwise stop at 0).
+                pattern_cap = cycles
+                if budget is not None and budget.max_patterns is not None:
+                    pattern_cap = min(cycles, budget.max_patterns)
+                pattern_result = session.pattern_coverage(
+                    max_patterns=pattern_cap, config=config,
+                )
+    except LintError as error:
+        # The same structured document repro.serve answers with HTTP 422:
+        # the lint findings, not a traceback.
+        if args.json:
+            _emit_json(error.payload())
+        else:
+            print(f"error: {error}", file=sys.stderr)
+            for finding in error.findings:
+                print(f"  [{finding.severity}] {finding.rule} "
+                      f"{finding.location}: {finding.message}",
+                      file=sys.stderr)
+        return 2
     stop_reason = result.stop_reason
     if stop_reason is None and pattern_result is not None:
         stop_reason = pattern_result.stop_reason
@@ -313,7 +316,7 @@ def cmd_selftest(args) -> int:
         shards = None
         if pattern_result is not None:
             shards = [shard.to_json() for shard in pattern_result.shards]
-        _write_telemetry_artifacts(
+        write_telemetry_artifacts(
             args,
             config={
                 "command": "selftest", "circuit": circuit.name,
@@ -323,13 +326,15 @@ def cmd_selftest(args) -> int:
             },
             shards=shards,
             guard=guard,
+            announce=lambda text: _progress(args, text),
         )
     if args.json:
-        payload = result.to_json()
-        payload["circuit"] = circuit.name
-        payload["kernel"] = kernel.name
-        payload["seed"] = args.seed
-        payload["guard"] = guard
+        payload = result_payload(
+            result,
+            context={"circuit": circuit.name, "kernel": kernel.name,
+                     "seed": args.seed},
+            guard=guard,
+        )
         if pattern_result is not None:
             payload["pattern_coverage"] = pattern_result.to_json()
         _emit_json(payload)
@@ -496,6 +501,40 @@ def cmd_lint(args) -> int:
     return 1 if n_errors else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the BIST-as-a-service HTTP endpoint (``repro-bist serve``).
+
+    Telemetry is enabled unconditionally — ``GET /metrics`` is part of the
+    service API, and the ``cache.hit``/``cache.miss`` counters it exposes
+    are how operators (and the load benchmark) observe the result cache.
+    The announce line (``serving on http://host:port``) is the machine
+    interface for wrappers that bind ``--port 0``: it is flushed before
+    the first request can arrive.
+    """
+    import asyncio
+    import tempfile
+
+    from repro import telemetry
+    from repro.serve import BistService
+
+    telemetry.enable()
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-serve-")
+    service = BistService(
+        state_dir,
+        workers=args.workers,
+        tenant_quota=args.tenant_quota,
+        max_queued=args.max_queued,
+        cache_size=args.cache_size,
+        drain_grace=args.drain_grace,
+    )
+
+    def announce(text: str) -> None:
+        if not args.quiet:
+            print(text, flush=True)
+
+    return asyncio.run(service.run(args.host, args.port, announce=announce))
+
+
 def cmd_telemetry(args) -> int:
     """Inspect and validate a telemetry artifact (``telemetry view``).
 
@@ -655,6 +694,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "so lint vets a proposed TPG")
     add_json_flag(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the BIST-as-a-service HTTP endpoint (docs/SERVE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    p.add_argument("--port", type=int, default=8734,
+                   help="TCP port; 0 picks a free port (announced on "
+                        "stdout as 'serving on http://HOST:PORT')")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent engine runs (worker tasks)")
+    p.add_argument("--tenant-quota", type=int, default=2, metavar="N",
+                   help="max concurrently running jobs per tenant")
+    p.add_argument("--max-queued", type=int, default=64, metavar="N",
+                   help="max jobs waiting in the queue before submissions "
+                        "get HTTP 429")
+    p.add_argument("--cache-size", type=int, default=128, metavar="N",
+                   help="result-cache entries (LRU, keyed by the "
+                        "checkpoint run key)")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="journal/state directory (default: a fresh temp "
+                        "dir; reuse one to resume drained jobs)")
+    p.add_argument("--drain-grace", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="seconds the HTTP endpoint stays up after SIGTERM "
+                        "drains in-flight jobs")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the announce/drain lines")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "telemetry",

@@ -1,4 +1,4 @@
-"""Shared CLI flag clusters for engine-driving commands.
+"""Shared CLI flag clusters and JSON serialization for engine commands.
 
 ``python -m repro selftest`` and ``python -m repro.experiments`` grew the
 same four flag families independently — execution (``--jobs``,
@@ -9,12 +9,21 @@ same four flag families independently — execution (``--jobs``,
 parser, and maps the parsed namespace onto the engine's
 :class:`~repro.exec.RunConfig` so both CLIs drive the run API the same
 way a library caller would.
+
+It is also the home of the one true ``--json`` serialization path:
+:func:`render_json` / :func:`emit_json` fix the byte format (two-space
+indent, sorted keys) and :func:`result_payload` fixes the result *shape*
+(the unified ``to_json()`` surface plus run context and the guard block).
+``repro-bist selftest --json``, ``python -m repro.experiments --json`` and
+the ``repro.serve`` result endpoint all route through these helpers, so
+the three surfaces emit byte-identical JSON for the same result.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import TYPE_CHECKING, Optional, Union
+import json
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
 
 from repro.exec.base import available_executors
 from repro.exec.config import (
@@ -133,3 +142,72 @@ def runconfig_from_args(
     if max_patterns is not None:
         config = config.replace(max_patterns=max_patterns)
     return config
+
+
+# --------------------------------------------------------- JSON serialization
+
+def render_json(payload: Mapping[str, Any]) -> str:
+    """The canonical machine-readable rendering of one payload.
+
+    Two-space indent, sorted keys, ``default=str`` for the occasional
+    non-JSON-native leaf (paths, enums in figure reports).  Every surface
+    that claims byte-identical JSON output renders through this function.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True, default=str)
+
+
+def emit_json(payload: Mapping[str, Any]) -> None:
+    """Print one canonical JSON object on stdout."""
+    print(render_json(payload))
+
+
+def result_payload(
+    result: Any,
+    *,
+    context: Optional[Mapping[str, Any]] = None,
+    guard: Optional[Mapping[str, Any]] = None,
+    include_faults: bool = False,
+) -> Dict[str, Any]:
+    """One result object -> the shared ``--json`` payload shape.
+
+    ``result`` is anything with the unified ``to_json()`` surface
+    (:mod:`repro.results`).  ``context`` adds run identification (circuit,
+    kernel, seed, ...) at the top level; ``guard`` attaches the
+    :func:`repro.guard.guard_summary` block under ``"guard"``.  The CLIs
+    and the serve result endpoint build their payloads here so the shape
+    can never fork again.
+    """
+    payload: Dict[str, Any] = result.to_json(include_faults)
+    if context:
+        payload.update(context)
+    if guard is not None:
+        payload["guard"] = dict(guard)
+    return payload
+
+
+def write_telemetry_artifacts(
+    args: argparse.Namespace,
+    config: Mapping[str, Any],
+    shards: Optional[Any] = None,
+    guard: Optional[Mapping[str, Any]] = None,
+    announce: Optional[Any] = None,
+) -> None:
+    """Write ``--trace-out`` / ``--metrics-out`` files for the current run.
+
+    Shared by ``repro-bist selftest`` and ``python -m repro.experiments``;
+    ``announce`` is an optional ``str -> None`` progress printer (silenced
+    by ``--quiet`` at the call site).
+    """
+    from repro import telemetry
+
+    manifest = telemetry.RunManifest.collect(
+        config=dict(config), shards=shards, guard=guard,
+    )
+    if getattr(args, "trace_out", None):
+        telemetry.export.write_trace(args.trace_out, manifest=manifest)
+        if announce is not None:
+            announce(f"wrote trace to {args.trace_out}")
+    if getattr(args, "metrics_out", None):
+        telemetry.export.write_metrics(args.metrics_out)
+        if announce is not None:
+            announce(f"wrote metrics to {args.metrics_out}")

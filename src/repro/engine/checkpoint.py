@@ -82,6 +82,28 @@ def run_key(
     return hashlib.sha256(blob).hexdigest()
 
 
+def resolve_run_key(
+    netlist: Netlist,
+    source: PatternSource,
+    faults: Sequence[Fault],
+    config: RunConfig,
+) -> Optional[str]:
+    """The key :func:`repro.engine.simulate` will journal this run under.
+
+    Applies the engine's shard-collapse rule before keying: a run with one
+    worker — or too few faults to shard — executes serially, and its
+    journal is keyed as ``jobs=1`` whatever the config requested.  This is
+    the entry point for callers that need the key *without* running the
+    engine, most importantly the ``repro.serve`` result cache, whose
+    content addressing must match the journal exactly (pinned by a golden
+    regression test against a real journal directory).
+    """
+    fault_list = list(faults)
+    n_jobs = config.execution.effective_jobs
+    serial = n_jobs == 1 or len(fault_list) <= 1
+    return run_key(netlist, source, fault_list, config, 1 if serial else n_jobs)
+
+
 class CheckpointStore:
     """One run's journal directory: load, record, and replay shard rounds."""
 
@@ -95,16 +117,23 @@ class CheckpointStore:
 
     # -------------------------------------------------------------- loading
 
-    def load(self) -> Dict[Tuple[int, int], Dict[str, Any]]:
+    def load(self, *, sweep: bool = True) -> Dict[Tuple[int, int], Dict[str, Any]]:
         """All readable records, keyed by ``(shard, round)``.
 
         Unreadable (half-written, foreign) files are skipped, not fatal:
         the engine just re-executes those rounds.
+
+        ``sweep=False`` makes the load strictly read-only.  The default
+        sweep of stale ``*.tmp`` files is only safe when no writer is
+        live — a concurrent reader (the serve progress endpoint polling a
+        running job's journal) would otherwise delete a record the engine
+        is about to rename into place.
         """
         records: Dict[Tuple[int, int], Dict[str, Any]] = {}
         if not self.directory.is_dir():
             return records
-        self._sweep_stale_tmp()
+        if sweep:
+            self._sweep_stale_tmp()
         for path in sorted(self.directory.glob("shard*_round*.rec")):
             try:
                 with open(path, "rb") as handle:

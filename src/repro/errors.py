@@ -53,3 +53,18 @@ class LintError(ReproError):
     def __init__(self, message: str, findings=()):
         super().__init__(message)
         self.findings = list(findings)
+
+    def payload(self):
+        """The structured error document every surface emits for lint failures.
+
+        One mapping shared by ``repro-bist selftest --json``, the
+        experiments runner and the ``repro.serve`` HTTP 422 response, so a
+        rejected netlist looks the same whether it arrived on the command
+        line or over the wire: the rule id, severity and machine-checkable
+        witness of every finding, never a bare traceback.
+        """
+        return {
+            "error": "lint",
+            "message": str(self),
+            "findings": [finding.to_json() for finding in self.findings],
+        }

@@ -40,7 +40,12 @@ import pathlib
 import sys
 import time
 
-from repro.cli_args import engine_parent_parser, runconfig_from_args
+from repro.cli_args import (
+    engine_parent_parser,
+    render_json,
+    runconfig_from_args,
+    write_telemetry_artifacts,
+)
 from repro.experiments.figures import (
     example1_report,
     figure3_report,
@@ -124,7 +129,7 @@ def _run_sweep(args, outdir, checkpoint_dir, budget, token) -> int:
     rows = table1_rows()
     write("table1.txt", render_table1(rows))
     if args.json:
-        write("table1.json", json.dumps(table1_json(rows), indent=2))
+        write("table1.json", render_json(table1_json(rows)))
 
     max_patterns = 1 << (13 if args.quick else 16)
     n_seeds = 1 if args.quick else 3
@@ -136,7 +141,7 @@ def _run_sweep(args, outdir, checkpoint_dir, budget, token) -> int:
     )
     write("table2_full.txt", render_table2(columns))
     if args.json:
-        write("table2.json", json.dumps(table2_json(columns), indent=2))
+        write("table2.json", render_json(table2_json(columns)))
 
     stop_reason = None
     if token.cancelled:
@@ -158,9 +163,12 @@ def _run_sweep(args, outdir, checkpoint_dir, budget, token) -> int:
               json.dumps(pseudo_exhaustive_report(), indent=2))
 
     if args.trace_out or args.metrics_out:
-        from repro import telemetry
+        def _announce(text: str) -> None:
+            if not args.quiet:
+                print(text)
 
-        manifest = telemetry.RunManifest.collect(
+        write_telemetry_artifacts(
+            args,
             config={
                 "command": "experiments", "quick": args.quick,
                 "jobs": args.jobs, "executor": args.executor,
@@ -168,15 +176,8 @@ def _run_sweep(args, outdir, checkpoint_dir, budget, token) -> int:
                 "max_patterns": max_patterns, "n_seeds": n_seeds,
             },
             guard=guard_summary(budget, token, stop_reason=stop_reason),
+            announce=_announce,
         )
-        if args.trace_out:
-            telemetry.export.write_trace(args.trace_out, manifest=manifest)
-            if not args.quiet:
-                print(f"wrote trace to {args.trace_out}")
-        if args.metrics_out:
-            telemetry.export.write_metrics(args.metrics_out)
-            if not args.quiet:
-                print(f"wrote metrics to {args.metrics_out}")
 
     if not args.quiet:
         if stop_reason is not None:

@@ -1,0 +1,252 @@
+"""A minimal asyncio-streams HTTP/1.1 layer for the BIST service.
+
+Stdlib only, by policy: the repo's zero-heavy-dependency rule applies to
+the service too, and the subset of HTTP the API needs — JSON request
+bodies framed by ``Content-Length``, JSON responses, keep-alive — is
+small enough that a framework would cost more than it saves.  No chunked
+transfer encoding, no TLS, no pipelining guarantees beyond sequential
+request handling per connection.
+
+The layer knows nothing about routes: :class:`HttpConnection` parses one
+request at a time and hands it to an async ``handler(request) ->
+Response`` callback; anything the parser rejects (oversized headers,
+missing/odd framing) becomes a structured 400/413/431 JSON error in the
+same shape the application uses, so clients see exactly one error format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.cli_args import render_json
+from repro.serve.protocol import ApiError
+
+#: Request line + headers may not exceed this many bytes.
+MAX_HEADER_BYTES = 32 << 10
+
+#: Request bodies may not exceed this many bytes (bench uploads included).
+MAX_BODY_BYTES = 8 << 20
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The request body parsed as JSON (raises :class:`ApiError`)."""
+        if not self.body:
+            raise ApiError(400, "bad-request", "request body is empty")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ApiError(400, "bad-request",
+                           f"request body is not valid JSON: {error}") \
+                from error
+
+
+@dataclass
+class Response:
+    """One response: status plus an already-rendered body."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self, keep_alive: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}"
+                     for name, value in self.headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+
+def json_response(status: int, payload: Any) -> Response:
+    """A JSON response rendered through the canonical serializer.
+
+    Routing every body through :func:`repro.cli_args.render_json` is what
+    makes the serve result endpoint byte-identical to the ``--json`` CLIs
+    for the same payload.
+    """
+    body = (render_json(payload) + "\n").encode("utf-8")
+    return Response(status, body)
+
+
+def text_response(status: int, text: str,
+                  content_type: str = "text/plain; charset=utf-8") -> Response:
+    return Response(status, text.encode("utf-8"), content_type=content_type)
+
+
+def error_response(error: ApiError) -> Response:
+    return json_response(error.status, error.payload())
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def _read_head(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read up to the blank line ending the header block; None on EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between requests
+        raise ApiError(400, "bad-request",
+                       "truncated request head") from error
+    except asyncio.LimitOverrunError as error:
+        raise ApiError(431, "headers-too-large",
+                       f"request head exceeds {MAX_HEADER_BYTES} bytes") \
+            from error
+    if len(head) > MAX_HEADER_BYTES:
+        raise ApiError(431, "headers-too-large",
+                       f"request head exceeds {MAX_HEADER_BYTES} bytes")
+    return head
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, str], Dict[str, str]]:
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as error:  # pragma: no cover - latin-1 never fails
+        raise ApiError(400, "bad-request",
+                       "undecodable request head") from error
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ApiError(400, "bad-request",
+                       f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = {name: values[-1]
+             for name, values in parse_qs(split.query).items()}
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ApiError(400, "bad-request",
+                           f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method, split.path or "/", query, headers
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from the stream; None on a clean connection close."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    method, path, query, headers = _parse_head(head)
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as error:
+        raise ApiError(400, "bad-request",
+                       f"bad Content-Length: {length_text!r}") from error
+    if length < 0:
+        raise ApiError(400, "bad-request", "negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise ApiError(413, "too-large",
+                       f"request body exceeds {MAX_BODY_BYTES} bytes")
+    if "transfer-encoding" in headers:
+        raise ApiError(400, "bad-request",
+                       "chunked request bodies are not supported; "
+                       "send Content-Length")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise ApiError(400, "bad-request",
+                           "truncated request body") from error
+    return Request(method=method, path=path, query=query,
+                   headers=headers, body=body)
+
+
+async def serve_connection(reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter,
+                           handler: Handler) -> None:
+    """Drive one keep-alive connection until close or a framing error."""
+    try:
+        while True:
+            try:
+                request = await read_request(reader)
+            except ApiError as error:
+                # Framing is broken: answer once, then drop the link —
+                # we cannot tell where the next request would start.
+                writer.write(error_response(error).encode(keep_alive=False))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            keep_alive = request.headers.get(
+                "connection", "keep-alive").lower() != "close"
+            try:
+                response = await handler(request)
+            except ApiError as error:
+                response = error_response(error)
+            except Exception as error:  # noqa: BLE001 - boundary of the server
+                response = json_response(500, {
+                    "error": "internal",
+                    "message": f"{type(error).__name__}: {error}",
+                })
+            writer.write(response.encode(keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError):
+        return
+    except asyncio.CancelledError:
+        # Loop teardown (drain past the grace window) cancels idle
+        # keep-alive connections; that is a normal close, not an error.
+        return
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def start_http_server(host: str, port: int,
+                            handler: Handler) -> asyncio.AbstractServer:
+    """Bind and start serving ``handler``; ``port=0`` picks a free port."""
+
+    async def _client(reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        await serve_connection(reader, writer, handler)
+
+    return await asyncio.start_server(
+        _client, host=host, port=port, limit=MAX_HEADER_BYTES,
+    )
+
+
+def bound_port(server: asyncio.AbstractServer) -> int:
+    """The concrete port a (possibly port-0) server bound to."""
+    sockets = getattr(server, "sockets", None) or []
+    for sock in sockets:
+        return int(sock.getsockname()[1])
+    raise RuntimeError("server has no bound sockets")

@@ -1,0 +1,189 @@
+"""Job lifecycle and the quota-aware queue behind the BIST service.
+
+A :class:`Job` is one accepted submission moving through ``queued ->
+running -> done``/``failed`` (or ``cancelled`` if a drain empties the
+queue first).  The :class:`JobQueue` hands queued jobs to worker tasks in
+FIFO order *per tenant*, skipping tenants already running their quota of
+concurrent jobs — one chatty tenant can fill the queue but never starve
+another tenant's worker slots.
+
+Everything here runs on the event loop (the blocking engine run happens
+in a thread pool, but state transitions come back to the loop), so plain
+``asyncio.Condition`` coordination suffices — no locks, no thread-safety
+hedging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.serve.protocol import ApiError, JobRequest
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+
+#: Default cap on concurrently *running* jobs per tenant.
+DEFAULT_TENANT_QUOTA = 2
+
+#: Default cap on jobs waiting in the queue (across all tenants).
+DEFAULT_MAX_QUEUED = 64
+
+
+class Job:
+    """One accepted submission and everything the API reports about it."""
+
+    def __init__(self, job_id: str, request: JobRequest,
+                 run_key: Optional[str]):
+        self.id = job_id
+        self.request = request
+        self.run_key = run_key
+        self.state = STATE_QUEUED
+        self.cached = False
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Prepared engine inputs (netlist, faults, source, config, budget)
+        #: for queued jobs; cleared implicitly when the job leaves memory.
+        self.work: Any = None
+        #: Full result payload (fault tables included) once done.
+        self.result: Optional[Dict[str, Any]] = None
+        #: Structured error payload (an :class:`ApiError` body) once failed.
+        self.error: Optional[Dict[str, Any]] = None
+        self.error_status: int = 500
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
+
+    def fail(self, error: ApiError) -> None:
+        self.state = STATE_FAILED
+        self.error = error.payload()
+        self.error_status = error.status
+        self.finished_at = time.time()
+
+    def status_json(self) -> Dict[str, Any]:
+        """The ``GET /v1/jobs/{id}`` body (sans the progress curve)."""
+        return {
+            "kind": "job",
+            "id": self.id,
+            "state": self.state,
+            "cached": self.cached,
+            "tenant": self.tenant,
+            "target": self.request.target,
+            "run_key": self.run_key,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "request": self.request.to_json(),
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """FIFO-per-tenant queue with per-tenant running-job quotas."""
+
+    def __init__(self, tenant_quota: int = DEFAULT_TENANT_QUOTA,
+                 max_queued: int = DEFAULT_MAX_QUEUED):
+        if tenant_quota < 1:
+            raise ValueError("tenant quota must be >= 1")
+        self.tenant_quota = tenant_quota
+        self.max_queued = max_queued
+        self._pending: Deque[Job] = deque()
+        self._running: Dict[str, int] = {}
+        self._condition = asyncio.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def n_running(self) -> int:
+        return sum(self._running.values())
+
+    def submit(self, job: Job) -> None:
+        """Enqueue one job (synchronous: callers hold the event loop)."""
+        if self._closed:
+            raise ApiError(503, "draining",
+                           "service is draining; not accepting new jobs")
+        if len(self._pending) >= self.max_queued:
+            raise ApiError(429, "queue-full",
+                           f"job queue is full ({self.max_queued} pending)")
+        self._pending.append(job)
+        self._kick()
+
+    def _kick(self) -> None:
+        async def _notify() -> None:
+            async with self._condition:
+                self._condition.notify_all()
+
+        asyncio.ensure_future(_notify())
+
+    def _next_eligible(self) -> Optional[Job]:
+        for index, job in enumerate(self._pending):
+            if self._running.get(job.tenant, 0) < self.tenant_quota:
+                del self._pending[index]
+                return job
+        return None
+
+    async def acquire(self) -> Optional[Job]:
+        """The next runnable job, honouring tenant quotas; None when closed.
+
+        Blocks while the queue is empty or every pending job belongs to a
+        tenant already at quota.  The caller owns the returned job's
+        running slot and must :meth:`release` it.
+        """
+        async with self._condition:
+            while True:
+                job = self._next_eligible()
+                if job is not None:
+                    job.state = STATE_RUNNING
+                    job.started_at = time.time()
+                    self._running[job.tenant] = \
+                        self._running.get(job.tenant, 0) + 1
+                    return job
+                if self._closed:
+                    return None
+                await self._condition.wait()
+
+    async def release(self, job: Job) -> None:
+        """Return ``job``'s running slot, waking waiters for its tenant."""
+        async with self._condition:
+            count = self._running.get(job.tenant, 0) - 1
+            if count > 0:
+                self._running[job.tenant] = count
+            else:
+                self._running.pop(job.tenant, None)
+            self._condition.notify_all()
+
+    async def close(self) -> List[Job]:
+        """Stop accepting and dequeue everything still pending (drain).
+
+        Returns the jobs that never ran, already marked ``cancelled`` —
+        the service reports them as such; running jobs are untouched (the
+        tripped cancel token stops those at their next round boundary).
+        """
+        async with self._condition:
+            self._closed = True
+            cancelled = list(self._pending)
+            self._pending.clear()
+            now = time.time()
+            for job in cancelled:
+                job.state = STATE_CANCELLED
+                job.finished_at = now
+                job.error = {
+                    "error": "cancelled",
+                    "message": "service drained before the job started",
+                }
+                job.error_status = 503
+            self._condition.notify_all()
+            return cancelled

@@ -241,18 +241,29 @@ def parse_prometheus_text(text: str) -> Dict[str, float]:
     return samples
 
 
+def metrics_text(telemetry: Optional["Telemetry"] = None) -> str:
+    """The global (or given) registry rendered as Prometheus text.
+
+    The single rendering path behind both :func:`write_metrics` (the
+    ``--metrics-out`` CLI artifact) and the ``repro.serve`` ``/metrics``
+    endpoint, so a scrape and a file artifact can never disagree on
+    format.
+    """
+    if telemetry is None:
+        from repro.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
+    return to_prometheus_text(
+        telemetry.metrics.snapshot(), telemetry.metrics.help_texts()
+    )
+
+
 def write_metrics(
     path,
     telemetry: Optional["Telemetry"] = None,
 ) -> str:
     """Write the global (or given) registry as a Prometheus text file."""
-    if telemetry is None:
-        from repro.telemetry import get_telemetry
-
-        telemetry = get_telemetry()
-    text = to_prometheus_text(
-        telemetry.metrics.snapshot(), telemetry.metrics.help_texts()
-    )
+    text = metrics_text(telemetry)
     with open(path, "w") as handle:
         handle.write(text)
     return text

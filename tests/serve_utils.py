@@ -1,0 +1,122 @@
+"""Shared plumbing for the ``repro.serve`` test suites and load bench.
+
+Two ways to get a live server:
+
+* :func:`thread_server` — a :class:`repro.serve.ServerThread` inside the
+  test process (fast; shares the process telemetry registry, so tests
+  reset it).
+* :func:`spawn_server` — a real ``python -m repro serve`` subprocess
+  (isolated telemetry, real signals); the announced port is parsed from
+  its stdout.
+
+:class:`ServeClient` is a deliberately small keep-alive HTTP client over
+``http.client`` — the stdlib-only counterpart of the stdlib-only server.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_ANNOUNCE_RE = re.compile(r"serving on http://[^:]+:(\d+)")
+
+
+class ServeClient:
+    """A keep-alive JSON client for one server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def raw(self, method: str, path: str,
+            body: Optional[bytes] = None) -> Tuple[int, bytes]:
+        self.conn.request(method, path, body=body)
+        response = self.conn.getresponse()
+        return response.status, response.read()
+
+    def request(self, method: str, path: str,
+                payload: Any = None) -> Tuple[int, Any]:
+        """One request; JSON bodies in, parsed JSON (or text) out."""
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode()
+        status, data = self.raw(method, path, body)
+        text = data.decode()
+        try:
+            return status, json.loads(text)
+        except ValueError:
+            return status, text
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        status, doc = self.request("POST", "/v1/jobs", payload)
+        assert status == 202, (status, doc)
+        return doc
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
+        """Poll job status until it reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, doc = self.request("GET", f"/v1/jobs/{job_id}")
+            assert status == 200, (status, doc)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            time.sleep(0.02)
+        raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+    def result(self, job_id: str,
+               include_faults: bool = False) -> Tuple[int, Any]:
+        query = "?include_faults=1" if include_faults else ""
+        return self.request("GET", f"/v1/jobs/{job_id}/result{query}")
+
+
+@contextmanager
+def thread_server(state_dir, **service_kwargs):
+    """A ``(ServerThread, ServeClient)`` pair, drained on exit."""
+    from repro.serve import BistService, ServerThread
+
+    service_kwargs.setdefault("drain_grace", 0.0)
+    server = ServerThread(BistService(state_dir, **service_kwargs)).start()
+    client = ServeClient("127.0.0.1", server.port)
+    try:
+        yield server, client
+    finally:
+        client.close()
+        server.drain()
+        server.join()
+
+
+def spawn_server(state_dir, *extra_args: str,
+                 timeout: float = 60.0) -> Tuple[subprocess.Popen, int]:
+    """Start ``python -m repro serve`` and parse the announced port."""
+    env = dict(os.environ, PYTHONPATH="src")
+    env.pop("REPRO_CHAOS", None)  # ambient chaos would pollute the contract
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--state-dir", str(state_dir), *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        cwd=str(REPO_ROOT), env=env,
+    )
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = _ANNOUNCE_RE.search(line)
+        if match:
+            return process, int(match.group(1))
+    process.kill()
+    out, err = process.communicate()
+    raise AssertionError(f"server never announced a port:\n{out}\n{err}")
