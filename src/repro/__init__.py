@@ -19,7 +19,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * ``repro.datapath``  — the Table-1 filter datapaths
 * ``repro.library``   — the paper's figure circuits
 * ``repro.experiments`` — per-table/per-figure reproduction harness
-* ``repro.lint``      — static design-rule checks (netlist/structure/TPG)
+* ``repro.lint``      — static design-rule checks (netlist/structure/TPG/testability)
 * ``repro.guard``     — run governance: deadlines, memory, cancellation
 """
 
@@ -41,6 +41,7 @@ from repro.lint import (
     lint_circuit,
     lint_netlist,
     lint_structure,
+    lint_testability,
     lint_tpg,
 )
 from repro.results import CoverageResult, FaultSimResult, SessionResult
@@ -80,6 +81,7 @@ __all__ = [
     "lint_circuit",
     "lint_netlist",
     "lint_structure",
+    "lint_testability",
     "lint_tpg",
     "__version__",
 ]

@@ -1,4 +1,5 @@
-"""Structural analysis: balance, cones, k-step functional testability."""
+"""Structural analysis: balance, cones, k-step functional testability,
+SCOAP measures and COP random-pattern testability profiles."""
 
 from repro.analysis.balance import (
     BalanceConflict,
@@ -10,6 +11,15 @@ from repro.analysis.balance import (
     require_levels,
 )
 from repro.analysis.cones import cone_dependencies, kernel_spec_from_graph
+from repro.analysis.random_testability import (
+    DEFAULT_COVERAGE_TARGET,
+    DEFAULT_WINDOW,
+    FaultTestability,
+    TestabilityProfile,
+    analyze_netlist,
+    pin_observabilities,
+)
+from repro.analysis.scoap import UNACHIEVABLE, ScoapMeasures, scoap
 from repro.analysis.testability import (
     TestabilityReport,
     classify,
@@ -31,4 +41,13 @@ __all__ = [
     "classify",
     "k_step",
     "is_one_step_functionally_testable",
+    "DEFAULT_COVERAGE_TARGET",
+    "DEFAULT_WINDOW",
+    "FaultTestability",
+    "TestabilityProfile",
+    "analyze_netlist",
+    "pin_observabilities",
+    "UNACHIEVABLE",
+    "ScoapMeasures",
+    "scoap",
 ]

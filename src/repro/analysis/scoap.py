@@ -1,0 +1,187 @@
+"""SCOAP combinational testability measures (Goldstein 1979).
+
+The classic integer controllability/observability metrics, computed
+level-by-level over a gate-level :class:`~repro.netlist.netlist.Netlist`:
+
+``CC0(n)`` / ``CC1(n)``
+    The *combinational controllability* of net ``n`` — a proxy for how
+    many primary-input assignments must be fixed to force the net to 0
+    (resp. 1).  Primary inputs cost 1; an AND output's CC1 is the sum of
+    its input CC1s plus one (every input must be 1), while its CC0 is the
+    cheapest single input at 0 plus one.  OR is the dual; XOR folds a
+    parity DP over its inputs; inverting gates swap the output measures.
+
+``CO(n)``
+    The *combinational observability* — how much input fixing it takes to
+    sensitize a path from the net to some primary output.  Primary
+    outputs cost 0; propagating through a gate costs the controllability
+    of holding every *other* input at its non-controlling value, plus one.
+    A multi-fanout stem takes the cheapest branch.
+
+Pin-level observabilities (``pin_co``) are kept alongside the net-level
+map because branch faults — a stuck pin on one specific gate — are
+observed only through *that* gate, which matters exactly on the
+reconvergent stems fault collapsing leaves behind.
+
+Values are floats so unachievable measures (a ``CONST0`` net can never be
+1) are representable as ``inf`` instead of a magic sentinel; on ordinary
+logic every measure is a whole number, matching the textbook tables.
+
+This is the *structural* half of the static-testability story; the
+probabilistic half (COP detection probabilities, predicted coverage) is
+:mod:`repro.analysis.random_testability`, and ``docs/TESTABILITY.md``
+walks through both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.netlist.gates import GateType
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist
+
+#: Measure assigned to an unachievable value (e.g. ``CC1`` of a CONST0
+#: net): no finite amount of input fixing produces it.
+UNACHIEVABLE = math.inf
+
+
+def _xor_fold(pairs: List[Tuple[float, float]]) -> Tuple[float, float]:
+    """Parity DP: cheapest way to make the XOR of ``pairs`` 0 resp. 1.
+
+    Each element is one input's ``(cc0, cc1)``; folding left to right
+    keeps the cheapest cost of even and odd parity over the prefix.
+    """
+    even, odd = 0.0, UNACHIEVABLE
+    for cc0, cc1 in pairs:
+        even, odd = (
+            min(even + cc0, odd + cc1),
+            min(even + cc1, odd + cc0),
+        )
+    return even, odd
+
+
+@dataclass
+class ScoapMeasures:
+    """The three SCOAP maps for one netlist, plus per-pin observability."""
+
+    cc0: Dict[int, float] = field(default_factory=dict)
+    cc1: Dict[int, float] = field(default_factory=dict)
+    co: Dict[int, float] = field(default_factory=dict)
+    #: ``(gate index, pin position) -> observability through that pin``.
+    pin_co: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def testability(self, net: int) -> float:
+        """A single hardness score for a net: ``min(CC0, CC1) + CO``.
+
+        Used to rank nets; ``inf`` when the net is uncontrollable or
+        unobservable.
+        """
+        return min(self.cc0[net], self.cc1[net]) + self.co[net]
+
+    def hardest_nets(self, count: int = 10) -> List[Tuple[int, float]]:
+        """The ``count`` nets with the worst (highest) testability score."""
+        scored = sorted(
+            ((net, self.testability(net)) for net in self.co),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return scored[:count]
+
+
+def _output_controllability(
+    gate_type: GateType, inputs: List[Tuple[float, float]]
+) -> Tuple[float, float]:
+    """``(cc0, cc1)`` of a gate output from its input controllabilities."""
+    base = gate_type.base
+    if gate_type is GateType.CONST0:
+        value = (0.0, UNACHIEVABLE)
+    elif gate_type is GateType.CONST1:
+        value = (UNACHIEVABLE, 0.0)
+    elif base is GateType.AND:
+        value = (
+            min(cc0 for cc0, _ in inputs) + 1.0,
+            sum(cc1 for _, cc1 in inputs) + 1.0,
+        )
+    elif base is GateType.OR:
+        value = (
+            sum(cc0 for cc0, _ in inputs) + 1.0,
+            min(cc1 for _, cc1 in inputs) + 1.0,
+        )
+    elif base is GateType.XOR:
+        even, odd = _xor_fold(inputs)
+        value = (even + 1.0, odd + 1.0)
+    else:  # BUF / NOT
+        value = (inputs[0][0] + 1.0, inputs[0][1] + 1.0)
+    if gate_type.is_inverting:
+        value = (value[1], value[0])
+    return value
+
+
+def scoap(netlist: Netlist) -> ScoapMeasures:
+    """Compute SCOAP CC0/CC1/CO for every net of a combinational netlist.
+
+    One forward pass over the levelized gate order for controllability,
+    one reverse pass for observability.  Nets that reach no primary
+    output keep ``CO = inf`` (dead logic is unobservable by definition —
+    the same nets lint's ``NL004`` flags).
+    """
+    measures = ScoapMeasures()
+    cc0, cc1 = measures.cc0, measures.cc1
+    for net in netlist.primary_inputs:
+        cc0[net] = 1.0
+        cc1[net] = 1.0
+
+    order = levelize(netlist)
+    for gate_index in order:
+        gate = netlist.gates[gate_index]
+        pairs = [(cc0[n], cc1[n]) for n in gate.inputs]
+        cc0[gate.output], cc1[gate.output] = _output_controllability(
+            gate.gtype, pairs
+        )
+
+    co = measures.co
+    pin_co = measures.pin_co
+    fanout = netlist.fanout_map()
+    po = set(netlist.primary_outputs)
+
+    def stem_co(net: int) -> float:
+        value = 0.0 if net in po else UNACHIEVABLE
+        for gate_index in fanout.get(net, ()):
+            gate = netlist.gates[gate_index]
+            for pin, pin_net in enumerate(gate.inputs):
+                if pin_net == net:
+                    value = min(value, pin_co.get((gate_index, pin),
+                                                  UNACHIEVABLE))
+        return value
+
+    for gate_index in reversed(order):
+        gate = netlist.gates[gate_index]
+        out_co = co.get(gate.output)
+        if out_co is None:
+            out_co = stem_co(gate.output)
+            co[gate.output] = out_co
+        base = gate.gtype.base
+        for pin, net in enumerate(gate.inputs):
+            if base is GateType.AND:
+                hold = sum(cc1[other] for k, other in enumerate(gate.inputs)
+                           if k != pin)
+            elif base is GateType.OR:
+                hold = sum(cc0[other] for k, other in enumerate(gate.inputs)
+                           if k != pin)
+            elif base is GateType.XOR:
+                hold = sum(
+                    min(cc0[other], cc1[other])
+                    for k, other in enumerate(gate.inputs) if k != pin
+                )
+            else:  # BUF / NOT / CONST (no inputs)
+                hold = 0.0
+            pin_co[(gate_index, pin)] = out_co + hold + 1.0
+
+    # Finalize stems never pulled by the reverse walk (PIs, fanout stems
+    # whose drivers were handled before their readers, dead nets).
+    for net in range(netlist.n_nets):
+        if net not in co:
+            co[net] = stem_co(net)
+    return measures

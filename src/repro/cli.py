@@ -4,6 +4,8 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
 (see ``repro.bits.io_json`` for the schema)::
 
     python -m repro analyze  circuit.json [--json]
+    python -m repro analyze  SCENARIO|netlist.bench [--patterns N]
+                             [--threshold P] [--top N] [--json]
     python -m repro bibs     circuit.json [--method exact|greedy|auto] [--json]
     python -m repro tpg      circuit.json [--kernel N] [--json]
     python -m repro selftest circuit.json [--cycles N] [--max-faults N]
@@ -20,6 +22,7 @@ The library's tool face, mirroring the BITS flow on JSON circuit files
     python -m repro serve    [--host H] [--port P] [--workers N]
                              [--tenant-quota N] [--max-queued N]
                              [--cache-size N] [--state-dir DIR]
+                             [--max-journal-entries N]
                              [--drain-grace S] [--quiet]
     python -m repro telemetry view FILE [--quiet]
 
@@ -90,7 +93,92 @@ def _progress(args, text: str) -> None:
         print(text)
 
 
+def _resolve_analyze_netlist(target: str):
+    """Resolve a testability-analysis target to a netlist, or ``None``.
+
+    Accepts the serve-style short scenario names (``c3a2m``), the full
+    scenario names (``c3a2m_kernel``) and ``.bench`` files — everything
+    the static analyzer can chew on directly.  ``.json`` circuit files
+    keep the structural k-step analysis path instead.
+    """
+    from repro.library.scenarios import SCENARIOS
+    from repro.netlist import bench_io
+
+    if target.endswith(".bench"):
+        return bench_io.load(target, validate=False)
+    builder = SCENARIOS.get(target) or SCENARIOS.get(f"{target}_kernel")
+    return builder() if builder is not None else None
+
+
+def _analyze_testability(args) -> int:
+    """Static SCOAP/COP testability profile for a netlist target."""
+    from repro.analysis import DEFAULT_WINDOW, analyze_netlist, scoap
+    from repro.errors import ReproError
+    from repro.lint import lint_testability
+
+    try:
+        netlist = _resolve_analyze_netlist(args.circuit)
+    except (OSError, ReproError) as error:
+        print(f"error: cannot analyze {args.circuit}: {error}",
+              file=sys.stderr)
+        return 2
+    if netlist is None:
+        from repro.library.scenarios import SCENARIOS
+
+        known = ", ".join(sorted(
+            n[: -len("_kernel")] for n in SCENARIOS if n.endswith("_kernel")))
+        print(f"error: unknown analyze target {args.circuit!r} "
+              f"(known scenarios: {known}; or a .bench/.json file)",
+              file=sys.stderr)
+        return 2
+    window = args.patterns if args.patterns else DEFAULT_WINDOW
+    profile = analyze_netlist(netlist)
+    measures = scoap(netlist)
+    report = lint_testability(netlist, profile=profile, window=window)
+    doc = profile.to_json(window=window, threshold=args.threshold,
+                          top=args.top)
+    if args.json:
+        _emit_json({
+            "kind": "analyze-testability",
+            "circuit": netlist.name,
+            "profile": doc,
+            "hardest_nets": [
+                {"net": netlist.net_name(net), "score": score}
+                for net, score in measures.hardest_nets(args.top)
+            ],
+            "lint": report.to_json(),
+        })
+        return 0
+    rows = [
+        ("gates", len(netlist.gates)),
+        ("collapsed faults", doc["n_faults"]),
+        ("TPG window (patterns)", window),
+        ("predicted coverage", f"{100 * doc['predicted_coverage']:.2f}%"),
+        ("random-resistant faults", doc["n_resistant"]),
+        ("statically undetectable", doc["n_undetectable"]),
+        ("patterns to "
+         f"{100 * doc['coverage_target']:.1f}%",
+         doc["expected_patterns_to_target"] or "unreachable"),
+    ]
+    print(render_table(["property", "value"], rows,
+                       title=f"Testability: {netlist.name}"))
+    if doc["resistant"]:
+        fault_rows = [
+            (entry["fault"], f"{entry['detection_probability']:.3g}",
+             entry["expected_patterns"] or "inf")
+            for entry in doc["resistant"]
+        ]
+        print(render_table(
+            ["fault", "P(detect)", "E[patterns]"], fault_rows,
+            title=f"Hardest faults (top {len(fault_rows)})"))
+    if report.findings:
+        print(report.render_text())
+    return 0
+
+
 def cmd_analyze(args) -> int:
+    if not args.circuit.endswith(".json"):
+        return _analyze_testability(args)
     circuit, graph = _load(args.circuit)
     report = classify(graph)
     rows = [
@@ -312,6 +400,7 @@ def cmd_selftest(args) -> int:
     partial = result.partial or bool(pattern_result and pattern_result.partial)
     guard = guard_summary(budget, token, stop_reason=stop_reason,
                           partial=partial)
+    testability = getattr(pattern_result, "testability", None)
     if args.trace_out or args.metrics_out:
         shards = None
         if pattern_result is not None:
@@ -327,6 +416,7 @@ def cmd_selftest(args) -> int:
             shards=shards,
             guard=guard,
             announce=lambda text: _progress(args, text),
+            testability=testability,
         )
     if args.json:
         payload = result_payload(
@@ -349,6 +439,12 @@ def cmd_selftest(args) -> int:
                         f"{100 * pattern_result.coverage():.1f}% over "
                         f"{pattern_result.n_patterns} patterns "
                         f"[engine, jobs={config.execution.effective_jobs}]")
+    if testability is not None:
+        _progress(args, f"  static prediction: "
+                        f"{100 * testability['predicted_coverage']:.1f}% "
+                        f"(delta {100 * testability['delta']:+.1f}pp, "
+                        f"{testability['n_resistant']} random-resistant, "
+                        f"{testability['n_undetectable']} undetectable)")
     if partial:
         _progress(args, f"  partial run (stopped: {stop_reason})")
     if token.cancelled:
@@ -526,6 +622,7 @@ def cmd_serve(args) -> int:
         max_queued=args.max_queued,
         cache_size=args.cache_size,
         drain_grace=args.drain_grace,
+        max_journal_entries=args.max_journal_entries,
     )
 
     def announce(text: str) -> None:
@@ -634,8 +731,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit one machine-readable JSON object on stdout")
 
-    p = sub.add_parser("analyze", help="balance / k-step analysis")
-    p.add_argument("circuit")
+    p = sub.add_parser(
+        "analyze",
+        help="balance/k-step analysis (.json) or static SCOAP/COP "
+             "testability (scenario / .bench)",
+    )
+    p.add_argument("circuit",
+                   help="a .json circuit file (structural k-step "
+                        "analysis), or a scenario name / .bench netlist "
+                        "(static testability profile — docs/TESTABILITY.md)")
+    p.add_argument("--patterns", type=int, default=0, metavar="N",
+                   help="TPG window for the testability profile "
+                        "(default: 65536)")
+    p.add_argument("--threshold", type=float, default=None, metavar="P",
+                   help="detection-probability bound for the "
+                        "random-resistant ranking (default: 1/patterns)")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="resistant faults / hardest nets to list "
+                        "(default: 10)")
     add_json_flag(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -717,6 +830,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state-dir", default=None, metavar="DIR",
                    help="journal/state directory (default: a fresh temp "
                         "dir; reuse one to resume drained jobs)")
+    p.add_argument("--max-journal-entries", type=int, default=None,
+                   metavar="N",
+                   help="bound the on-disk checkpoint journal to the "
+                        "newest N completed run-key entries (LRU sweep; "
+                        "default: unbounded)")
     p.add_argument("--drain-grace", type=float, default=2.0,
                    metavar="SECONDS",
                    help="seconds the HTTP endpoint stays up after SIGTERM "

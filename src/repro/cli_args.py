@@ -91,6 +91,11 @@ def engine_parent_parser() -> argparse.ArgumentParser:
         "--max-patterns", type=int, default=None, metavar="N",
         help="pattern budget: stops each engine run at a round boundary "
              "once reached")
+    governance.add_argument(
+        "--analyze", action="store_true",
+        help="run the static SCOAP/COP testability pre-flight and report "
+             "the predicted-vs-measured coverage delta (advisory; never "
+             "changes results — see docs/TESTABILITY.md)")
     telemetry = parent.add_argument_group("telemetry")
     telemetry.add_argument(
         "--trace-out", default=None, metavar="FILE",
@@ -138,6 +143,7 @@ def runconfig_from_args(
         ),
         budget=budget,
         cancel=cancel,
+        analyze=getattr(args, "analyze", False),
     )
     if max_patterns is not None:
         config = config.replace(max_patterns=max_patterns)
@@ -191,17 +197,22 @@ def write_telemetry_artifacts(
     shards: Optional[Any] = None,
     guard: Optional[Mapping[str, Any]] = None,
     announce: Optional[Any] = None,
+    testability: Optional[Mapping[str, Any]] = None,
 ) -> None:
     """Write ``--trace-out`` / ``--metrics-out`` files for the current run.
 
     Shared by ``repro-bist selftest`` and ``python -m repro.experiments``;
     ``announce`` is an optional ``str -> None`` progress printer (silenced
-    by ``--quiet`` at the call site).
+    by ``--quiet`` at the call site).  ``testability`` is the
+    predicted-vs-measured block an ``--analyze`` run stamped on its result
+    (:attr:`~repro.engine.core.EngineResult.testability`); it lands under
+    ``extra["testability"]`` in the run manifest.
     """
     from repro import telemetry
 
+    extra = {"testability": dict(testability)} if testability else None
     manifest = telemetry.RunManifest.collect(
-        config=dict(config), shards=shards, guard=guard,
+        config=dict(config), shards=shards, guard=guard, extra=extra,
     )
     if getattr(args, "trace_out", None):
         telemetry.export.write_trace(args.trace_out, manifest=manifest)

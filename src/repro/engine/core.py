@@ -106,6 +106,9 @@ class EngineResult(FaultSimResult):
     shards: List[ShardStats] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Predicted-vs-measured coverage summary when the run was made with
+    #: ``config.analyze=True`` (see :mod:`repro.analysis.random_testability`).
+    testability: Optional[Dict[str, Any]] = None
 
     @property
     def events_propagated(self) -> int:
@@ -146,6 +149,8 @@ class EngineResult(FaultSimResult):
             "degraded_shards": self.degraded_shards,
             "shards": [shard.to_json() for shard in self.shards],
         }
+        if self.testability is not None:
+            payload["testability"] = self.testability
         return payload
 
 
@@ -304,6 +309,19 @@ def simulate(
     chaos = config.chaos if config.chaos is not None else FaultInjector.from_env()
 
     fault_list = list(faults)
+    profile = None
+    if config.analyze:
+        # Opt-in static pre-flight: profile the same collapsed fault list
+        # the run targets, so predicted and measured coverage share a
+        # denominator.  Advisory only — never perturbs the run itself.
+        from repro.analysis.random_testability import analyze_netlist
+
+        with telemetry.span(
+            "analysis.preflight", circuit=netlist.name,
+            n_faults=len(fault_list),
+        ):
+            telemetry.count("analysis.preflight_runs")
+            profile = analyze_netlist(netlist, fault_list)
     batch_width = config.execution.batch_width
     # Resolve the evaluation kernel once for the whole run: an explicitly
     # constructed simulator pins its own kernel (FaultSimulator.run passes
@@ -365,6 +383,23 @@ def simulate(
     result.kernel = kernel
     result.kernel_fallback = kernel_fallback
     result.wall_time = time.perf_counter() - start
+    if profile is not None:
+        window = result.n_patterns if result.n_patterns > 0 else config.max_patterns
+        predicted = profile.predicted_coverage(window)
+        measured = result.coverage()
+        delta = predicted - measured
+        result.testability = {
+            "window": window,
+            "predicted_coverage": predicted,
+            "measured_coverage": measured,
+            "delta": delta,
+            "n_faults": profile.n_faults,
+            "n_resistant": len(profile.random_resistant(1.0 / window)),
+            "n_undetectable": len(profile.undetectable()),
+        }
+        telemetry.count("analysis.preflight_deltas")
+        telemetry.gauge_set("analysis.predicted_coverage", predicted)
+        telemetry.gauge_set("analysis.coverage_delta", delta)
     if cache is not None:
         result.cache_hits = cache.hits - hits_before
         result.cache_misses = cache.misses - misses_before

@@ -147,6 +147,12 @@ class RunConfig:
     stop_when_complete: bool = True
     drop_detected: bool = True
     check: bool = True
+    #: Opt-in static-testability pre-flight: compute the SCOAP/COP
+    #: :class:`~repro.analysis.random_testability.TestabilityProfile`
+    #: before the run and stamp the predicted-vs-measured coverage delta
+    #: on the result.  Advisory — never affects what the run computes, so
+    #: it is (deliberately) excluded from :func:`canonical_fields`.
+    analyze: bool = False
 
     def replace(self, **changes: Any) -> "RunConfig":
         """A copy with top-level fields replaced (frozen-friendly)."""

@@ -9,7 +9,11 @@ guarantees depend on:
   with no TPG/SA register conflict — plus test-session schedule clashes;
 * **TPG** (``TP0xx``): primitive feedback polynomials, degree vs. stage
   count, cone windows vs. LFSR size, fanout-stem sharing legality, LFSR
-  period vs. required test length.
+  period vs. required test length;
+* **testability** (``TB0xx``): static SCOAP/COP forecasting — faults too
+  improbable for the TPG window, hard-to-observe nets, predicted
+  coverage below target, statically undetectable faults (see
+  ``docs/TESTABILITY.md``).
 
 Every violation is a :class:`Finding` with a machine-checkable witness
 (the actual cycle, the unequal-length path pair, the colliding cells).
@@ -33,11 +37,13 @@ from repro.lint.runner import (
     lint_circuit,
     lint_netlist,
     lint_structure,
+    lint_testability,
     lint_tpg,
     preflight_netlist,
     preflight_session,
 )
 from repro.lint.structure_rules import StructureTarget
+from repro.lint.testability_rules import TestabilityTarget
 
 __all__ = [
     "Finding",
@@ -46,6 +52,7 @@ __all__ = [
     "Rule",
     "Severity",
     "StructureTarget",
+    "TestabilityTarget",
     "all_rules",
     "baseline_entries",
     "ensure_clean",
@@ -53,6 +60,7 @@ __all__ = [
     "lint_circuit",
     "lint_netlist",
     "lint_structure",
+    "lint_testability",
     "lint_tpg",
     "load_baseline",
     "preflight_netlist",

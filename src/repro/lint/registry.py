@@ -6,7 +6,9 @@ with the rule's id and severity to produce :class:`~repro.lint.model.Finding`
 records.  Rules are grouped by *target family* — ``"netlist"`` checks a
 :class:`repro.netlist.Netlist`, ``"structure"`` a
 :class:`~repro.lint.structure_rules.StructureTarget` (graph + kernels +
-schedule), ``"tpg"`` a :class:`repro.tpg.TPGDesign`.
+schedule), ``"tpg"`` a :class:`repro.tpg.TPGDesign`, ``"testability"`` a
+:class:`~repro.lint.testability_rules.TestabilityTarget` (netlist +
+static SCOAP/COP analysis).
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from repro.lint.model import Finding, Severity
 Draft = Tuple[str, str, Mapping[str, Any]]
 RuleFunc = Callable[[Any], Iterator[Draft]]
 
-TARGET_FAMILIES = ("netlist", "structure", "tpg")
+TARGET_FAMILIES = ("netlist", "structure", "tpg", "testability")
 
 
 @dataclass(frozen=True)

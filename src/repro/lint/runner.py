@@ -27,6 +27,7 @@ from repro.lint.structure_rules import StructureTarget
 
 # Importing the rule modules is what populates the registry.
 from repro.lint import netlist_rules as _netlist_rules  # noqa: F401
+from repro.lint import testability_rules as _testability_rules  # noqa: F401
 from repro.lint import tpg_rules as _tpg_rules          # noqa: F401
 
 
@@ -68,6 +69,49 @@ def lint_tpg(design, *, name: Optional[str] = None) -> LintReport:
     with telemetry.span("lint.tpg", target=target,
                         lfsr_stages=design.lfsr_stages):
         findings = run_rules("tpg", design)
+    return _publish(LintReport(target, findings))
+
+
+def lint_testability(
+    netlist,
+    *,
+    profile=None,
+    window: Optional[int] = None,
+    co_threshold: Optional[float] = None,
+    coverage_target: Optional[float] = None,
+    name: Optional[str] = None,
+) -> LintReport:
+    """Run the testability rule family against a netlist.
+
+    Builds the SCOAP measures and the COP :class:`~repro.analysis.
+    random_testability.TestabilityProfile` (pass ``profile`` to reuse one
+    already computed); ``window`` is the TPG pattern budget the
+    random-resistant threshold is derived from.  Not part of the engine
+    pre-flight — coverage forecasting is advisory, run via
+    ``repro-bist analyze``.
+    """
+    from repro.analysis.random_testability import analyze_netlist
+    from repro.analysis.scoap import scoap
+    from repro.lint.testability_rules import TestabilityTarget
+
+    target = name or getattr(netlist, "name", "netlist")
+    with telemetry.span("lint.testability", target=target,
+                        n_gates=len(netlist.gates)):
+        kwargs = {}
+        if window is not None:
+            kwargs["window"] = window
+        if co_threshold is not None:
+            kwargs["co_threshold"] = co_threshold
+        if coverage_target is not None:
+            kwargs["coverage_target"] = coverage_target
+        obj = TestabilityTarget(
+            netlist=netlist,
+            profile=profile if profile is not None else analyze_netlist(netlist),
+            measures=scoap(netlist),
+            name=target,
+            **kwargs,
+        )
+        findings = run_rules("testability", obj)
     return _publish(LintReport(target, findings))
 
 

@@ -1,0 +1,138 @@
+"""Testability design rules (``TB0xx``): static random-pattern coverage risk.
+
+Where the ``NL``/``ST``/``TP`` families check *structural* legality, these
+rules read the static testability analysis
+(:mod:`repro.analysis.scoap` + :mod:`repro.analysis.random_testability`)
+and flag what will go wrong *statistically* under the paper's
+pseudo-random TPG: faults too improbable to fall inside the configured
+pattern window, nets whose SCOAP observability makes them hard to
+sensitize, and netlists whose predicted coverage misses the Table 2 bar.
+They run through :func:`repro.lint.lint_testability` and the
+``repro-bist analyze`` subcommand — not the netlist pre-flight, whose
+job is structural validity, not coverage forecasting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.random_testability import (
+    DEFAULT_COVERAGE_TARGET,
+    DEFAULT_WINDOW,
+    TestabilityProfile,
+)
+from repro.analysis.scoap import ScoapMeasures
+from repro.lint.registry import Draft, rule
+from repro.netlist.netlist import Netlist
+
+#: SCOAP observability above which a net is reported as hard to observe.
+#: Calibrated against the scenario corpus: the BIBS kernels' worst nets
+#: sit in the 30-40 range; a deep unbalanced chain blows past 50.
+DEFAULT_CO_THRESHOLD = 50.0
+
+
+@dataclass
+class TestabilityTarget:
+    """What the ``TB`` rules lint: a netlist plus its static analysis."""
+
+    netlist: Netlist
+    profile: TestabilityProfile
+    measures: ScoapMeasures
+    window: int = DEFAULT_WINDOW
+    co_threshold: float = DEFAULT_CO_THRESHOLD
+    coverage_target: float = DEFAULT_COVERAGE_TARGET
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.netlist.name
+
+
+@rule("TB001", "warning", "testability")
+def random_resistant_fault(target: TestabilityTarget) -> Iterator[Draft]:
+    """Random-resistant fault: detection probability below the TPG window."""
+    threshold = 1.0 / target.window
+    for entry in target.profile.random_resistant(threshold):
+        p = entry.detection_probability
+        if p <= 0.0:
+            continue  # statically undetectable — TB004's finding
+        yield (
+            f"fault:{entry.key()}",
+            f"fault {entry.fault.describe(target.netlist)} has detection "
+            f"probability {p:.3g} < 1/{target.window} — unlikely to be "
+            "caught inside the TPG window",
+            {
+                "fault": entry.key(),
+                "detection_probability": p,
+                "expected_patterns": entry.expected_patterns(),
+                "window": target.window,
+            },
+        )
+
+
+@rule("TB002", "warning", "testability")
+def hard_to_observe_net(target: TestabilityTarget) -> Iterator[Draft]:
+    """Hard-to-observe net: SCOAP observability above the threshold."""
+    measures = target.measures
+    for net in sorted(measures.co):
+        co = measures.co[net]
+        if not (target.co_threshold <= co < math.inf):
+            # inf means dead logic — NL004 already owns that finding.
+            continue
+        yield (
+            f"net:{target.netlist.net_name(net)}",
+            f"net has SCOAP observability {co:g} >= "
+            f"{target.co_threshold:g} — sensitizing a path to an output "
+            "requires fixing too many inputs",
+            {
+                "net": target.netlist.net_name(net),
+                "co": co,
+                "cc0": measures.cc0.get(net),
+                "cc1": measures.cc1.get(net),
+                "threshold": target.co_threshold,
+            },
+        )
+
+
+@rule("TB003", "info", "testability")
+def coverage_below_target(target: TestabilityTarget) -> Iterator[Draft]:
+    """Predicted coverage at the TPG window misses the coverage target."""
+    predicted = target.profile.predicted_coverage(target.window)
+    if predicted >= target.coverage_target:
+        return
+    needed = target.profile.expected_patterns_for(target.coverage_target)
+    yield (
+        f"netlist:{target.name}",
+        f"predicted random-pattern coverage {predicted:.4f} after "
+        f"{target.window} patterns is below the {target.coverage_target:g} "
+        "target",
+        {
+            "predicted_coverage": predicted,
+            "coverage_target": target.coverage_target,
+            "window": target.window,
+            "patterns_to_target": needed,
+            "n_faults": target.profile.n_faults,
+        },
+    )
+
+
+@rule("TB004", "warning", "testability")
+def statically_undetectable_fault(target: TestabilityTarget) -> Iterator[Draft]:
+    """Statically undetectable fault: zero detection probability."""
+    for entry in target.profile.undetectable():
+        reason = (
+            "excitation" if entry.excitation <= 0.0 else "observability"
+        )
+        yield (
+            f"fault:{entry.key()}",
+            f"fault {entry.fault.describe(target.netlist)} has zero "
+            f"{reason} under the COP model — no random pattern length "
+            "will detect it",
+            {
+                "fault": entry.key(),
+                "excitation": entry.excitation,
+                "observability": entry.observability,
+            },
+        )

@@ -130,13 +130,17 @@ class BistService:
         max_queued: int = DEFAULT_MAX_QUEUED,
         cache_size: int = DEFAULT_CACHE_SIZE,
         drain_grace: float = DEFAULT_DRAIN_GRACE,
+        max_journal_entries: Optional[int] = None,
     ):
         self.state_dir = Path(state_dir)
         self.journal_root = self.state_dir / "journal"
         self.journal_root.mkdir(parents=True, exist_ok=True)
         self.n_workers = max(1, workers)
         self.drain_grace = max(0.0, drain_grace)
+        self.max_journal_entries = max_journal_entries
         self.designs = DesignRegistry()
+        self._profiles: Dict[str, Any] = {}
+        self._profile_lock = threading.Lock()
         self.cache = ResultCache(cache_size)
         self.queue = JobQueue(tenant_quota=tenant_quota,
                               max_queued=max_queued)
@@ -221,6 +225,7 @@ class BistService:
                 job.state = STATE_DONE
                 job.finished_at = time.time()
                 self.cache.put(job.run_key, payload)
+                self._sweep_journal()
                 telemetry.count("serve.jobs_completed")
             except ApiError as error:
                 job.fail(error)
@@ -234,6 +239,46 @@ class BistService:
                 telemetry.count("serve.jobs_failed")
             finally:
                 await self.queue.release(job)
+
+    def _sweep_journal(self) -> None:
+        """Bound the on-disk journal to the newest run-key entries (LRU).
+
+        Off by default (``max_journal_entries=None``): the journal then
+        grows one ``<run key>`` directory per distinct submission, which
+        a long-lived service on a small state volume cannot afford.  With
+        a limit set, completed entries beyond it are removed oldest-first
+        by mtime; entries belonging to unfinished jobs are never touched
+        (a running engine is writing there, and a queued resubmission
+        still wants the resume replay).  Evicting a *completed* entry
+        only costs a re-run on resubmission after the result cache has
+        also dropped the key — the durability/space trade the operator
+        opted into.
+        """
+        limit = self.max_journal_entries
+        if limit is None:
+            return
+        import shutil
+
+        protected = {
+            job.run_key[:32] for job in self.jobs.values()
+            if job.run_key is not None and not job.finished
+        }
+        try:
+            entries = [path for path in self.journal_root.iterdir()
+                       if path.is_dir() and path.name not in protected]
+        except OSError:  # pragma: no cover - state dir vanished underfoot
+            return
+
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:  # pragma: no cover - concurrent removal
+                return 0.0
+
+        entries.sort(key=mtime)
+        for stale in entries[: max(0, len(entries) - max(0, limit))]:
+            shutil.rmtree(stale, ignore_errors=True)
+            telemetry.count("serve.journal_evictions")
 
     def _execute(self, job: Job) -> Dict[str, Any]:
         """Run one job's engine call (thread pool; blocking is fine here)."""
@@ -393,6 +438,45 @@ class BistService:
                        f"job {job_id} is {job.state}; result not ready",
                        extra={"state": job.state})
 
+    def _testability_payload(self, name: str,
+                             patterns: int) -> Dict[str, Any]:
+        """The static testability document for one library design.
+
+        The window-free :class:`~repro.analysis.random_testability.
+        TestabilityProfile` is memoized per design (same pattern as the
+        run-key result cache: deterministic input, pay the analysis once
+        per process); every windowed question in the response is answered
+        at query time, so ``?patterns=`` changes the document without
+        invalidating the memo.
+        """
+        from repro.analysis import DEFAULT_WINDOW, analyze_netlist
+
+        netlist, faults = self.designs.resolve(name)
+        with self._profile_lock:
+            profile = self._profiles.get(name)
+            if profile is None:
+                telemetry.count("analysis.cache_miss")
+                profile = analyze_netlist(netlist, faults)
+                self._profiles[name] = profile
+            else:
+                telemetry.count("analysis.cache_hit")
+        window = patterns if patterns > 0 else DEFAULT_WINDOW
+        payload = profile.to_json(window=window)
+        payload["design"] = name
+        return payload
+
+    async def _design_testability(self, name: str,
+                                  query: Dict[str, str]) -> Response:
+        try:
+            patterns = int(query.get("patterns", "0") or "0")
+        except ValueError as error:
+            raise ApiError(400, "bad-query",
+                           "patterns must be an integer") from error
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            None, self._testability_payload, name, patterns)
+        return json_response(200, payload)
+
     async def _health(self) -> Response:
         status = 503 if self.draining else 200
         return json_response(status, {
@@ -445,6 +529,11 @@ class BistService:
             if "/" not in rest:
                 self._expect(request, "GET")
                 return await self._job_status(rest)
+        if request.path.startswith("/v1/designs/") and \
+                request.path.endswith("/testability"):
+            self._expect(request, "GET")
+            name = request.path[len("/v1/designs/"):-len("/testability")]
+            return await self._design_testability(name, request.query)
         raise ApiError(404, "not-found",
                        f"no route for {route[0]} {route[1]}")
 

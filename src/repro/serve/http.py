@@ -55,7 +55,7 @@ class Request:
         if not self.body:
             raise ApiError(400, "bad-request", "request body is empty")
         try:
-            return json.loads(self.body.decode("utf-8"))
+            return json.loads(self.body.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise ApiError(400, "bad-request",
                            f"request body is not valid JSON: {error}") \
@@ -92,13 +92,13 @@ def json_response(status: int, payload: Any) -> Response:
     makes the serve result endpoint byte-identical to the ``--json`` CLIs
     for the same payload.
     """
-    body = (render_json(payload) + "\n").encode("utf-8")
+    body = (render_json(payload) + "\n").encode()
     return Response(status, body)
 
 
 def text_response(status: int, text: str,
                   content_type: str = "text/plain; charset=utf-8") -> Response:
-    return Response(status, text.encode("utf-8"), content_type=content_type)
+    return Response(status, text.encode(), content_type=content_type)
 
 
 def error_response(error: ApiError) -> Response:

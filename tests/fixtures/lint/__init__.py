@@ -189,6 +189,45 @@ def clean_tpg() -> TPGDesign:
     return mc_tpg(_spec())
 
 
+# --------------------------------------------------------------- TB* targets
+
+
+def resistant_and_tree_netlist() -> Netlist:
+    """A 20-input AND: its output s-a-0 needs all inputs 1 (p = 2^-20),
+    far below the default 2^16-pattern window — and the predicted
+    coverage at that window misses the 99.5% target."""
+    netlist = Netlist("andtree")
+    inputs = netlist.new_inputs(20, prefix="i")
+    y = netlist.add_gate(GateType.AND, inputs, name="gy")
+    netlist.mark_output(y)
+    return netlist
+
+
+def deep_chain_netlist() -> Netlist:
+    """A 30-stage AND chain: observing the first input costs holding one
+    side input at 1 per stage — SCOAP CO(i0) = 60, past the threshold."""
+    netlist = Netlist("deepchain")
+    current = netlist.new_input("i0")
+    for stage in range(30):
+        side = netlist.new_input(f"s{stage}")
+        current = netlist.add_gate(
+            GateType.AND, [current, side], name=f"g{stage}"
+        )
+    netlist.mark_output(current)
+    return netlist
+
+
+def const_blocked_netlist() -> Netlist:
+    """y = AND(a, CONST0): y s-a-0 can never be excited (y is always 0),
+    so its detection probability is exactly zero."""
+    netlist = Netlist("constblocked")
+    a = netlist.new_input("a")
+    zero = netlist.add_gate(GateType.CONST0, [], name="gzero")
+    y = netlist.add_gate(GateType.AND, [a, zero], name="gy")
+    netlist.mark_output(y)
+    return netlist
+
+
 # ------------------------------------------------------------------ catalogs
 
 POSITIVE: Dict[str, Callable[[], Any]] = {
@@ -207,6 +246,10 @@ POSITIVE: Dict[str, Callable[[], Any]] = {
     "TP003": wide_window_tpg,
     "TP004": shared_stem_tpg,
     "TP005": short_period_tpg,
+    "TB001": resistant_and_tree_netlist,
+    "TB002": deep_chain_netlist,
+    "TB003": resistant_and_tree_netlist,
+    "TB004": const_blocked_netlist,
 }
 
 CLEAN: Dict[str, Callable[[], Any]] = {
@@ -225,4 +268,8 @@ CLEAN: Dict[str, Callable[[], Any]] = {
     "TP003": clean_tpg,
     "TP004": clean_tpg,
     "TP005": clean_tpg,
+    "TB001": tiny_and_or,
+    "TB002": tiny_and_or,
+    "TB003": tiny_and_or,
+    "TB004": tiny_and_or,
 }

@@ -35,6 +35,47 @@ def test_analyze_unbalanced_reports_witness(capsys, figure4_json):
     assert "worst imbalance" in out
 
 
+def test_analyze_scenario_testability(capsys):
+    import json
+
+    assert main(["analyze", "figure9", "--patterns", "512", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "analyze-testability"
+    assert payload["profile"]["window"] == 512
+    assert 0.9 < payload["profile"]["predicted_coverage"] < 1.0
+    assert payload["profile"]["n_undetectable"] > 0
+    assert payload["hardest_nets"]
+    assert payload["lint"]["kind"] == "lint-report"
+    assert any(f["rule"] == "TB004"
+               for f in payload["lint"]["findings"])
+
+
+def test_analyze_bench_testability(capsys, tmp_path):
+    import json
+
+    bench = tmp_path / "tree.bench"
+    inputs = [f"i{k}" for k in range(4)]
+    bench.write_text("\n".join([
+        *(f"INPUT({name})" for name in inputs),
+        "OUTPUT(y)",
+        f"y = AND({', '.join(inputs)})",
+        "",
+    ]))
+    # y s-a-0 needs all four inputs high: p = 1/16 < 1/8, so the fault
+    # lands in the resistant ranking for an 8-pattern window.
+    assert main(["analyze", str(bench), "--patterns", "8", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "analyze-testability"
+    assert payload["profile"]["n_resistant"] >= 1
+    hardest = payload["profile"]["resistant"][0]
+    assert hardest["detection_probability"] <= 1 / 16
+
+
+def test_analyze_rejects_unknown_target(capsys):
+    assert main(["analyze", "nonsense"]) == 2
+    assert "unknown analyze target" in capsys.readouterr().err
+
+
 def test_bibs(capsys, mac4_json):
     assert main(["bibs", mac4_json, "--compare-ka"]) == 0
     out = capsys.readouterr().out
@@ -64,6 +105,26 @@ def test_selftest(capsys, mac4_json):
                  "--max-faults", "30"]) == 0
     out = capsys.readouterr().out
     assert "golden signature" in out
+
+
+def test_selftest_analyze_preflight(capsys, mac4_json):
+    import json
+
+    assert main(["selftest", mac4_json, "--cycles", "300",
+                 "--max-faults", "30", "--jobs", "1", "--analyze",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    block = payload["pattern_coverage"]["testability"]
+    assert block["window"] == 300
+    assert 0.0 <= block["measured_coverage"] <= 1.0
+    assert block["delta"] == pytest.approx(
+        block["predicted_coverage"] - block["measured_coverage"])
+
+
+def test_selftest_analyze_progress_line(capsys, mac4_json):
+    assert main(["selftest", mac4_json, "--cycles", "300",
+                 "--max-faults", "30", "--jobs", "1", "--analyze"]) == 0
+    assert "static prediction" in capsys.readouterr().out
 
 
 def test_selftest_without_gate_behaviour(capsys, figure4_json):
@@ -123,6 +184,23 @@ def test_lint_bench_file(capsys, tmp_path):
     bench.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
     assert main(["lint", str(bench)]) == 1
     assert "NL002" in capsys.readouterr().out
+
+
+def test_lint_bench_update_baseline_roundtrip(capsys, tmp_path):
+    """The .bench upload path supports the same baseline workflow as the
+    built-in targets: record, suppress, and stay target-scoped."""
+    bench = tmp_path / "broken.bench"
+    bench.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+    baseline = tmp_path / "bl.json"
+    assert main(["lint", str(bench), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(bench), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+    # A different netlist does not inherit the suppression.
+    other = tmp_path / "other.bench"
+    other.write_text("INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n")
+    assert main(["lint", str(other), "--baseline", str(baseline)]) == 1
 
 
 def test_lint_rejects_unknown_target(capsys):

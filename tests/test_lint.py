@@ -20,6 +20,7 @@ from repro.lint import (
     baseline_entries,
     lint_netlist,
     lint_structure,
+    lint_testability,
     lint_tpg,
     load_baseline,
     rules_for,
@@ -39,6 +40,8 @@ def run_family(rule_id, obj):
         return lint_netlist(obj)
     if target == "structure":
         return lint_structure(**obj)
+    if target == "testability":
+        return lint_testability(obj)
     return lint_tpg(obj)
 
 
@@ -50,7 +53,7 @@ def test_registry_families_and_titles():
     assert [r.id for r in rules] == ALL_RULE_IDS
     assert len({r.id for r in rules}) == len(rules)
     for r in rules:
-        assert r.target in ("netlist", "structure", "tpg")
+        assert r.target in ("netlist", "structure", "tpg", "testability")
         assert r.title, f"{r.id} needs a docstring title"
     assert {r.id for r in rules_for("netlist")} == {
         i for i in ALL_RULE_IDS if i.startswith("NL")
@@ -76,6 +79,32 @@ def test_rule_fires_on_positive_fixture(rule_id):
 def test_rule_silent_on_clean_fixture(rule_id):
     report = run_family(rule_id, CLEAN[rule_id]())
     assert not [f for f in report.findings if f.rule == rule_id]
+
+
+def test_testability_family_is_advisory_not_preflight():
+    """TB rules forecast coverage; they must not block the engine the way
+    the structural netlist family does."""
+    from repro.lint import preflight_netlist
+    from tests.fixtures.lint import resistant_and_tree_netlist
+
+    netlist = resistant_and_tree_netlist()
+    # The same netlist trips TB001/TB003 under lint_testability...
+    report = lint_testability(netlist)
+    assert {f.rule for f in report.findings} >= {"TB001", "TB003"}
+    assert not report.has_errors  # advisory severities only
+    # ...but sails through the structural pre-flight untouched.
+    clean = preflight_netlist(netlist)
+    assert not any(f.rule.startswith("TB") for f in clean.findings)
+
+
+def test_lint_testability_reuses_supplied_profile():
+    from repro.analysis import analyze_netlist
+
+    netlist = tiny_and_or()
+    profile = analyze_netlist(netlist)
+    report = lint_testability(netlist, profile=profile, name="custom")
+    assert report.target == "custom"
+    assert not report.findings
 
 
 def test_cycle_witness_names_the_actual_loop():
