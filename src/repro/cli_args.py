@@ -72,6 +72,11 @@ def engine_parent_parser() -> argparse.ArgumentParser:
         help="seconds before a shard round is declared hung and retried "
              "on a fresh worker")
     execution.add_argument(
+        "--peers", default=None, metavar="HOST:PORT,HOST:PORT",
+        help="worker-agent peer set for --executor remote (also via "
+             "$REPRO_PEERS); start peers with 'python -m repro worker' — "
+             "see docs/DISTRIBUTED.md")
+    execution.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
         help="journal completed engine shard rounds under this directory "
              "(resumable runs)")
@@ -129,6 +134,14 @@ def runconfig_from_args(
     (e.g. ``<outdir>/checkpoints``); ``max_patterns`` caps the run when
     the command computed its own pattern budget.
     """
+    peers = getattr(args, "peers", None)
+    if peers:
+        # Process-wide by design: the peer set is infrastructure, not run
+        # shape (it is excluded from checkpoint run keys the same way the
+        # executor choice is), so every run this CLI makes shares it.
+        from repro.exec.remote import set_default_peers
+
+        set_default_peers(peers)
     config = RunConfig(
         execution=ExecutionPolicy(
             executor=getattr(args, "executor", None),

@@ -43,6 +43,20 @@ Failure modes
     rounds ``shard .. shard+times-1``, driving the adaptation ladder
     (halve the batch count, degrade to serial) without exhausting real
     memory.  The shard field is the first pressured round.
+``node_down``
+    Coordinator-side (remote executor only): peer node ``R`` — the spec's
+    shard field names a *node*, not a shard — is killed hard (the worker
+    agent process exits) the first time the coordinator dispatches round
+    ``round_index`` work to it, exercising the re-dispatch path the way a
+    real node death would.  See ``docs/DISTRIBUTED.md``.
+``node_hang``
+    Coordinator-side: node ``R`` wedges for ``seconds`` before serving
+    the dispatched unit, so the coordinator's dispatch timeout declares
+    it hung and re-dispatches to a surviving peer.
+``net_drop``
+    Coordinator-side: the connection to node ``R`` is severed right after
+    the unit is sent, ``times`` dispatch attempts in a row — a transient
+    partition; the node itself stays healthy and is reconnected.
 
 Specs parse from strings so the hook is reachable from the environment
 (``REPRO_CHAOS=crash:1``) as well as from code::
@@ -69,10 +83,19 @@ from repro.errors import SimulationError
 #: not pass an explicit injector.  Unset (or empty) means no chaos.
 CHAOS_ENV_VAR = "REPRO_CHAOS"
 
-_MODES = ("crash", "raise", "delay", "corrupt", "abort", "sigterm", "oom")
+_MODES = (
+    "crash", "raise", "delay", "corrupt", "abort", "sigterm", "oom",
+    "node_down", "node_hang", "net_drop",
+)
 
 #: Modes handled in the parent at round boundaries, never inside a worker.
 _PARENT_MODES = ("abort", "sigterm", "oom")
+
+#: Modes handled by the remote executor's coordinator when *dispatching*
+#: to a peer node; the spec's shard field names the node index.  Workers
+#: never act on them (``fires()`` is False), so a unit carrying a node
+#: mode is harmless on every local backend.
+_NODE_MODES = ("node_down", "node_hang", "net_drop")
 
 
 class ChaosError(SimulationError):
@@ -91,10 +114,11 @@ class FaultInjector:
     ----------
     mode:
         One of ``crash``, ``raise``, ``delay``, ``corrupt``, ``abort``,
-        ``sigterm``, ``oom``.
+        ``sigterm``, ``oom``, ``node_down``, ``node_hang``, ``net_drop``.
     shard:
         The shard the injection targets (for the parent-side ``abort`` /
-        ``sigterm`` / ``oom`` modes: the round it acts on).
+        ``sigterm`` / ``oom`` modes: the round it acts on; for the
+        node-level modes: the remote peer's node index).
     round_index:
         The fan-out round the injection targets (default 0).
     times:
@@ -158,8 +182,11 @@ class FaultInjector:
 
     def fires(self, shard: int, round_index: int, attempt: int) -> bool:
         """True when this (shard, round, attempt) should misbehave."""
-        if self.mode in _PARENT_MODES:
-            return False  # see aborts_after() / cancels_after() / oom_pressure()
+        if self.mode in _PARENT_MODES or self.mode in _NODE_MODES:
+            # Parent modes act at round boundaries (aborts_after() /
+            # cancels_after() / oom_pressure()); node modes act at the
+            # remote coordinator's dispatch sites (node_action()).
+            return False
         return (
             shard == self.shard
             and round_index == self.round_index
@@ -181,6 +208,28 @@ class FaultInjector:
             self.mode == "oom"
             and self.shard <= round_index < self.shard + self.times
         )
+
+    def node_action(
+        self, node: int, round_index: int, attempt: int
+    ) -> Optional[str]:
+        """Coordinator-side: how dispatching to ``node`` should misbehave.
+
+        Consulted by the remote executor before every unit dispatch;
+        ``attempt`` is the *dispatch* attempt for that unit (0 on first
+        dispatch, bumped on every re-dispatch), so ``times`` bounds how
+        many consecutive dispatches are sabotaged — exactly the worker-
+        side ``times`` contract, transplanted to the node axis.  Returns
+        the mode name to act on, or None.
+        """
+        if self.mode not in _NODE_MODES:
+            return None
+        if (
+            node == self.shard
+            and round_index == self.round_index
+            and attempt < self.times
+        ):
+            return self.mode
+        return None
 
     # --------------------------------------------------------- worker side
 
@@ -210,6 +259,12 @@ class FaultInjector:
             return f"{self.mode}:after-round-{self.shard}"
         if self.mode == "oom":
             return f"oom:rounds-{self.shard}..{self.shard + self.times - 1}"
+        if self.mode in _NODE_MODES:
+            extra = f":seconds={self.seconds}" if self.mode == "node_hang" else ""
+            return (
+                f"{self.mode}:node={self.shard}:round={self.round_index}"
+                f":times={self.times}{extra}"
+            )
         extra = f":seconds={self.seconds}" if self.mode == "delay" else ""
         return (
             f"{self.mode}:shard={self.shard}:round={self.round_index}"

@@ -54,7 +54,12 @@ from repro.engine.cache import GoldenBatches, GoldenCache
 from repro.engine.chaos import ChaosInterrupt, FaultInjector
 from repro.engine.instrumentation import ShardStats, publish_engine_metrics
 from repro.errors import SimulationError
-from repro.exec.base import ExecutionContext, create_executor, resolve_executor_name
+from repro.exec.base import (
+    ExecutionContext,
+    NodeStats,
+    create_executor,
+    resolve_executor_name,
+)
 from repro.exec.config import (
     DEFAULT_CHUNK_BATCHES,
     DEFAULT_MAX_RETRIES,
@@ -106,6 +111,10 @@ class EngineResult(FaultSimResult):
     shards: List[ShardStats] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Per-peer accounting when the run used the ``remote`` backend
+    #: (empty for local backends); includes the synthetic ``node == -1``
+    #: record when the run degraded to the local process fallback.
+    nodes: List[NodeStats] = field(default_factory=list)
     #: Predicted-vs-measured coverage summary when the run was made with
     #: ``config.analyze=True`` (see :mod:`repro.analysis.random_testability`).
     testability: Optional[Dict[str, Any]] = None
@@ -149,6 +158,8 @@ class EngineResult(FaultSimResult):
             "degraded_shards": self.degraded_shards,
             "shards": [shard.to_json() for shard in self.shards],
         }
+        if self.nodes:
+            payload["engine"]["nodes"] = [node.to_json() for node in self.nodes]
         if self.testability is not None:
             payload["testability"] = self.testability
         return payload
@@ -570,6 +581,9 @@ def _simulate_parallel(
         max_workers=len(shards),
         telemetry_enabled=telemetry.enabled(),
         kernel=kernel,
+        # Parent-side only (never pickled to workers): the remote backend
+        # watches it to forward cancellation frames to its peers.
+        cancel=config.cancel,
     ))
     driver = RoundDriver(
         executor, netlist, batch_width, config.retry, chaos, kernel
@@ -715,6 +729,8 @@ def _simulate_parallel(
             if stop_when_complete and len(merged) == len(faults):
                 break
     finally:
+        # Stats objects survive stop(); snapshot them for the result.
+        node_stats = list(executor.node_stats())
         executor.stop()
 
     if stop_reason is not None:
@@ -739,4 +755,5 @@ def _simulate_parallel(
         jobs=jobs,
         executor=executor_name,
         shards=[stats[shard_id] for shard_id in sorted(stats)],
+        nodes=node_stats,
     )

@@ -3,10 +3,11 @@
 The engine (:func:`repro.engine.simulate`) describes *what* to compute; a
 :class:`RunConfig` describes how a run is shaped; an :class:`Executor`
 backend decides *where* the shard rounds actually execute — in-process
-(``serial``), on a thread pool (``thread``) or on a warm process pool
-(``process``).  Results are bit-identical across all of them; the choice
-only moves cost.  See ``docs/EXECUTORS.md`` for the protocol and how to
-write a backend.
+(``serial``), on a thread pool (``thread``), on a warm process pool
+(``process``) or on peer worker hosts (``remote``, see
+``docs/DISTRIBUTED.md``).  Results are bit-identical across all of them;
+the choice only moves cost.  See ``docs/EXECUTORS.md`` for the protocol
+and how to write a backend.
 """
 
 from repro.exec.base import (
@@ -15,6 +16,8 @@ from repro.exec.base import (
     ExecutionContext,
     Executor,
     ExecutorCapabilities,
+    ExecutorStartError,
+    NodeStats,
     RoundHandle,
     RoundResult,
     WorkUnit,
@@ -35,24 +38,30 @@ from repro.exec.config import (
 )
 from repro.exec.driver import CorruptShardRound, RoundDriver
 from repro.exec.process import ProcessExecutor
+from repro.exec.remote import PEERS_ENV_VAR, RemoteExecutor, set_default_peers
 from repro.exec.serial import SerialExecutor
 from repro.exec.thread import ThreadExecutor
 
 register_executor("serial", SerialExecutor)
 register_executor("thread", ThreadExecutor)
 register_executor("process", ProcessExecutor)
+register_executor("remote", RemoteExecutor)
 
 __all__ = [
     "DEFAULT_EXECUTOR",
     "EXECUTOR_ENV_VAR",
     "LEGACY_KEYWORDS",
+    "PEERS_ENV_VAR",
     "CheckpointPolicy",
     "CorruptShardRound",
     "ExecutionContext",
     "ExecutionPolicy",
     "Executor",
     "ExecutorCapabilities",
+    "ExecutorStartError",
+    "NodeStats",
     "ProcessExecutor",
+    "RemoteExecutor",
     "RetryPolicy",
     "RoundDriver",
     "RoundHandle",
@@ -67,5 +76,6 @@ __all__ = [
     "register_executor",
     "reset_legacy_warning",
     "resolve_executor_name",
+    "set_default_peers",
     "runconfig_from_legacy",
 ]

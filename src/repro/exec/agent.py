@@ -1,0 +1,234 @@
+"""The peer worker agent: one host's share of a distributed run.
+
+``python -m repro worker --listen HOST:PORT`` starts a :class:`WorkerAgent`
+that accepts framed connections (:mod:`repro.exec.wire`) from a
+coordinator's :class:`~repro.exec.remote.RemoteExecutor` and answers a
+deliberately tiny request vocabulary:
+
+``init``
+    Carries the same pickled ``(netlist, batch_width, telemetry_on,
+    kernel)`` payload the process backend hands ``init_worker``.  The
+    agent builds (or reuses, keyed by payload digest) a simulator and
+    replies ``ready`` — so reconnects and repeated runs against the same
+    circuit skip the rebuild.
+``run``
+    One :class:`~repro.exec.base.WorkUnit`; the agent executes it with the
+    shared :func:`~repro.exec.worker.run_work_unit` primitive (the same
+    function every local backend runs, which is what keeps remote results
+    bit-identical to serial) and replies ``result`` — or ``error`` when
+    the unit raised a clean :class:`~repro.errors.ReproError`.
+``ping`` / ``pong``
+    Heartbeat.  Pings arrive on fresh short-lived connections, so a node
+    busy simulating still answers them; an unanswered ping therefore
+    means the *process* is gone or wedged, not merely busy.
+``cancel``
+    The coordinator's run was cancelled (SIGTERM/budget); the agent
+    acknowledges with ``cancel-ack``.  Units are round-sized, so draining
+    means: finish nothing new — the coordinator stops dispatching and the
+    agent simply goes idle.
+``hang`` / ``exit``
+    Deterministic chaos hooks (``node_hang`` / ``node_down``): sleep
+    without replying, or die hard (``os._exit``) the way an OOM-killed
+    node would.  Only ever sent by a coordinator running a chaos plan.
+``shutdown`` / ``bye``
+    Stop the whole agent (replies ``bye`` first) / close this connection.
+
+Anything malformed (bad frame, unknown type) drops the connection; the
+coordinator treats that like any other node failure.  See
+``docs/DISTRIBUTED.md`` for the topology and trust model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import socket
+import threading
+import time
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.exec.base import WorkUnit
+from repro.exec.wire import ConnectionClosed, FrameError, read_frame, send_frame
+from repro.exec.worker import make_simulator, run_work_unit
+
+#: Simulators kept warm across connections/runs, keyed by init digest.
+_SIMULATOR_CACHE_SIZE = 4
+
+#: Accept-loop poll interval, so ``shutdown()`` is honoured promptly.
+_ACCEPT_POLL_SECONDS = 0.2
+
+
+class WorkerAgent:
+    """One listening worker: accept loop + a thread per connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._host = host
+        self._port = port
+        self._listener: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        # digest -> (unpickled init payload bytes, simulator, its lock).
+        # The lock serialises units per simulator: the coordinator keeps
+        # one work connection per node, but a net_drop reconnect can
+        # briefly overlap the old connection's thread with the new one.
+        self._simulators: "OrderedDict[str, Tuple[object, threading.Lock]]"
+        self._simulators = OrderedDict()
+        self._cache_lock = threading.Lock()
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        assert self._listener is not None, "agent used before start()"
+        addr = self._listener.getsockname()
+        return addr[0], addr[1]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        if self._listener is not None:
+            return self.address
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(16)
+        listener.settimeout(_ACCEPT_POLL_SECONDS)
+        self._listener = listener
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`shutdown`; blocks the caller."""
+        self.start()
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us by shutdown()
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+        self._close_listener()
+
+    def shutdown(self) -> None:
+        """Stop accepting; idempotent, callable from any thread."""
+        self._stop.set()
+        self._close_listener()
+
+    def _close_listener(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    # ---------------------------------------------------------- simulators
+
+    def _simulator_for(self, payload: bytes):
+        """The cached (simulator, lock) for one init payload, LRU-bounded."""
+        import pickle
+
+        digest = hashlib.sha256(payload).hexdigest()
+        with self._cache_lock:
+            entry = self._simulators.get(digest)
+            if entry is not None:
+                self._simulators.move_to_end(digest)
+                return entry
+            netlist, batch_width, telemetry_on, kernel = pickle.loads(payload)
+            # Same contract as the process backend's init_worker: the init
+            # payload carries the run's telemetry switch because the agent
+            # shares no parent state with the coordinator.
+            telemetry.get_telemetry().reset()
+            if telemetry_on:
+                telemetry.enable()
+            simulator = make_simulator(netlist, batch_width, kernel)
+            entry = (simulator, threading.Lock())
+            self._simulators[digest] = entry
+            while len(self._simulators) > _SIMULATOR_CACHE_SIZE:
+                self._simulators.popitem(last=False)
+            return entry
+
+    # --------------------------------------------------------- connections
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        entry = None  # (simulator, lock) after this connection's init
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while not self._stop.is_set():
+                try:
+                    message = read_frame(conn)
+                except ConnectionClosed:
+                    return
+                kind = message.get("type") if isinstance(message, dict) else None
+                if kind == "init":
+                    entry = self._simulator_for(message["payload"])
+                    send_frame(conn, {"type": "ready"})
+                elif kind == "run":
+                    if entry is None:
+                        send_frame(
+                            conn,
+                            {"type": "error",
+                             "message": "run before init on this connection"},
+                        )
+                        continue
+                    self._run_unit(conn, entry, message["unit"])
+                elif kind == "ping":
+                    send_frame(conn, {"type": "pong"})
+                elif kind == "cancel":
+                    # Round-sized units mean there is nothing to interrupt
+                    # mid-flight; acknowledging lets the coordinator's
+                    # drain complete deterministically.
+                    send_frame(conn, {"type": "cancel-ack"})
+                elif kind == "hang":
+                    # Chaos node_hang: wedge without replying so the
+                    # coordinator's dispatch timeout sees a real hang.
+                    time.sleep(float(message.get("seconds", 5.0)))
+                elif kind == "exit":
+                    # Chaos node_down: die the way an OOM kill would.
+                    os._exit(13)
+                elif kind == "bye":
+                    return
+                elif kind == "shutdown":
+                    send_frame(conn, {"type": "bye"})
+                    self.shutdown()
+                    return
+                else:
+                    return  # unknown/malformed message: drop the peer
+        except (FrameError, OSError):
+            return  # coordinator vanished or sent garbage; just hang up
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _run_unit(self, conn: socket.socket, entry, unit: WorkUnit) -> None:
+        simulator, lock = entry
+        try:
+            with lock:
+                result = run_work_unit(simulator, unit, in_process=False)
+        except ReproError as error:
+            # Clean failures (chaos ``raise``, simulation errors) go back
+            # as error frames so the coordinator can retry without
+            # declaring the node dead.
+            send_frame(conn, {"type": "error", "message": str(error)})
+            return
+        send_frame(conn, {"type": "result", "result": result})
+
+
+def serve(host: str, port: int, announce: bool = True) -> None:
+    """Blocking entry point used by ``python -m repro worker``."""
+    agent = WorkerAgent(host, port)
+    bound_host, bound_port = agent.start()
+    if announce:
+        print(f"worker listening on {bound_host}:{bound_port}", flush=True)
+    agent.serve_forever()
+
+
+__all__ = ["WorkerAgent", "serve"]

@@ -10,7 +10,7 @@ checkpoint journaling, guard governance — lives in
 *every* backend, present and future (a ``RemoteExecutor`` shipping units
 over sockets slots in without touching the engine).
 
-Three backends ship today (see ``docs/EXECUTORS.md``):
+Four backends ship today (see ``docs/EXECUTORS.md``):
 
 ``serial``
     In-process, one shard at a time — the degradation target every other
@@ -20,8 +20,13 @@ Three backends ship today (see ``docs/EXECUTORS.md``):
     without process-pool spin-up/pickling tax (small kernels, see
     ``BENCH_engine.json``).
 ``process``
-    Today's warm process pool — true CPU parallelism, crash isolation,
-    worker RSS accounting.
+    A warm process pool — true CPU parallelism, crash isolation, worker
+    RSS accounting.
+``remote``
+    Socket-sharded execution on peer worker agents (``python -m repro
+    worker``), with node-level fault tolerance — heartbeats, re-dispatch,
+    degradation to the local ``process`` backend.  See
+    ``docs/DISTRIBUTED.md``.
 
 Capability flags (:class:`ExecutorCapabilities`) tell the driver and the
 guard what a backend can honour: whether hung rounds can be preempted
@@ -31,6 +36,26 @@ guard what a backend can honour: whether hung rounds can be preempted
 applied uniformly: the "serial" rung stops *any* backend and continues
 in-process, so governance is an executor-layer contract rather than
 ProcessPool-specific code.
+
+The timeout contract
+--------------------
+
+Who watches for a hung round depends on two flags, and exactly one party
+may own the deadline:
+
+* ``supports_timeout=True`` — ``RoundHandle.result(timeout)`` honours its
+  argument, and the :class:`~repro.exec.driver.RoundDriver` arms its
+  shared per-wave deadline from ``RetryPolicy.shard_timeout`` (``thread``,
+  ``process``).
+* ``supports_timeout=False, detects_hangs=True`` — the backend detects
+  and recovers hangs *internally* (its own dispatch timeouts and
+  heartbeats, fed the same ``RetryPolicy`` via :meth:`Executor.configure`)
+  and its handles block until an outcome exists.  The driver must NOT arm
+  a deadline on top: a driver deadline equal to the backend's internal
+  one would race it and double-count every hang (``remote``).
+* ``supports_timeout=False, detects_hangs=False`` — nobody can interrupt
+  the round; ``shard_timeout`` is silently ignored and a delay simply
+  runs to completion (``serial``: the round *is* the parent thread).
 """
 
 from __future__ import annotations
@@ -64,19 +89,29 @@ class ExecutorCapabilities:
         non-isolated backends have hard chaos ``crash`` mapped to a clean
         in-process exception so the retry contract still holds.
     supports_timeout:
-        A hung round can be preempted by ``RetryPolicy.shard_timeout``;
-        without it a delay simply runs to completion.
+        ``RoundHandle.result(timeout)`` honours its timeout, so the
+        driver may arm a shared deadline from
+        ``RetryPolicy.shard_timeout``.  Backends where this is False must
+        never be handed a driver deadline — see "The timeout contract" in
+        the module docstring.
+    detects_hangs:
+        A hung round is still *detected and recovered* even though (or
+        regardless of whether) the driver arms no deadline — either
+        because ``supports_timeout`` makes the driver's deadline work, or
+        because the backend watches its own dispatches internally
+        (``remote``).  False only on ``serial``, where the round runs on
+        the parent thread and nobody can interrupt it.
     worker_pids:
         The backend exposes worker process ids, so the memory watchdog
         can sample worker RSS alongside the parent's.
     remote:
-        Work units leave this host (reserved for a future
-        ``RemoteExecutor``; no shipping backend sets it).
+        Work units leave this host (the ``remote`` backend).
     """
 
     parallel: bool
     isolated: bool
     supports_timeout: bool
+    detects_hangs: bool = False
     worker_pids: bool = False
     remote: bool = False
 
@@ -88,6 +123,12 @@ class ExecutionContext:
     ``kernel`` is the *resolved* evaluation kernel ("packed" or "vec") —
     the engine resolves ``auto``/env/fallback once per run so every
     worker builds the same simulator type.
+
+    ``cancel`` is the run's :class:`~repro.guard.cancel.CancelToken` (or
+    None).  It is parent-side state — backends that pickle context fields
+    for their workers must not ship it; the ``remote`` backend watches it
+    to forward cancellation frames so SIGTERM on the coordinator drains
+    peers cleanly.
     """
 
     netlist: Any
@@ -95,6 +136,62 @@ class ExecutionContext:
     max_workers: int
     telemetry_enabled: bool = False
     kernel: str = "packed"
+    cancel: Optional[Any] = None
+
+
+class ExecutorStartError(SimulationError):
+    """A backend could not be brought up at all for this run.
+
+    Raised by :meth:`Executor.start` when the backend's substrate is
+    unavailable *before any work has run* — e.g. the ``remote`` backend
+    finding zero reachable peers.  Distinct from mid-run failures (which
+    degrade through the retry/fallback ladder instead of raising): a
+    start failure means the operator pointed the run at a substrate that
+    does not exist, and callers like the serve layer map it to a
+    structured 503 with a ``retry_after`` hint.
+    """
+
+
+@dataclass
+class NodeStats:
+    """Per-peer accounting for a distributed run (``remote`` backend).
+
+    One record per configured peer, plus a synthetic ``node == -1``
+    record when the run degraded to the local ``process`` fallback.
+    Surfaced on ``EngineResult.to_json()["engine"]["nodes"]`` and
+    mirrored by the live ``exec.remote.*`` telemetry counters.
+    """
+
+    node: int
+    address: str
+    dispatched: int = 0
+    redispatched: int = 0
+    heartbeat_misses: int = 0
+    alive: bool = True
+    degraded_reason: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "address": self.address,
+            "dispatched": self.dispatched,
+            "redispatched": self.redispatched,
+            "heartbeat_misses": self.heartbeat_misses,
+            "alive": self.alive,
+            "degraded_reason": self.degraded_reason,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "NodeStats":
+        return cls(
+            node=int(payload["node"]),
+            address=str(payload["address"]),
+            dispatched=int(payload.get("dispatched", 0)),
+            redispatched=int(payload.get("redispatched", 0)),
+            heartbeat_misses=int(payload.get("heartbeat_misses", 0)),
+            alive=bool(payload.get("alive", True)),
+            degraded_reason=payload.get("degraded_reason"),
+        )
 
 
 @dataclass(frozen=True)
@@ -168,9 +265,24 @@ class Executor(ABC):
     def capabilities(self) -> ExecutorCapabilities:
         """The backend's capability flags (stable for its lifetime)."""
 
+    def configure(self, retry: Any) -> None:
+        """Receive the run's :class:`~repro.exec.driver.RetryPolicy`.
+
+        Called by the driver before :meth:`start`.  Backends that own
+        their hang detection (``supports_timeout=False,
+        detects_hangs=True``) derive their internal dispatch timeout and
+        backoff from the same policy the driver would have used, so one
+        ``--shard-timeout`` governs every rung of the ladder.  Default:
+        ignore it.
+        """
+
     @abstractmethod
     def start(self, context: ExecutionContext) -> None:
-        """Bind to one run's context; idempotent."""
+        """Bind to one run's context; idempotent.
+
+        Raises :class:`ExecutorStartError` when the substrate is
+        unavailable before any work has run.
+        """
 
     @abstractmethod
     def submit_round(self, unit: WorkUnit) -> RoundHandle:
@@ -181,6 +293,10 @@ class Executor(ABC):
 
     def worker_pids(self) -> Tuple[int, ...]:
         """PIDs of live workers, for RSS sampling (default: none)."""
+        return ()
+
+    def node_stats(self) -> Tuple[NodeStats, ...]:
+        """Per-peer accounting for distributed backends (default: none)."""
         return ()
 
     @abstractmethod

@@ -70,8 +70,14 @@ class RoundDriver:
         self._chaos = chaos
         self._kernel = kernel
         self._degraded_simulator: Optional[FaultSimulator] = None
-        # Timeouts are only meaningful on backends that can preempt a
-        # hung round; on the rest a delay simply runs to completion.
+        # Backends that own their hang detection (supports_timeout=False,
+        # detects_hangs=True — the remote coordinator) derive internal
+        # deadlines from the same policy; see "The timeout contract" in
+        # repro.exec.base.
+        executor.configure(retry)
+        # A driver deadline is armed ONLY where handle.result(timeout)
+        # honours it; elsewhere it would either be ignored (serial) or
+        # race the backend's internal deadline (remote).
         self._timeout: Optional[float] = (
             retry.shard_timeout
             if executor.capabilities.supports_timeout

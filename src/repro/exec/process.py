@@ -41,6 +41,7 @@ _CAPABILITIES = ExecutorCapabilities(
     parallel=True,
     isolated=True,
     supports_timeout=True,
+    detects_hangs=True,
     worker_pids=True,
 )
 

@@ -30,7 +30,11 @@ from repro.faultsim.simulator import FaultSimulator
 _CAPABILITIES = ExecutorCapabilities(
     parallel=False,
     isolated=False,
+    # The round runs on the parent thread: nobody can preempt OR detect a
+    # hang, so the driver must not arm a deadline (it could never fire)
+    # and ``shard_timeout`` is documented as inert here.
     supports_timeout=False,
+    detects_hangs=False,
 )
 
 

@@ -36,7 +36,10 @@ from repro.faultsim.simulator import FaultSimulator
 _CAPABILITIES = ExecutorCapabilities(
     parallel=True,
     isolated=False,
+    # Future.result(timeout) genuinely preempts a hung round here, so the
+    # driver's shared deadline is the (single) hang detector.
     supports_timeout=True,
+    detects_hangs=True,
 )
 
 

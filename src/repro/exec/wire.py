@@ -1,0 +1,163 @@
+"""Length-prefixed frames: the remote executor's wire format.
+
+One frame carries one message (a small dict with a ``"type"`` key; the
+``run``/``result`` messages embed the same picklable
+:class:`~repro.exec.base.WorkUnit` / :class:`~repro.exec.base.RoundResult`
+objects every other backend passes in memory).  The layout is::
+
+    MAGIC(4) | LENGTH(u32, big-endian) | DIGEST(8) | PAYLOAD(LENGTH bytes)
+
+``DIGEST`` is the first 8 bytes of the payload's SHA-256 — enough to
+reject a truncated or bit-flipped frame deterministically before
+unpickling is even attempted.  It is a *transport* check only; result
+integrity is still guarded end to end by the shard-round checksum the
+:class:`~repro.exec.driver.RoundDriver` verifies (taken inside the worker
+before any chaos corruption), so a hostile-but-well-framed payload cannot
+smuggle a wrong answer past the driver either.
+
+Trust model: frames are pickled, so a worker agent must only ever listen
+on hosts the coordinator trusts (the same boundary as
+``multiprocessing``'s pickled task queues).  See ``docs/DISTRIBUTED.md``.
+
+Every decode failure raises :class:`FrameError` (a
+:class:`~repro.errors.SimulationError`, so the driver's retry machinery
+treats a mangled frame exactly like a crashed worker).  A connection that
+closes cleanly *between* frames raises :class:`ConnectionClosed` instead,
+so servers can tell a peer's goodbye from a mid-frame amputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+from repro.errors import SimulationError
+
+#: Frame magic: "repro bist wire", format version 1.
+MAGIC = b"RBW1"
+
+_HEADER = struct.Struct("!4sI8s")
+
+#: Hard cap on one frame's payload (a work unit for a million-fault shard
+#: round is far below this; anything larger is a corrupt length field).
+MAX_FRAME_BYTES = 1 << 31
+
+#: Bytes of the payload SHA-256 carried in the header.
+DIGEST_BYTES = 8
+
+#: Size of the fixed frame header in bytes.
+HEADER_BYTES = _HEADER.size
+
+
+class FrameError(SimulationError):
+    """A frame that could not be decoded: truncated, corrupt, or foreign."""
+
+
+class ConnectionClosed(FrameError):
+    """The peer closed the connection cleanly at a frame boundary."""
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).digest()[:DIGEST_BYTES]
+
+
+def encode_frame(message: Any) -> bytes:
+    """One message -> its complete wire frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(MAGIC, len(payload), _digest(payload)) + payload
+
+
+def decode_frame(buffer: bytes) -> Tuple[Any, int]:
+    """The frame at the head of ``buffer`` -> ``(message, bytes consumed)``.
+
+    Raises :class:`FrameError` when the buffer holds less than one whole
+    frame (truncation) or the frame fails the magic/digest checks — a
+    partial prefix of a valid frame is *never* silently accepted.
+    """
+    if len(buffer) < HEADER_BYTES:
+        raise FrameError(
+            f"truncated frame: {len(buffer)} bytes is shorter than the "
+            f"{HEADER_BYTES}-byte header"
+        )
+    magic, length, digest = _HEADER.unpack_from(buffer)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds the cap")
+    end = HEADER_BYTES + length
+    if len(buffer) < end:
+        raise FrameError(
+            f"truncated frame: header promises {length} payload bytes, "
+            f"buffer holds {len(buffer) - HEADER_BYTES}"
+        )
+    payload = bytes(buffer[HEADER_BYTES:end])
+    if _digest(payload) != digest:
+        raise FrameError("frame integrity digest mismatch")
+    try:
+        message = pickle.loads(payload)
+    except Exception as error:  # noqa: BLE001 - any unpickling failure
+        raise FrameError(f"frame payload failed to unpickle: {error}") from error
+    return message, end
+
+
+def send_frame(sock: socket.socket, message: Any) -> None:
+    """Write one message to a connected socket as a single frame."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_boundary and remaining == n:
+                raise ConnectionClosed("peer closed the connection")
+            raise FrameError(
+                f"connection closed mid-frame ({n - remaining} of {n} "
+                "bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Any:
+    """Read exactly one frame from a connected socket.
+
+    Honours the socket's configured timeout (``socket.timeout`` — an
+    ``OSError`` — bubbles to the caller).  Raises :class:`ConnectionClosed`
+    on a clean close between frames, :class:`FrameError` on a close
+    mid-frame or a corrupt frame.
+    """
+    header = _recv_exact(sock, HEADER_BYTES, at_boundary=True)
+    magic, length, _ = _HEADER.unpack_from(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds the cap")
+    payload = _recv_exact(sock, length, at_boundary=False)
+    message, _ = decode_frame(header + payload)
+    return message
+
+
+__all__ = [
+    "MAGIC",
+    "HEADER_BYTES",
+    "DIGEST_BYTES",
+    "MAX_FRAME_BYTES",
+    "ConnectionClosed",
+    "FrameError",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "send_frame",
+]

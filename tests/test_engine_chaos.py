@@ -108,8 +108,13 @@ def test_single_shard_failure_is_bit_identical_to_serial(build, mode):
     )
     assert_identical(serial, chaotic)
     stats = chaotic.shards
-    assert sum(s.retries for s in stats) >= 1
-    assert sum(s.failures for s in stats) >= 1
+    # Under the remote backend a worker crash can be absorbed *below*
+    # the driver — the node dies, the unit is re-dispatched to a
+    # survivor, and the recovery shows up in NodeStats rather than in
+    # shard retries.  Either surface must record the event.
+    node_redispatches = sum(n.redispatched for n in chaotic.nodes)
+    assert sum(s.retries for s in stats) + node_redispatches >= 1
+    assert sum(s.failures for s in stats) + node_redispatches >= 1
     assert all(not s.degraded for s in stats)
 
 

@@ -63,7 +63,7 @@ def assert_identical(baseline, result):
 
 
 def test_registry_lists_all_backends():
-    assert available_executors() == ("process", "serial", "thread")
+    assert available_executors() == ("process", "remote", "serial", "thread")
 
 
 def test_create_executor_unknown_name_raises():
@@ -98,12 +98,23 @@ def test_capability_flags_per_backend():
     serial = create_executor("serial").capabilities
     assert not serial.parallel and not serial.isolated
     assert not serial.supports_timeout and not serial.worker_pids
+    assert not serial.detects_hangs  # nobody can watch the parent thread
     thread = create_executor("thread").capabilities
     assert thread.parallel and thread.supports_timeout
     assert not thread.isolated and not thread.worker_pids
+    assert thread.detects_hangs
     process = create_executor("process").capabilities
     assert process.parallel and process.isolated
     assert process.supports_timeout and process.worker_pids
+    assert process.detects_hangs
+    remote = create_executor("remote").capabilities
+    assert remote.parallel and remote.isolated and remote.remote
+    # The remote coordinator owns its deadlines: the driver must never
+    # arm a shared deadline on top of the backend's internal one.
+    assert not remote.supports_timeout
+    assert remote.detects_hangs
+    for name in ("serial", "thread", "process"):
+        assert not create_executor(name).capabilities.remote
 
 
 # ------------------------------------------------------------- bit-identity

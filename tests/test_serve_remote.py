@@ -1,0 +1,77 @@
+"""Serve x remote regression: an unavailable execution substrate is a
+structured 503, not a generic failure.
+
+When a submitted job names an executor whose backend cannot start — the
+``remote`` backend with no reachable peers being the canonical case —
+the service must fail *that job* with ``503 executor-unavailable`` and a
+``retry_after`` hint, keep serving, and replay the same structured error
+from the result endpoint.  A misconfigured peer set must never look like
+a bug in the design under test.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.exec.remote import START_GRACE_ENV_VAR, set_default_peers
+from repro.serve.app import EXECUTOR_RETRY_AFTER_SECONDS
+from tests.serve_utils import thread_server
+
+
+@pytest.fixture
+def dead_peer(monkeypatch):
+    """A peer address nobody listens on, pinned as the peer set."""
+    monkeypatch.setenv(START_GRACE_ENV_VAR, "0")
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    set_default_peers(f"127.0.0.1:{port}")
+    try:
+        yield f"127.0.0.1:{port}"
+    finally:
+        set_default_peers(None)
+
+
+def test_unreachable_peers_fail_the_job_with_structured_503(
+    dead_peer, tmp_path
+):
+    with thread_server(tmp_path) as (server, client):
+        del server
+        doc = client.submit(
+            {"design": "mac4", "executor": "remote", "jobs": 2,
+             "max_patterns": 64}
+        )
+        done = client.wait(doc["id"])
+        assert done["state"] == "failed"
+        status, body = client.result(doc["id"])
+        assert status == 503
+        assert body["error"] == "executor-unavailable"
+        assert body["retry_after"] == EXECUTOR_RETRY_AFTER_SECONDS
+        assert "could not reach" in body["message"]
+        # The substrate failure poisoned one job, not the service: the
+        # same design still runs on a local backend.
+        recovered = client.submit(
+            {"design": "mac4", "executor": "serial", "max_patterns": 64}
+        )
+        assert client.wait(recovered["id"])["state"] == "done"
+
+
+def test_no_peers_at_all_is_the_same_structured_503(
+    monkeypatch, tmp_path
+):
+    monkeypatch.delenv("REPRO_PEERS", raising=False)
+    set_default_peers(None)
+    with thread_server(tmp_path) as (server, client):
+        del server
+        doc = client.submit(
+            {"design": "mac4", "executor": "remote", "jobs": 2,
+             "max_patterns": 64}
+        )
+        assert client.wait(doc["id"])["state"] == "failed"
+        status, body = client.result(doc["id"])
+        assert status == 503
+        assert body["error"] == "executor-unavailable"
+        assert "no peers" in body["message"]
